@@ -1,0 +1,38 @@
+"""A1-A3 — the design-choice ablation sweeps from DESIGN.md."""
+
+import pytest
+
+from repro.experiments import ablation_cutoff, ablation_threshold, ablation_weights
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_weights(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_weights.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_threshold(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_threshold.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cutoff(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_cutoff.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed

@@ -1,0 +1,32 @@
+"""E6 / section 6 — the three benchmark applications (Route, NAT, RTR)."""
+
+import pytest
+
+from repro.experiments import apps
+from repro.routing import NatApp, RtrApp
+
+
+@pytest.mark.benchmark(group="apps")
+class TestAppThroughput:
+    def test_nat(self, benchmark, bench_trace):
+        result = benchmark.pedantic(
+            lambda: NatApp().run(bench_trace), rounds=2, iterations=1
+        )
+        assert result.packets_processed == len(bench_trace)
+
+    def test_rtr(self, benchmark, bench_trace):
+        result = benchmark.pedantic(
+            lambda: RtrApp().run(bench_trace), rounds=2, iterations=1
+        )
+        assert result.packets_processed == len(bench_trace)
+
+
+@pytest.mark.benchmark(group="apps")
+def test_regenerate_apps_table(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: apps.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed

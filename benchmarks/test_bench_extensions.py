@@ -1,0 +1,72 @@
+"""E7-E9 — the extension experiments (P2P, anonymization, generator)."""
+
+import pytest
+
+from repro.core import TraceModel, compress_trace
+from repro.experiments import anonymization, generator_study, p2p
+from repro.synth import generate_p2p_trace
+from repro.trace.anonymize import anonymize_prefix_preserving
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_p2p_generation_throughput(benchmark):
+    trace = benchmark.pedantic(
+        lambda: generate_p2p_trace(duration=10, session_rate=6, seed=1),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(trace) > 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_anonymization_throughput(benchmark, bench_trace):
+    anonymized = benchmark.pedantic(
+        lambda: anonymize_prefix_preserving(bench_trace),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(anonymized) == len(bench_trace)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_model_synthesis_throughput(benchmark, bench_trace):
+    model = TraceModel.fit(compress_trace(bench_trace))
+
+    def synthesize():
+        return model.synthesize(flow_count=500, seed=1)
+
+    trace = benchmark.pedantic(synthesize, rounds=2, iterations=1)
+    assert len(trace) > 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_regenerate_p2p_table(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: p2p.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_regenerate_anonymization_table(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: anonymization.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_regenerate_generator_table(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: generator_study.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed

@@ -1,0 +1,32 @@
+"""E4 / Figure 2 — memory accesses per packet through the radix tree."""
+
+import pytest
+
+from repro.experiments import figure2
+from repro.routing import RouteApp
+
+
+@pytest.mark.benchmark(group="figure2")
+class TestRouteRuns:
+    def test_route_original(self, benchmark, bench_trace):
+        result = benchmark.pedantic(
+            lambda: RouteApp().run(bench_trace), rounds=2, iterations=1
+        )
+        assert result.packets_processed == len(bench_trace)
+
+    def test_route_decompressed(self, benchmark, bench_decompressed):
+        result = benchmark.pedantic(
+            lambda: RouteApp().run(bench_decompressed), rounds=2, iterations=1
+        )
+        assert result.packets_processed == len(bench_decompressed)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_regenerate_figure2(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: figure2.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed

@@ -1,0 +1,30 @@
+"""E5 / Figure 3 — per-packet cache-miss-rate buckets."""
+
+import pytest
+
+from repro.experiments import figure3
+from repro.memsim import CacheConfig
+from repro.routing import RouteApp
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_cache_replay_throughput(benchmark, bench_trace):
+    run_result = RouteApp().run(bench_trace)
+
+    def replay():
+        return run_result.profile(CacheConfig())
+
+    profile = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert len(profile) == len(bench_trace)
+    assert sum(profile.miss_rate_buckets()) == pytest.approx(100.0)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_regenerate_figure3(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: figure3.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed

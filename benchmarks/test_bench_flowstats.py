@@ -1,0 +1,24 @@
+"""E2 / section 3 statistics — flow-statistics computation benchmark."""
+
+import pytest
+
+from repro.experiments import flowstats
+from repro.trace.stats import compute_statistics
+
+
+@pytest.mark.benchmark(group="flowstats")
+def test_compute_statistics_throughput(benchmark, bench_trace):
+    stats = benchmark(compute_statistics, bench_trace)
+    assert stats.packet_count == len(bench_trace)
+    assert stats.short_flow_fraction > 0.9
+
+
+@pytest.mark.benchmark(group="flowstats")
+def test_regenerate_flowstats_table(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: flowstats.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed

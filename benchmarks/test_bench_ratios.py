@@ -1,0 +1,32 @@
+"""E3 / section 5 — the equation 5-8 ratio table."""
+
+import pytest
+
+from repro.baselines import proposed_model, vj_model
+from repro.baselines.models import paper_reference_distribution
+from repro.experiments import ratios
+
+
+@pytest.mark.benchmark(group="ratios")
+def test_analytic_models_speed(benchmark):
+    reference = paper_reference_distribution()
+    vj = vj_model()
+    proposed = proposed_model()
+
+    def fold():
+        return vj.trace_ratio(reference), proposed.trace_ratio(reference)
+
+    vj_ratio, proposed_ratio = benchmark(fold)
+    assert vj_ratio == pytest.approx(0.30, abs=0.02)
+    assert proposed_ratio == pytest.approx(0.03, abs=0.01)
+
+
+@pytest.mark.benchmark(group="ratios")
+def test_regenerate_ratio_table(benchmark, bench_config, capsys):
+    result = benchmark.pedantic(
+        lambda: ratios.run(bench_config), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.passed

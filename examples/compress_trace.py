@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare all five storage methods on one trace (Figure 1 in miniature).
+
+Writes a TSH file, compresses it with GZIP / Van Jacobson / Peuhkuri /
+the proposed flow-clustering method, and prints the size table.
+
+Run:  python examples/compress_trace.py [duration_seconds]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.baselines import GzipCodec, PeuhkuriCodec, VanJacobsonCodec
+from repro.core import compress_to_bytes
+from repro.synth import generate_web_trace
+from repro.trace import Trace
+
+
+def main(duration: float = 20.0) -> None:
+    trace = generate_web_trace(duration=duration, flow_rate=40.0, seed=7)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        tsh_path = Path(workdir) / "trace.tsh"
+        original_size = trace.save_tsh(tsh_path)
+        print(f"wrote {tsh_path.name}: {len(trace)} packets, "
+              f"{original_size / 1e6:.2f} MB")
+
+        # Reload from disk, as a downstream user would.
+        loaded = Trace.load_tsh(tsh_path)
+
+        gzip_size = len(GzipCodec().compress(loaded))
+        vj_size = len(VanJacobsonCodec().compress(loaded))
+        peuhkuri_size = len(PeuhkuriCodec().compress(loaded))
+        proposed_bytes, compressed = compress_to_bytes(loaded)
+
+        rows = [
+            ["original TSH", original_size, "100.0%", "lossless"],
+            ["gzip (deflate)", gzip_size,
+             f"{100 * gzip_size / original_size:.1f}%", "lossless"],
+            ["van jacobson", vj_size,
+             f"{100 * vj_size / original_size:.1f}%", "headers exact"],
+            ["peuhkuri", peuhkuri_size,
+             f"{100 * peuhkuri_size / original_size:.1f}%", "lossy"],
+            ["proposed (flow clustering)", len(proposed_bytes),
+             f"{100 * len(proposed_bytes) / original_size:.1f}%",
+             "lossy, semantic-preserving"],
+        ]
+        print()
+        print(format_table(["method", "bytes", "ratio", "fidelity"], rows))
+        print()
+        print(f"templates: {len(compressed.short_templates)} short, "
+              f"{len(compressed.long_templates)} long; "
+              f"{len(compressed.addresses)} unique destinations")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 20.0)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Study the synthetic workload against the paper's published aggregates.
+
+Generates traces at several seeds, measures the section 3 statistics and
+the analytic model ratios on each, and prints the spread — showing the
+calibration is robust, not a single lucky seed.
+
+Run:  python examples/synthetic_traffic_study.py
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines import proposed_model, vj_model
+from repro.synth import generate_web_trace
+from repro.trace import compute_statistics
+
+
+def main() -> None:
+    rows = []
+    for seed in range(1, 6):
+        trace = generate_web_trace(duration=40.0, flow_rate=40.0, seed=seed)
+        stats = compute_statistics(trace)
+        distribution = stats.length_distribution
+        rows.append(
+            [
+                seed,
+                stats.flow_count,
+                f"{stats.short_flow_fraction:.1%}",
+                f"{stats.short_packet_fraction:.1%}",
+                f"{stats.short_byte_fraction:.1%}",
+                f"{distribution.mean_length():.1f}",
+                f"{vj_model().trace_ratio(distribution):.1%}",
+                f"{proposed_model().trace_ratio(distribution):.1%}",
+            ]
+        )
+    print("paper targets: short flows 98%, packets 75%, bytes 80%")
+    print()
+    print(
+        format_table(
+            [
+                "seed",
+                "flows",
+                "short",
+                "pkts_short",
+                "bytes_short",
+                "mean_len",
+                "vj_model",
+                "proposed_model",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("the analytic ratios shift with mean flow length (eq. 6/8 are")
+    print("P_n-sensitive); the paper's 30%/3% correspond to mean ≈ 5.7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — reproduction of the ISPASS 2005 flow-clustering trace compressor.
+
+Public API highlights
+---------------------
+
+* :func:`repro.core.compress_trace` / :func:`repro.core.decompress_trace`
+  — the paper's compressor and decompressor.
+* :func:`repro.core.roundtrip` — one-call compress + decompress + report.
+* :mod:`repro.synth` — synthetic Web traffic (RedIRIS-like substitute).
+* :mod:`repro.baselines` — GZIP/deflate, Van Jacobson, Peuhkuri codecs
+  and the analytic ratio models of section 5.
+* :mod:`repro.routing` / :mod:`repro.memsim` — the Radix-Tree benchmark
+  applications and the memory/cache instrumentation of section 6.
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"
+
+from repro.net.packet import PacketRecord
+from repro.trace.trace import Trace
+
+__all__ = ["PacketRecord", "Trace", "__version__"]

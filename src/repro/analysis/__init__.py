@@ -1,0 +1,40 @@
+"""Analysis utilities: CDFs, trace comparisons and text reports."""
+
+from repro.analysis.cdf import EmpiricalCdf, histogram
+from repro.analysis.compare import (
+    earth_movers_distance,
+    kolmogorov_smirnov,
+    max_bucket_difference,
+)
+from repro.analysis.report import ascii_bar_chart, ascii_curve, format_table
+from repro.analysis.locality import (
+    LocalityProfile,
+    profile_locality,
+    stack_distances,
+    working_set_sizes,
+)
+from repro.analysis.flagseq import (
+    flag_grammar_similarity,
+    flag_ngrams,
+    flow_flag_sequence,
+    ngram_distribution,
+)
+
+__all__ = [
+    "EmpiricalCdf",
+    "histogram",
+    "earth_movers_distance",
+    "kolmogorov_smirnov",
+    "max_bucket_difference",
+    "ascii_bar_chart",
+    "ascii_curve",
+    "format_table",
+    "LocalityProfile",
+    "profile_locality",
+    "stack_distances",
+    "working_set_sizes",
+    "flag_grammar_similarity",
+    "flag_ngrams",
+    "flow_flag_sequence",
+    "ngram_distribution",
+]

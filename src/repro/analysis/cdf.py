@@ -1,0 +1,73 @@
+"""Empirical distributions.
+
+Figure 2 is an empirical CDF (cumulative traffic vs per-packet access
+count); Figure 3 is a bucketed histogram.  Both are small, dependency-free
+constructions kept here so experiments and tests share one definition.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical CDF over a numeric sample."""
+
+    sorted_values: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "EmpiricalCdf":
+        if not samples:
+            raise ValueError("cannot build a CDF from an empty sample")
+        return cls(tuple(sorted(samples)))
+
+    def __len__(self) -> int:
+        return len(self.sorted_values)
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self.sorted_values, x) / len(self.sorted_values)
+
+    def evaluate_many(self, xs: Sequence[float]) -> list[float]:
+        """The CDF sampled at several points."""
+        return [self.evaluate(x) for x in xs]
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1]: {q}")
+        index = max(0, int(q * len(self.sorted_values)) - 1)
+        return self.sorted_values[index]
+
+    def min(self) -> float:
+        return self.sorted_values[0]
+
+    def max(self) -> float:
+        return self.sorted_values[-1]
+
+    def mean(self) -> float:
+        return sum(self.sorted_values) / len(self.sorted_values)
+
+
+def histogram(
+    samples: Sequence[float], edges: Sequence[float]
+) -> list[int]:
+    """Counts per half-open bucket ``[edges[i], edges[i+1])``.
+
+    Samples outside the edge range are dropped (Figure 3's buckets cover
+    [0, 1.01) so nothing is dropped there).
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two edges")
+    if any(b <= a for a, b in zip(edges, edges[1:])):
+        raise ValueError("edges must be strictly increasing")
+    counts = [0] * (len(edges) - 1)
+    for sample in samples:
+        if sample < edges[0] or sample >= edges[-1]:
+            continue
+        index = bisect.bisect_right(edges, sample) - 1
+        counts[index] += 1
+    return counts

@@ -1,0 +1,49 @@
+"""Distribution-similarity measures.
+
+Section 6's argument is visual ("we observe huge similarity"); the
+experiment harness quantifies it so the claim becomes testable: the
+original-vs-decompressed distance must be much smaller than
+original-vs-random / original-vs-fractal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+def kolmogorov_smirnov(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample KS statistic: sup |F_a(x) - F_b(x)| in [0, 1]."""
+    if not a or not b:
+        raise ValueError("KS distance needs non-empty samples")
+    cdf_a = EmpiricalCdf.from_samples(a)
+    cdf_b = EmpiricalCdf.from_samples(b)
+    points = sorted(set(cdf_a.sorted_values) | set(cdf_b.sorted_values))
+    return max(abs(cdf_a.evaluate(x) - cdf_b.evaluate(x)) for x in points)
+
+
+def earth_movers_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """1-Wasserstein distance between two samples (integrated CDF gap)."""
+    if not a or not b:
+        raise ValueError("EMD needs non-empty samples")
+    cdf_a = EmpiricalCdf.from_samples(a)
+    cdf_b = EmpiricalCdf.from_samples(b)
+    points = sorted(set(cdf_a.sorted_values) | set(cdf_b.sorted_values))
+    distance = 0.0
+    for left, right in zip(points, points[1:]):
+        gap = abs(cdf_a.evaluate(left) - cdf_b.evaluate(left))
+        distance += gap * (right - left)
+    return distance
+
+
+def max_bucket_difference(a: Sequence[float], b: Sequence[float]) -> float:
+    """Largest absolute per-bucket difference (for Figure 3 bars).
+
+    Inputs are already bucket percentages (same bucket order).
+    """
+    if len(a) != len(b):
+        raise ValueError(f"bucket count mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        raise ValueError("need at least one bucket")
+    return max(abs(x - y) for x, y in zip(a, b))

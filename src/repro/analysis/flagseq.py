@@ -1,0 +1,72 @@
+"""TCP-flag-sequence analysis — the intro's third semantic property.
+
+"The performance of these systems depends ... also on some properties of
+flows, that we call semantic properties: spatial and temporal locality of
+IP address, IP address structure, and **TCP flags sequence**."
+
+This module extracts per-flow flag-class sequences (the g1 stream of
+section 2), builds n-gram distributions over them, and measures how far
+two traces' flag grammars diverge — the sharpest test of what the lossy
+clustering does to protocol structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from repro.flows.assembler import assemble_flows
+from repro.flows.model import Flow
+from repro.net.packet import PacketRecord
+from repro.net.tcp import classify_flags
+
+
+def flow_flag_sequence(flow: Flow) -> tuple[int, ...]:
+    """The flow's g1 stream: one flag class (0..3) per packet."""
+    return tuple(int(classify_flags(fp.flags)) for fp in flow.packets)
+
+
+def flag_ngrams(
+    sequence: Sequence[int], n: int = 3
+) -> list[tuple[int, ...]]:
+    """All length-``n`` windows of one flag sequence."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1: {n}")
+    return [tuple(sequence[i : i + n]) for i in range(len(sequence) - n + 1)]
+
+
+def ngram_distribution(
+    packets: Iterable[PacketRecord], n: int = 3
+) -> dict[tuple[int, ...], float]:
+    """Normalized n-gram frequencies over all flows of a packet stream."""
+    counts: Counter[tuple[int, ...]] = Counter()
+    for flow in assemble_flows(packets):
+        counts.update(flag_ngrams(flow_flag_sequence(flow), n))
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {gram: count / total for gram, count in counts.items()}
+
+
+def distribution_distance(
+    a: Mapping[tuple[int, ...], float], b: Mapping[tuple[int, ...], float]
+) -> float:
+    """Total variation distance between two n-gram distributions.
+
+    0 = identical grammars; 1 = disjoint support.
+    """
+    support = set(a) | set(b)
+    if not support:
+        return 0.0
+    return 0.5 * sum(abs(a.get(g, 0.0) - b.get(g, 0.0)) for g in support)
+
+
+def flag_grammar_similarity(
+    packets_a: Iterable[PacketRecord],
+    packets_b: Iterable[PacketRecord],
+    n: int = 3,
+) -> float:
+    """1 - total variation distance of the two traces' flag n-grams."""
+    return 1.0 - distribution_distance(
+        ngram_distribution(packets_a, n), ngram_distribution(packets_b, n)
+    )

@@ -1,0 +1,89 @@
+"""Plain-text rendering: tables, bar charts and curves.
+
+The experiment harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A simple aligned text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row width {len(row)} != header width {columns}")
+    cells = [[str(x) for x in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in cells)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 50, unit: str = "%"
+) -> str:
+    """Horizontal bars, one per label (Figure 3 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty chart)"
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    height: int = 16,
+    width: int = 64,
+) -> str:
+    """Several y-series over a shared x axis, plotted with characters.
+
+    Used for the Figure 1/2 style line comparisons; each series gets the
+    first letter of its name as its marker.
+    """
+    if not xs or not series:
+        return "(empty plot)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    y_max = max(max(ys) for ys in series.values())
+    y_min = min(min(ys) for ys in series.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_max, x_min = max(xs), min(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        marker = name[0].upper()
+        for x, y in zip(xs, ys):
+            column = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = height - 1 - int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[row][column] = marker
+
+    lines = [f"{y_max:10.1f} +" + "".join(grid[0])]
+    lines.extend("           |" + "".join(row) for row in grid[1:-1])
+    lines.append(f"{y_min:10.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_min:<10.1f}" + " " * max(0, width - 20) + f"{x_max:>10.1f}")
+    legend = "  ".join(f"{name[0].upper()}={name}" for name in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

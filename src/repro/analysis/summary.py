@@ -1,0 +1,123 @@
+"""Side-by-side trace comparison reports.
+
+One call produces the full scorecard two traces can be compared on:
+volume, flow statistics, flag grammar, destination locality and address
+structure — the library's working definition of "statistically
+equivalent".  Used by ``repro-trace compare`` and the validation
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.flagseq import flag_grammar_similarity
+from repro.analysis.locality import profile_locality
+from repro.analysis.report import format_table
+from repro.trace.anonymize import shared_prefix_length
+from repro.trace.stats import compute_statistics
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """Structured outcome of comparing two traces."""
+
+    name_a: str
+    name_b: str
+    rows: list[list[str]]
+    flag_similarity: float
+    locality_gap: float
+    structure_gap: float
+
+    def render(self) -> str:
+        """The aligned text table."""
+        return format_table(["metric", self.name_a, self.name_b], self.rows)
+
+    def statistically_similar(
+        self,
+        flag_floor: float = 0.90,
+        locality_tolerance: float = 0.10,
+        structure_tolerance: float = 3.0,
+    ) -> bool:
+        """The library's 'statistical twin' verdict."""
+        return (
+            self.flag_similarity >= flag_floor
+            and self.locality_gap <= locality_tolerance
+            and self.structure_gap <= structure_tolerance
+        )
+
+
+def _mean_neighbor_prefix(trace: Trace, limit: int = 20000) -> float:
+    last = None
+    total = 0
+    counted = 0
+    for packet in trace.packets[:limit]:
+        if last is not None and packet.dst_ip != last:
+            total += shared_prefix_length(packet.dst_ip, last)
+            counted += 1
+        last = packet.dst_ip
+    return total / counted if counted else 0.0
+
+
+def compare_traces(a: Trace, b: Trace, locality_depth: int = 64) -> TraceComparison:
+    """Build the full comparison scorecard for two traces."""
+    if not a.packets or not b.packets:
+        raise ValueError("cannot compare empty traces")
+
+    stats_a = compute_statistics(a)
+    stats_b = compute_statistics(b)
+    locality_a = profile_locality(
+        [p.dst_ip for p in a.packets[:20000]], depths=(8, locality_depth, 256)
+    )
+    locality_b = profile_locality(
+        [p.dst_ip for p in b.packets[:20000]], depths=(8, locality_depth, 256)
+    )
+    structure_a = _mean_neighbor_prefix(a)
+    structure_b = _mean_neighbor_prefix(b)
+    flag_similarity = flag_grammar_similarity(a.packets, b.packets)
+
+    def pct(x: float) -> str:
+        return f"{x:.1%}"
+
+    rows = [
+        ["packets", str(stats_a.packet_count), str(stats_b.packet_count)],
+        ["flows", str(stats_a.flow_count), str(stats_b.flow_count)],
+        [
+            "mean flow length",
+            f"{stats_a.length_distribution.mean_length():.2f}",
+            f"{stats_b.length_distribution.mean_length():.2f}",
+        ],
+        [
+            "short flow fraction",
+            pct(stats_a.short_flow_fraction),
+            pct(stats_b.short_flow_fraction),
+        ],
+        [
+            "short packet fraction",
+            pct(stats_a.short_packet_fraction),
+            pct(stats_b.short_packet_fraction),
+        ],
+        [
+            f"dst locality (depth<{locality_depth})",
+            pct(locality_a.hit_fraction_within[locality_depth]),
+            pct(locality_b.hit_fraction_within[locality_depth]),
+        ],
+        [
+            "mean neighbor prefix bits",
+            f"{structure_a:.1f}",
+            f"{structure_b:.1f}",
+        ],
+        ["flag trigram similarity", "1.000", f"{flag_similarity:.3f}"],
+    ]
+    return TraceComparison(
+        name_a=a.name,
+        name_b=b.name,
+        rows=rows,
+        flag_similarity=flag_similarity,
+        locality_gap=abs(
+            locality_a.hit_fraction_within[locality_depth]
+            - locality_b.hit_fraction_within[locality_depth]
+        ),
+        structure_gap=abs(structure_a - structure_b),
+    )

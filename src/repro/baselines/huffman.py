@@ -1,0 +1,210 @@
+"""Canonical Huffman coding.
+
+The paper cites dynamic Huffman coding [1] among the generic lossless
+methods.  This module builds length-limited canonical codes from symbol
+frequencies and provides a bit-level encoder/decoder; the deflate-like
+pipeline (:mod:`repro.baselines.deflate`) uses it to entropy-code LZ77
+token streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+MAX_CODE_LENGTH = 15
+
+
+class BitWriter:
+    """Append-only bit buffer (LSB-first within each byte)."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._bit_pos = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write ``count`` bits of ``value``, LSB first."""
+        if count < 0 or value < 0 or (count < 64 and value >> count):
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        for _ in range(count):
+            if self._bit_pos == 0:
+                self._out.append(0)
+            if value & 1:
+                self._out[-1] |= 1 << self._bit_pos
+            value >>= 1
+            self._bit_pos = (self._bit_pos + 1) % 8
+
+    def getvalue(self) -> bytes:
+        """The accumulated bytes (final partial byte zero-padded)."""
+        return bytes(self._out)
+
+    def bit_length(self) -> int:
+        """Exact number of bits written."""
+        if not self._out:
+            return 0
+        trailing = self._bit_pos if self._bit_pos else 8
+        return (len(self._out) - 1) * 8 + trailing
+
+
+class BitReader:
+    """Sequential bit reader matching :class:`BitWriter`'s order."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._byte_pos = 0
+        self._bit_pos = 0
+
+    def read_bit(self) -> int:
+        if self._byte_pos >= len(self._data):
+            raise ValueError("bit stream exhausted")
+        bit = (self._data[self._byte_pos] >> self._bit_pos) & 1
+        self._bit_pos += 1
+        if self._bit_pos == 8:
+            self._bit_pos = 0
+            self._byte_pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits, LSB first."""
+        value = 0
+        for index in range(count):
+            value |= self.read_bit() << index
+        return value
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical Huffman code: symbol -> (code bits, length)."""
+
+    lengths: dict[int, int]
+    codes: dict[int, int]
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        """Emit one symbol."""
+        try:
+            length = self.lengths[symbol]
+            code = self.codes[symbol]
+        except KeyError:
+            raise ValueError(f"symbol not in code: {symbol}") from None
+        writer.write_bits(code, length)
+
+    def build_decoder(self) -> dict[tuple[int, int], int]:
+        """(length, code) -> symbol map for the slow-but-simple decoder."""
+        return {
+            (length, self.codes[symbol]): symbol
+            for symbol, length in self.lengths.items()
+        }
+
+
+def _package_merge_lengths(
+    frequencies: Mapping[int, int], limit: int
+) -> dict[int, int]:
+    """Code lengths via plain Huffman, flattened to ``limit`` if needed."""
+    symbols = [s for s, f in frequencies.items() if f > 0]
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+
+    heap: list[tuple[int, int, list[int]]] = [
+        (frequencies[s], s, [s]) for s in symbols
+    ]
+    heapq.heapify(heap)
+    depths: dict[int, int] = {s: 0 for s in symbols}
+    while len(heap) > 1:
+        fa, _, group_a = heapq.heappop(heap)
+        fb, tie, group_b = heapq.heappop(heap)
+        for symbol in group_a + group_b:
+            depths[symbol] += 1
+        heapq.heappush(heap, (fa + fb, tie, group_a + group_b))
+
+    # Flatten over-long codes (rare, only for pathological frequencies):
+    # push over-limit symbols to the limit, then repair Kraft equality by
+    # deepening the least-frequent repairable symbols.
+    if max(depths.values()) > limit:
+        for symbol in depths:
+            depths[symbol] = min(depths[symbol], limit)
+        kraft = sum(2 ** (limit - d) for d in depths.values())
+        budget = 2**limit
+        by_depth = sorted(depths, key=lambda s: (-depths[s], frequencies[s]))
+        index = 0
+        while kraft > budget:
+            symbol = by_depth[index % len(by_depth)]
+            if depths[symbol] < limit:
+                kraft -= 2 ** (limit - depths[symbol] - 1)
+                depths[symbol] += 1
+            index += 1
+    return depths
+
+
+def build_huffman_code(
+    frequencies: Mapping[int, int], limit: int = MAX_CODE_LENGTH
+) -> HuffmanCode:
+    """Canonical code from symbol frequencies.
+
+    Canonical assignment sorts by (length, symbol) so the code is fully
+    determined by its length table — which is all the container stores.
+    """
+    lengths = _package_merge_lengths(frequencies, limit)
+    return code_from_lengths(lengths)
+
+
+def code_from_lengths(lengths: Mapping[int, int]) -> HuffmanCode:
+    """Rebuild the canonical code given only the length table."""
+    codes: dict[int, int] = {}
+    code = 0
+    previous_length = 0
+    for symbol in sorted(lengths, key=lambda s: (lengths[s], s)):
+        length = lengths[symbol]
+        code <<= length - previous_length
+        # Store codes bit-reversed so the LSB-first writer emits them in
+        # canonical MSB-first order.
+        codes[symbol] = _reverse_bits(code, length)
+        previous_length = length
+        code += 1
+    return HuffmanCode(dict(lengths), codes)
+
+
+def _reverse_bits(value: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def huffman_encode(symbols: Iterable[int], code: HuffmanCode) -> bytes:
+    """Encode a symbol sequence with an existing code."""
+    writer = BitWriter()
+    for symbol in symbols:
+        code.encode_symbol(writer, symbol)
+    return writer.getvalue()
+
+
+def huffman_decode(data: bytes, code: HuffmanCode, count: int) -> list[int]:
+    """Decode exactly ``count`` symbols.
+
+    Uses incremental canonical decoding: read bits until the accumulated
+    (length, code) pair is in the table.
+    """
+    table = {}
+    for symbol, length in code.lengths.items():
+        canonical = _reverse_bits(code.codes[symbol], length)
+        table[(length, canonical)] = symbol
+    reader = BitReader(data)
+    out: list[int] = []
+    max_length = max(code.lengths.values(), default=0)
+    for _ in range(count):
+        accumulated = 0
+        length = 0
+        while True:
+            accumulated = (accumulated << 1) | reader.read_bit()
+            length += 1
+            if length > max_length:
+                raise ValueError("invalid bit stream: no code matches")
+            symbol = table.get((length, accumulated))
+            if symbol is not None:
+                out.append(symbol)
+                break
+    return out

@@ -1,0 +1,134 @@
+"""From-scratch LZ77 sliding-window compression.
+
+The paper cites LZ77 [2] as one of the generic lossless algorithms whose
+"around 50%" ratio motivates a domain-specific method.  This is a clean
+hash-chain implementation with the DEFLATE parameterization (32 KiB
+window, 3..258 byte matches) producing an explicit token stream that the
+Huffman stage (:mod:`repro.baselines.huffman`) entropy-codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+WINDOW_SIZE = 32 * 1024
+LZ77_MIN_MATCH = 3
+LZ77_MAX_MATCH = 258
+_HASH_BITS = 15
+_HASH_SIZE = 1 << _HASH_BITS
+_MAX_CHAIN = 64
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One LZ77 token: a literal byte or a back-reference.
+
+    ``length == 0`` encodes a literal (``literal`` holds the byte value);
+    otherwise (``length``, ``distance``) is a match copying ``length``
+    bytes from ``distance`` bytes back.
+    """
+
+    length: int
+    distance: int
+    literal: int
+
+    @classmethod
+    def make_literal(cls, byte: int) -> "Token":
+        if not 0 <= byte <= 255:
+            raise ValueError(f"literal out of range: {byte}")
+        return cls(0, 0, byte)
+
+    @classmethod
+    def make_match(cls, length: int, distance: int) -> "Token":
+        if not LZ77_MIN_MATCH <= length <= LZ77_MAX_MATCH:
+            raise ValueError(f"match length out of range: {length}")
+        if not 1 <= distance <= WINDOW_SIZE:
+            raise ValueError(f"match distance out of range: {distance}")
+        return cls(length, distance, 0)
+
+    @property
+    def is_literal(self) -> bool:
+        return self.length == 0
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    """Hash of the 3 bytes at ``pos`` (the DEFLATE-style insert hash)."""
+    return (
+        (data[pos] << 10) ^ (data[pos + 1] << 5) ^ data[pos + 2]
+    ) & (_HASH_SIZE - 1)
+
+
+def lz77_compress(data: bytes) -> list[Token]:
+    """Tokenize ``data`` with greedy hash-chain matching."""
+    tokens: list[Token] = []
+    n = len(data)
+    if n == 0:
+        return tokens
+
+    head: list[int] = [-1] * _HASH_SIZE  # hash -> most recent position
+    prev: list[int] = [-1] * n  # position -> previous same-hash position
+
+    pos = 0
+    while pos < n:
+        best_length = 0
+        best_distance = 0
+        if pos + LZ77_MIN_MATCH <= n:
+            slot = _hash3(data, pos)
+            candidate = head[slot]
+            chain = 0
+            window_floor = pos - WINDOW_SIZE
+            max_length = min(LZ77_MAX_MATCH, n - pos)
+            while candidate >= 0 and candidate >= window_floor and chain < _MAX_CHAIN:
+                length = 0
+                while (
+                    length < max_length
+                    and data[candidate + length] == data[pos + length]
+                ):
+                    length += 1
+                if length > best_length:
+                    best_length = length
+                    best_distance = pos - candidate
+                    if length >= max_length:
+                        break
+                candidate = prev[candidate]
+                chain += 1
+
+        if best_length >= LZ77_MIN_MATCH:
+            tokens.append(Token.make_match(best_length, best_distance))
+            # Insert every covered position into the hash chains so later
+            # matches can refer inside this match.
+            end = min(pos + best_length, n - LZ77_MIN_MATCH + 1)
+            cursor = pos
+            while cursor < end:
+                slot = _hash3(data, cursor)
+                prev[cursor] = head[slot]
+                head[slot] = cursor
+                cursor += 1
+            pos += best_length
+        else:
+            tokens.append(Token.make_literal(data[pos]))
+            if pos + LZ77_MIN_MATCH <= n:
+                slot = _hash3(data, pos)
+                prev[pos] = head[slot]
+                head[slot] = pos
+            pos += 1
+    return tokens
+
+
+def lz77_decompress(tokens: Iterable[Token]) -> bytes:
+    """Rebuild the byte stream from a token sequence."""
+    out = bytearray()
+    for token in tokens:
+        if token.is_literal:
+            out.append(token.literal)
+            continue
+        if token.distance > len(out):
+            raise ValueError(
+                f"match distance {token.distance} reaches before stream start"
+            )
+        start = len(out) - token.distance
+        # Overlapping copies are byte-by-byte by definition.
+        for offset in range(token.length):
+            out.append(out[start + offset])
+    return bytes(out)

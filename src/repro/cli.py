@@ -1,0 +1,220 @@
+"""``repro-trace`` — the command-line face of the library.
+
+Subcommands::
+
+    repro-trace generate out.tsh --duration 100 --rate 40 --seed 1
+    repro-trace compress in.tsh out.fctc
+    repro-trace decompress in.fctc out.tsh
+    repro-trace stats in.tsh
+    repro-trace inspect in.fctc
+    repro-trace convert in.tsh out.pcap
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import (
+    compress_to_bytes,
+    decompress_from_bytes,
+    deserialize_compressed,
+)
+from repro.core.codec import dataset_sizes
+from repro.core.pipeline import report_for
+from repro.net.ip import format_ipv4
+from repro.synth import generate_web_trace
+from repro.trace.stats import compute_statistics
+from repro.trace.trace import Trace
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_web_trace(
+        duration=args.duration, flow_rate=args.rate, seed=args.seed
+    )
+    size = trace.save_tsh(args.output)
+    print(f"wrote {len(trace)} packets ({size} B) to {args.output}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    trace = Trace.load_tsh(args.input)
+    data, compressed = compress_to_bytes(trace)
+    Path(args.output).write_bytes(data)
+    report = report_for(trace, compressed, data)
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    data = Path(args.input).read_bytes()
+    trace = decompress_from_bytes(data)
+    size = trace.save_tsh(args.output)
+    print(f"wrote {len(trace)} packets ({size} B) to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = Trace.load_tsh(args.input)
+    stats = compute_statistics(trace)
+    for line in stats.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    compressed = deserialize_compressed(Path(args.input).read_bytes())
+    sizes = dataset_sizes(compressed)
+    print(f"name                 : {compressed.name}")
+    print(f"flows (time-seq)     : {compressed.flow_count()}")
+    print(f"original packets     : {compressed.original_packet_count}")
+    short_count, long_count = compressed.template_counts()
+    print(f"short templates      : {short_count}")
+    print(f"long templates       : {long_count}")
+    print(f"unique destinations  : {len(compressed.addresses)}")
+    for dataset, size in sizes.items():
+        print(f"  {dataset:<22}: {size} B")
+    if args.addresses:
+        for index, address in enumerate(compressed.addresses):
+            print(f"  [{index}] {format_ipv4(address)}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.core.generator import TraceModel
+    from repro.core.compressor import compress_trace as _compress
+
+    source = Trace.load_tsh(args.input)
+    model = TraceModel.fit(_compress(source))
+    flow_count = args.flows or int(
+        args.scale * (sum(model.short_usage) + sum(model.long_usage))
+    )
+    synthetic = model.synthesize(flow_count=flow_count, seed=args.seed)
+    size = synthetic.save_tsh(args.output)
+    print(
+        f"fitted {model.template_count()} templates; "
+        f"wrote {len(synthetic)} packets / {flow_count} flows "
+        f"({size} B) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.trace.anonymize import anonymize_prefix_preserving
+
+    trace = Trace.load_tsh(args.input)
+    anonymized = anonymize_prefix_preserving(trace, key=args.key)
+    size = anonymized.save_tsh(args.output)
+    print(f"wrote {len(anonymized)} anonymized packets ({size} B) to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import compare_traces
+
+    a = Trace.load_tsh(args.first)
+    b = Trace.load_tsh(args.second)
+    comparison = compare_traces(a, b)
+    print(comparison.render())
+    verdict = comparison.statistically_similar()
+    print()
+    print(f"statistically similar: {verdict}")
+    return 0 if verdict else 1
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    source = Path(args.input)
+    if source.suffix == ".pcap":
+        trace = Trace.load_pcap(source)
+    else:
+        trace = Trace.load_tsh(source)
+    target = Path(args.output)
+    if target.suffix == ".pcap":
+        count = trace.save_pcap(target)
+        print(f"wrote {count} packets to {target}")
+    else:
+        size = trace.save_tsh(target)
+        print(f"wrote {len(trace)} packets ({size} B) to {target}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="Flow-clustering trace compressor tools."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesize a Web trace")
+    generate.add_argument("output", help="output .tsh path")
+    generate.add_argument("--duration", type=float, default=100.0)
+    generate.add_argument("--rate", type=float, default=40.0, help="flows/second")
+    generate.add_argument("--seed", type=int, default=1)
+    generate.set_defaults(handler=_cmd_generate)
+
+    compress = subparsers.add_parser("compress", help="compress a TSH trace")
+    compress.add_argument("input", help="input .tsh path")
+    compress.add_argument("output", help="output .fctc path")
+    compress.set_defaults(handler=_cmd_compress)
+
+    decompress = subparsers.add_parser("decompress", help="rebuild a trace")
+    decompress.add_argument("input", help="input .fctc path")
+    decompress.add_argument("output", help="output .tsh path")
+    decompress.set_defaults(handler=_cmd_decompress)
+
+    stats = subparsers.add_parser("stats", help="flow statistics of a trace")
+    stats.add_argument("input", help="input .tsh path")
+    stats.set_defaults(handler=_cmd_stats)
+
+    inspect = subparsers.add_parser("inspect", help="examine a compressed file")
+    inspect.add_argument("input", help="input .fctc path")
+    inspect.add_argument(
+        "--addresses", action="store_true", help="list the address dataset"
+    )
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    convert = subparsers.add_parser("convert", help="convert between tsh/pcap")
+    convert.add_argument("input", help="input .tsh or .pcap path")
+    convert.add_argument("output", help="output .tsh or .pcap path")
+    convert.set_defaults(handler=_cmd_convert)
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="fit a model and synthesize a scaled trace"
+    )
+    synthesize.add_argument("input", help="source .tsh path")
+    synthesize.add_argument("output", help="output .tsh path")
+    synthesize.add_argument(
+        "--scale", type=float, default=1.0, help="flow-count multiplier"
+    )
+    synthesize.add_argument(
+        "--flows", type=int, default=None, help="absolute flow count (overrides --scale)"
+    )
+    synthesize.add_argument("--seed", type=int, default=1)
+    synthesize.set_defaults(handler=_cmd_synthesize)
+
+    anonymize = subparsers.add_parser(
+        "anonymize", help="prefix-preserving address anonymization"
+    )
+    anonymize.add_argument("input", help="input .tsh path")
+    anonymize.add_argument("output", help="output .tsh path")
+    anonymize.add_argument("--key", default="repro-anonymizer")
+    anonymize.set_defaults(handler=_cmd_anonymize)
+
+    compare = subparsers.add_parser(
+        "compare", help="semantic comparison of two traces"
+    )
+    compare.add_argument("first", help="first .tsh path")
+    compare.add_argument("second", help="second .tsh path")
+    compare.set_defaults(handler=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

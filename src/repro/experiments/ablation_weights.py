@@ -1,0 +1,136 @@
+"""Ablation A1 — sensitivity to the characterization weights.
+
+Section 2: "we have used the following weights ... w1=16, w2=4, w3=1.
+Evidently, depending on the type of problem to be studied, we can apply
+different weights."
+
+What the weights actually buy is *invertibility*: with place-value
+weights (w2 > 2·w3 and w1 > w2 + 2·w3) every one of the 24 valid
+``(g1, g2, g3)`` triples maps to a distinct ``f`` value, so the
+decompressor can recover flags, dependence and payload class exactly.
+Degenerate weights collide triples — the compressed form then cannot be
+replayed faithfully.  The sweep reports that code distinctness, whether
+decoding is possible, and the (workload-level) template count and ratio.
+
+On this workload the template count is insensitive to the weights: the
+generator's same-length flows share one shape, so template diversity is
+length-driven — an observation the report notes explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.report import format_table
+from repro.core.codec import serialize_compressed
+from repro.core.compressor import CompressorConfig, FlowClusterCompressor
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
+from repro.flows.characterize import (
+    CharacterizationConfig,
+    Weights,
+    decode_packet_value,
+)
+
+WEIGHT_VECTORS = [
+    (16, 4, 1),  # the paper's choice
+    (32, 8, 2),  # scaled up (same ordering, wider spacing)
+    (8, 4, 1),   # narrower flag separation (still invertible)
+    (1, 1, 1),   # degenerate: features collide
+    (16, 0, 1),  # dependence ignored
+    (16, 4, 0),  # payload ignored
+]
+
+VALID_TRIPLES = list(itertools.product(range(4), range(2), range(3)))
+"""All (g1, g2, g3) combinations the characterization can emit."""
+
+
+def code_statistics(weights: Weights) -> tuple[int, bool]:
+    """(distinct f values over the 24 triples, exactly decodable?)."""
+    codes = {
+        weights.flags * g1 + weights.dependence * g2 + weights.payload * g3
+        for g1, g2, g3 in VALID_TRIPLES
+    }
+    config = CharacterizationConfig(weights=weights)
+    try:
+        decodable = all(
+            decode_packet_value(
+                weights.flags * g1 + weights.dependence * g2 + weights.payload * g3,
+                config,
+            )
+            == (g1, g2, g3)
+            for g1, g2, g3 in VALID_TRIPLES
+        )
+    except ValueError:
+        decodable = False
+    return len(codes), decodable
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Sweep weight vectors: code distinctness + workload metrics."""
+    config = config or ExperimentConfig()
+    trace = standard_trace(config)
+    original = trace.stored_size_bytes()
+
+    headers = [
+        "weights(w1,w2,w3)",
+        "distinct_codes/24",
+        "decodable",
+        "short_templates",
+        "ratio",
+    ]
+    rows: list[list[object]] = []
+    distinct: dict[tuple[int, int, int], int] = {}
+    decodable_map: dict[tuple[int, int, int], bool] = {}
+
+    for weights_tuple in WEIGHT_VECTORS:
+        weights = Weights(*weights_tuple)
+        codes, decodable = code_statistics(weights)
+        distinct[weights_tuple] = codes
+        decodable_map[weights_tuple] = decodable
+
+        compressor = FlowClusterCompressor(
+            CompressorConfig(
+                characterization=CharacterizationConfig(weights=weights)
+            )
+        )
+        for packet in trace.packets:
+            compressor.add_packet(packet)
+        compressed = compressor.finish()
+        size = len(serialize_compressed(compressed))
+        rows.append(
+            [
+                str(weights_tuple),
+                f"{codes}/24",
+                decodable,
+                len(compressed.short_templates),
+                f"{size / original:.2%}",
+            ]
+        )
+
+    paper_ok = distinct[(16, 4, 1)] == 24 and decodable_map[(16, 4, 1)]
+    degenerate_collides = distinct[(1, 1, 1)] < 24 and not decodable_map[(1, 1, 1)]
+    notes = [
+        f"paper weights are a perfect (invertible) code: {paper_ok}",
+        f"degenerate (1,1,1) collides triples and cannot be decoded: "
+        f"{degenerate_collides} ({distinct[(1, 1, 1)]}/24 codes)",
+        "template counts are weight-insensitive on this workload: same-"
+        "length flows share one shape, so template diversity is length-"
+        "driven; the weights matter for decode fidelity, not dataset size.",
+    ]
+    text = "\n".join(
+        [
+            "Ablation A1 — characterization weight sensitivity",
+            "",
+            format_table(headers, rows),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="ablation_weights",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=paper_ok and degenerate_collides,
+        notes=notes,
+    )

@@ -1,0 +1,80 @@
+"""E8 — sanitization vs semantic preservation (the paper's motivation).
+
+Introduction: public traces "are delivered after some transformations,
+such as sanitization, which modify some basic semantic properties (such
+as IP address structure)".
+
+The experiment quantifies that: run the Route benchmark on (a) the
+original trace, (b) a prefix-preserving anonymization of it, and (c) the
+naive random-address control.  Prefix-preserving anonymization keeps
+IP address *structure*, so the radix-tree profile should survive; naive
+randomization destroys it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import kolmogorov_smirnov
+from repro.analysis.report import format_table
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
+from repro.routing import RouteApp
+from repro.synth import randomize_destinations
+from repro.trace.anonymize import anonymize_prefix_preserving
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Compare Route profiles across anonymization styles."""
+    config = config or ExperimentConfig()
+    original = standard_trace(config)
+    traces = [
+        ("original", original),
+        ("prefix-preserving", anonymize_prefix_preserving(original)),
+        ("naive random", randomize_destinations(original, seed=config.seed)),
+    ]
+
+    samples: dict[str, list[int]] = {}
+    headers = ["trace", "mean_accs", "KS_vs_original"]
+    rows: list[list[object]] = []
+    for label, trace in traces:
+        result = RouteApp().run(trace)
+        accesses = result.accesses_per_packet()
+        samples[label] = accesses
+        ks = (
+            kolmogorov_smirnov(samples["original"], accesses)
+            if label != "original"
+            else 0.0
+        )
+        rows.append(
+            [label, f"{sum(accesses) / len(accesses):.1f}", f"{ks:.3f}"]
+        )
+
+    ks_prefix = kolmogorov_smirnov(
+        samples["original"], samples["prefix-preserving"]
+    )
+    ks_naive = kolmogorov_smirnov(samples["original"], samples["naive random"])
+    structure_survives = ks_prefix < 0.5 * ks_naive
+
+    notes = [
+        f"prefix-preserving KS={ks_prefix:.3f}, naive KS={ks_naive:.3f}",
+        f"prefix-preserving anonymization keeps the memory profile "
+        f"markedly better than naive randomization: {structure_survives}",
+        "this is the paper's sanitization concern made measurable: what "
+        "matters for memory studies is address *structure*, which naive "
+        "sanitization destroys.",
+    ]
+    text = "\n".join(
+        [
+            "E8 — anonymization styles vs radix-tree memory profile",
+            "",
+            format_table(headers, rows),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="anonymization",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=structure_survives,
+        notes=notes,
+    )

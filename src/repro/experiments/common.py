@@ -1,0 +1,93 @@
+"""Shared experiment infrastructure: workload configs and result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core import DecompressorConfig, roundtrip
+from repro.memsim import CacheConfig
+from repro.synth import generate_web_trace, generate_fracexp_trace, randomize_destinations
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """The standard workload every experiment shares.
+
+    ``quick()`` shrinks the trace for fast test runs; the defaults match
+    the paper's setting of a ~100-second Web trace.
+    """
+
+    duration: float = 100.0
+    flow_rate: float = 40.0
+    seed: int = 1
+    cache: CacheConfig = CacheConfig()
+    tolerance_scale: float = 1.0
+
+    def quick(self) -> "ExperimentConfig":
+        """A small variant for smoke tests (~10 s of traffic).
+
+        Small samples are noisy, so pass/fail tolerances widen with
+        ``tolerance_scale``.
+        """
+        return replace(self, duration=10.0, tolerance_scale=3.0)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment run."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[object]]
+    text: str
+    passed: bool = True
+    notes: list[str] = field(default_factory=list)
+
+    def row_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by header."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+@dataclass
+class FourTraces:
+    """The section 6 quartet: original, decompressed, random, fractal."""
+
+    original: Trace
+    decompressed: Trace
+    random: Trace
+    fracexp: Trace
+
+    def named(self) -> list[tuple[str, Trace]]:
+        """(label, trace) pairs in the paper's presentation order."""
+        return [
+            ("RedIRIS (original)", self.original),
+            ("Decomp", self.decompressed),
+            ("RedIRIS random", self.random),
+            ("fracexp", self.fracexp),
+        ]
+
+
+def standard_trace(config: ExperimentConfig) -> Trace:
+    """The experiment's Web trace (the Original-trace substitute)."""
+    return generate_web_trace(
+        duration=config.duration, flow_rate=config.flow_rate, seed=config.seed
+    )
+
+
+def standard_traces(config: ExperimentConfig) -> FourTraces:
+    """Build all four section 6 traces from the standard workload."""
+    original = standard_trace(config)
+    decompressed, _report = roundtrip(
+        original, decompressor_config=DecompressorConfig()
+    )
+    return FourTraces(
+        original=original,
+        decompressed=decompressed,
+        random=randomize_destinations(original, seed=config.seed ^ 0x9E37),
+        fracexp=generate_fracexp_trace(
+            len(original),
+            mean_inter_packet=max(original.duration(), 1.0) / max(len(original), 1),
+            seed=config.seed ^ 0x51F0,
+        ),
+    )

@@ -1,0 +1,111 @@
+"""Figure 1 — file size vs elapsed time for the five storage methods.
+
+The paper plots, for growing prefixes of a TSH trace, the on-disk size of
+the original file and of the GZIP, Van Jacobson, Peuhkuri and proposed
+compressors' outputs.  The expected shape: GZIP ≈ 50% of the original,
+VJ ≈ 30%, Peuhkuri ≈ 16%, proposed ≈ 3% — straight lines fanning out of
+the origin.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_curve, format_table
+from repro.baselines import GzipCodec, PeuhkuriCodec, VanJacobsonCodec
+from repro.core import compress_to_bytes
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
+from repro.trace.filters import select_elapsed
+
+MEGABYTE = 1_000_000
+
+
+def run(
+    config: ExperimentConfig | None = None, sample_count: int = 10
+) -> ExperimentResult:
+    """Measure the five curves on prefixes of the standard trace."""
+    config = config or ExperimentConfig()
+    trace = standard_trace(config)
+    gzip_codec = GzipCodec()
+    vj_codec = VanJacobsonCodec()
+    peuhkuri_codec = PeuhkuriCodec()
+
+    step = config.duration / sample_count
+    elapsed_points = [step * (index + 1) for index in range(sample_count)]
+
+    headers = [
+        "elapsed_s",
+        "original_MB",
+        "gzip_MB",
+        "vj_MB",
+        "peuhkuri_MB",
+        "proposed_MB",
+    ]
+    rows: list[list[object]] = []
+    series: dict[str, list[float]] = {
+        "original": [],
+        "gzip": [],
+        "vj": [],
+        "peuhkuri": [],
+        "method (proposed)": [],
+    }
+
+    for elapsed in elapsed_points:
+        prefix = select_elapsed(trace, elapsed)
+        original = prefix.stored_size_bytes()
+        gzip_size = len(gzip_codec.compress(prefix))
+        vj_size = len(vj_codec.compress(prefix))
+        peuhkuri_size = len(peuhkuri_codec.compress(prefix))
+        proposed_bytes, _ = compress_to_bytes(prefix)
+        proposed_size = len(proposed_bytes)
+
+        rows.append(
+            [
+                f"{elapsed:.0f}",
+                f"{original / MEGABYTE:.3f}",
+                f"{gzip_size / MEGABYTE:.3f}",
+                f"{vj_size / MEGABYTE:.3f}",
+                f"{peuhkuri_size / MEGABYTE:.3f}",
+                f"{proposed_size / MEGABYTE:.3f}",
+            ]
+        )
+        series["original"].append(original / MEGABYTE)
+        series["gzip"].append(gzip_size / MEGABYTE)
+        series["vj"].append(vj_size / MEGABYTE)
+        series["peuhkuri"].append(peuhkuri_size / MEGABYTE)
+        series["method (proposed)"].append(proposed_size / MEGABYTE)
+
+    final_original = series["original"][-1]
+    ratios = {
+        name: values[-1] / final_original if final_original else 0.0
+        for name, values in series.items()
+        if name != "original"
+    }
+    ordering_holds = (
+        ratios["gzip"] > ratios["vj"] > ratios["peuhkuri"] > ratios["method (proposed)"]
+    )
+
+    notes = [
+        f"final ratios: gzip={ratios['gzip']:.1%} (paper ~50%), "
+        f"vj={ratios['vj']:.1%} (paper ~30%), "
+        f"peuhkuri={ratios['peuhkuri']:.1%} (paper ~16%), "
+        f"proposed={ratios['method (proposed)']:.1%} (paper ~3%)",
+        f"method ordering gzip > vj > peuhkuri > proposed: {ordering_holds}",
+    ]
+    text = "\n".join(
+        [
+            "Figure 1 — file size comparison (MB) vs elapsed time (s)",
+            "",
+            format_table(headers, rows),
+            "",
+            ascii_curve(elapsed_points, series),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="figure1",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=ordering_holds,
+        notes=notes,
+    )

@@ -1,0 +1,94 @@
+"""Figure 2 — memory accesses per packet, Radix-Tree routing, 4 traces.
+
+"Figure 2 plots the cumulative traffic (Y axis) against the number of
+memory access (X axis) when executing the Radix Tree Routing algorithm
+for the four traces.  We observe that the Original and the Decompressed
+trace show similar behavior while the others traces depict different
+shapes."
+
+The quantitative pass criterion: the KS distance between the original and
+decompressed access distributions must be small, and smaller than the
+original-vs-random and original-vs-fractal distances by a clear margin.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import kolmogorov_smirnov
+from repro.analysis.report import ascii_curve, format_table
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    standard_traces,
+)
+from repro.routing import RouteApp
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Run Route over the four traces; compare access CDFs."""
+    config = config or ExperimentConfig()
+    quartet = standard_traces(config)
+
+    access_samples: dict[str, list[int]] = {}
+    for label, trace in quartet.named():
+        app = RouteApp()
+        result = app.run(trace)
+        access_samples[label] = result.accesses_per_packet()
+
+    lowest = min(min(samples) for samples in access_samples.values())
+    highest = max(max(samples) for samples in access_samples.values())
+    thresholds = list(range(lowest, highest + 1, max(1, (highest - lowest) // 30)))
+
+    headers = ["#mem_accs"] + [label for label, _ in quartet.named()]
+    rows: list[list[object]] = []
+    series: dict[str, list[float]] = {label: [] for label in access_samples}
+    for threshold in thresholds:
+        row: list[object] = [threshold]
+        for label, samples in access_samples.items():
+            sorted_samples = sorted(samples)
+            below = sum(1 for s in sorted_samples if s <= threshold)
+            share = 100.0 * below / len(samples)
+            row.append(f"{share:.1f}")
+            series[label].append(share)
+        rows.append(row)
+
+    original = access_samples["RedIRIS (original)"]
+    ks = {
+        label: kolmogorov_smirnov(original, samples)
+        for label, samples in access_samples.items()
+        if label != "RedIRIS (original)"
+    }
+    # Pass when the decompressed trace is both absolutely close and at
+    # least 2x closer than the nearest control trace.
+    control_floor = min(ks["RedIRIS random"], ks["fracexp"])
+    similar = ks["Decomp"] < 0.15
+    separated = ks["Decomp"] < 0.5 * control_floor
+
+    notes = [
+        "KS distance to the original trace: "
+        + ", ".join(f"{label}={value:.3f}" for label, value in ks.items()),
+        f"original ≈ decompressed (KS < 0.15): {similar}",
+        f"decompressed at least 2x closer than controls: {separated}",
+        "mean accesses/packet: "
+        + ", ".join(
+            f"{label}={sum(s) / len(s):.1f}" for label, s in access_samples.items()
+        ),
+    ]
+    text = "\n".join(
+        [
+            "Figure 2 — cumulative traffic (%) vs memory accesses per packet",
+            "",
+            format_table(headers, rows),
+            "",
+            ascii_curve([float(t) for t in thresholds], series),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="figure2",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=similar and separated,
+        notes=notes,
+    )

@@ -1,0 +1,65 @@
+"""Section 3 flow statistics — the 98% / 75% / 80% table.
+
+"98 percent of the flows have less than 51 packets.  These flows comprise
+75 percent of all Web packets transmitted on the link and 80 percent of
+the bytes on average."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
+from repro.trace.stats import compute_statistics
+
+PAPER_SHORT_FLOW_FRACTION = 0.98
+PAPER_SHORT_PACKET_FRACTION = 0.75
+PAPER_SHORT_BYTE_FRACTION = 0.80
+TOLERANCE = 0.06  # absolute
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Compare measured flow statistics against the paper's."""
+    config = config or ExperimentConfig()
+    trace = standard_trace(config)
+    stats = compute_statistics(trace)
+
+    headers = ["statistic", "paper", "measured", "abs_diff", "within_tol"]
+    comparisons = [
+        ("flows <= 50 packets", PAPER_SHORT_FLOW_FRACTION, stats.short_flow_fraction),
+        ("packets in short flows", PAPER_SHORT_PACKET_FRACTION, stats.short_packet_fraction),
+        ("bytes in short flows", PAPER_SHORT_BYTE_FRACTION, stats.short_byte_fraction),
+    ]
+    rows: list[list[object]] = []
+    all_within = True
+    tolerance = TOLERANCE * config.tolerance_scale
+    for label, paper, measured in comparisons:
+        diff = abs(paper - measured)
+        within = diff <= tolerance
+        all_within = all_within and within
+        rows.append(
+            [label, f"{paper:.0%}", f"{measured:.1%}", f"{diff:.3f}", within]
+        )
+
+    distribution = stats.length_distribution
+    notes = [
+        f"flows: {stats.flow_count}, packets: {stats.packet_count}",
+        f"mean flow length: {distribution.mean_length():.2f} packets",
+        f"98th percentile flow length: {distribution.percentile_length(0.98)} packets",
+    ]
+    text = "\n".join(
+        [
+            "Section 3 flow statistics (paper vs measured)",
+            "",
+            format_table(headers, rows),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="flowstats",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=all_within,
+        notes=notes,
+    )

@@ -1,0 +1,123 @@
+"""E9 — the template-based synthetic trace generator (future work).
+
+Conclusions: "we intend to ... implement a synthetic packet trace
+generator based on the described methodology."
+
+The experiment fits a :class:`~repro.core.generator.TraceModel` from a
+compressed trace, synthesizes a trace with *more* flows than the
+original, and checks that the scaled-up traffic keeps the source's
+statistics: flow-length distribution shape, short-flow shares, and
+temporal locality of destinations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.locality import profile_locality
+from repro.analysis.report import format_table
+from repro.core.compressor import compress_trace
+from repro.core.generator import TraceModel
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
+from repro.trace.stats import compute_statistics
+
+SCALE = 2.0
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Fit, scale up 2x, and compare statistics."""
+    config = config or ExperimentConfig()
+    original = standard_trace(config)
+    compressed = compress_trace(original)
+    model = TraceModel.fit(compressed)
+    synthetic = model.synthesize(
+        flow_count=int(SCALE * compressed.flow_count()), seed=config.seed
+    )
+
+    original_stats = compute_statistics(original)
+    synthetic_stats = compute_statistics(synthetic)
+    original_locality = profile_locality(
+        [p.dst_ip for p in original.packets[:20000]]
+    )
+    synthetic_locality = profile_locality(
+        [p.dst_ip for p in synthetic.packets[:20000]]
+    )
+
+    headers = ["statistic", "original", "synthetic (2x flows)"]
+    rows = [
+        ["flows", original_stats.flow_count, synthetic_stats.flow_count],
+        ["packets", original_stats.packet_count, synthetic_stats.packet_count],
+        [
+            "mean flow length",
+            f"{original_stats.length_distribution.mean_length():.2f}",
+            f"{synthetic_stats.length_distribution.mean_length():.2f}",
+        ],
+        [
+            "short flow fraction",
+            f"{original_stats.short_flow_fraction:.1%}",
+            f"{synthetic_stats.short_flow_fraction:.1%}",
+        ],
+        [
+            "short packet fraction",
+            f"{original_stats.short_packet_fraction:.1%}",
+            f"{synthetic_stats.short_packet_fraction:.1%}",
+        ],
+        [
+            "dst hits within depth 64",
+            f"{original_locality.hit_fraction_within[64]:.1%}",
+            f"{synthetic_locality.hit_fraction_within[64]:.1%}",
+        ],
+    ]
+
+    scale_ok = (
+        abs(synthetic_stats.flow_count - SCALE * original_stats.flow_count)
+        / (SCALE * original_stats.flow_count)
+        < 0.02
+    )
+    mean_ok = (
+        abs(
+            synthetic_stats.length_distribution.mean_length()
+            - original_stats.length_distribution.mean_length()
+        )
+        / original_stats.length_distribution.mean_length()
+        < 0.15
+    )
+    short_ok = (
+        abs(
+            synthetic_stats.short_flow_fraction
+            - original_stats.short_flow_fraction
+        )
+        < 0.03
+    )
+    locality_ok = (
+        abs(
+            synthetic_locality.hit_fraction_within[64]
+            - original_locality.hit_fraction_within[64]
+        )
+        < 0.15
+    )
+
+    notes = [
+        f"flow count scales to 2x: {scale_ok}",
+        f"mean flow length preserved (±15%): {mean_ok}",
+        f"short-flow fraction preserved (±3pp): {short_ok}",
+        f"destination temporal locality preserved (±15pp): {locality_ok}",
+        f"model: {model.template_count()} templates, "
+        f"arrival rate {model.arrival_rate:.1f} flows/s, "
+        f"{len(model.rtt_samples)} RTT samples",
+    ]
+    text = "\n".join(
+        [
+            "E9 — template-based synthetic trace generator (future work)",
+            "",
+            format_table(headers, rows),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="generator_study",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=scale_ok and mean_ok and short_ok and locality_ok,
+        notes=notes,
+    )

@@ -1,0 +1,92 @@
+"""E7 — applicability to P2P traffic (the paper's future work).
+
+Conclusions: "we intend to ... verify[] also the applicability of the
+method to other types of applications like P2P."
+
+The experiment compresses a P2P-like workload alongside the Web workload
+and compares: compression ratio, short/long split, and template reuse.
+Expectation from the method's design: P2P compresses *worse* — its flows
+are long-lived, symmetric and dominated by the verbatim long-flow path,
+so the flow-clustering advantage shrinks (while still beating GZIP).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.baselines import GzipCodec
+from repro.core.codec import serialize_compressed
+from repro.core.compressor import FlowClusterCompressor
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
+from repro.synth import generate_p2p_trace
+from repro.trace.stats import compute_statistics
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Compare compression behaviour on Web vs P2P traffic."""
+    config = config or ExperimentConfig()
+    web = standard_trace(config)
+    p2p = generate_p2p_trace(
+        duration=config.duration,
+        session_rate=max(1.0, config.flow_rate / 5),
+        seed=config.seed ^ 0x2B2B,
+    )
+
+    headers = [
+        "workload",
+        "packets",
+        "flows",
+        "short_flows",
+        "hit_ratio",
+        "proposed_ratio",
+        "gzip_ratio",
+    ]
+    rows: list[list[object]] = []
+    ratios: dict[str, float] = {}
+    for label, trace in (("web", web), ("p2p", p2p)):
+        compressor = FlowClusterCompressor()
+        for packet in trace.packets:
+            compressor.add_packet(packet)
+        compressed = compressor.finish()
+        size = len(serialize_compressed(compressed))
+        original = trace.stored_size_bytes()
+        stats = compute_statistics(trace)
+        ratios[label] = size / original
+        rows.append(
+            [
+                label,
+                len(trace),
+                stats.flow_count,
+                f"{stats.short_flow_fraction:.1%}",
+                f"{compressor.stats.hit_ratio():.1%}",
+                f"{size / original:.2%}",
+                f"{GzipCodec().ratio(trace):.1%}",
+            ]
+        )
+
+    web_better = ratios["web"] < ratios["p2p"]
+    p2p_still_wins = ratios["p2p"] < 0.25
+    notes = [
+        f"flow clustering favours Web over P2P: {web_better} "
+        f"({ratios['web']:.2%} vs {ratios['p2p']:.2%})",
+        f"method still far below GZIP on P2P: {p2p_still_wins}",
+        "P2P flows are long-lived and symmetric, so most bytes take the "
+        "verbatim long-flow path — the clustering advantage shrinks "
+        "exactly as the method's design predicts.",
+    ]
+    text = "\n".join(
+        [
+            "E7 — applicability to P2P traffic (future work)",
+            "",
+            format_table(headers, rows),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="p2p",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=web_better and p2p_still_wins,
+        notes=notes,
+    )

@@ -1,0 +1,133 @@
+"""Section 5 compression ratios — equations 5 through 8 plus measurement.
+
+Three views are reported:
+
+1. the analytic models folded over the *paper-consistent* reference
+   flow-length distribution (this reproduces the published 30% / 3%);
+2. the same models folded over the distribution measured on our
+   synthetic trace (flow lengths differ, so the numbers shift — the
+   models are length-sensitive, which the paper itself notes via P_n);
+3. the *measured* output sizes of the four working codecs on the trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.baselines import (
+    GZIP_RATIO_ESTIMATE,
+    PEUHKURI_RATIO_BOUND,
+    GzipCodec,
+    PeuhkuriCodec,
+    VanJacobsonCodec,
+    proposed_model,
+    vj_model,
+)
+from repro.baselines.models import paper_reference_distribution
+from repro.core import compress_to_bytes
+from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
+from repro.trace.stats import compute_statistics
+
+PAPER_RATIOS = {
+    "gzip": 0.50,
+    "van-jacobson": 0.30,
+    "peuhkuri": 0.16,
+    "proposed": 0.03,
+}
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Analytic (eq. 5–8) and measured ratios, side by side."""
+    config = config or ExperimentConfig()
+    trace = standard_trace(config)
+    measured_distribution = compute_statistics(trace).length_distribution
+    reference = paper_reference_distribution()
+
+    vj = vj_model()
+    proposed = proposed_model()
+
+    analytic_reference = {
+        "van-jacobson": vj.trace_ratio(reference),
+        "proposed": proposed.trace_ratio(reference),
+    }
+    analytic_measured = {
+        "van-jacobson": vj.trace_ratio(measured_distribution),
+        "proposed": proposed.trace_ratio(measured_distribution),
+    }
+
+    original = trace.stored_size_bytes()
+    proposed_bytes, _ = compress_to_bytes(trace)
+    measured = {
+        "gzip": len(GzipCodec().compress(trace)) / original,
+        "van-jacobson": VanJacobsonCodec().ratio(trace),
+        "peuhkuri": PeuhkuriCodec().ratio(trace),
+        "proposed": len(proposed_bytes) / original,
+    }
+
+    headers = [
+        "method",
+        "paper",
+        "model(ref P_n)",
+        "model(measured P_n)",
+        "measured codec",
+    ]
+    rows: list[list[object]] = []
+    for method in ("gzip", "van-jacobson", "peuhkuri", "proposed"):
+        if method == "gzip":
+            model_ref = f"{GZIP_RATIO_ESTIMATE:.0%} (const)"
+            model_meas = "-"
+        elif method == "peuhkuri":
+            model_ref = f"{PEUHKURI_RATIO_BOUND:.0%} (bound)"
+            model_meas = "-"
+        else:
+            model_ref = f"{analytic_reference[method]:.1%}"
+            model_meas = f"{analytic_measured[method]:.1%}"
+        rows.append(
+            [
+                method,
+                f"{PAPER_RATIOS[method]:.0%}",
+                model_ref,
+                model_meas,
+                f"{measured[method]:.1%}",
+            ]
+        )
+
+    # Pass criteria: the analytic models on the reference distribution
+    # reproduce the paper's numbers, and the measured ordering holds.
+    model_ok = (
+        abs(analytic_reference["van-jacobson"] - 0.30) < 0.05
+        and abs(analytic_reference["proposed"] - 0.03) < 0.01
+    )
+    ordering_ok = (
+        measured["gzip"]
+        > measured["van-jacobson"]
+        > measured["peuhkuri"]
+        > measured["proposed"]
+    )
+    proposed_band_ok = measured["proposed"] < 0.06
+
+    notes = [
+        f"analytic models on reference P_n reproduce paper: {model_ok}",
+        f"measured ordering gzip > vj > peuhkuri > proposed: {ordering_ok}",
+        f"measured proposed ratio in the 'around 3%' band (<6%): "
+        f"{proposed_band_ok} ({measured['proposed']:.2%})",
+        "model(measured P_n) differs because our synthetic flows are longer "
+        f"(mean {measured_distribution.mean_length():.1f} pkts) than the "
+        "paper's (≈5.7 pkts implied by eq. 6).",
+    ]
+    text = "\n".join(
+        [
+            "Section 5 compression ratios (equations 5-8)",
+            "",
+            format_table(headers, rows),
+            "",
+            *notes,
+        ]
+    )
+    return ExperimentResult(
+        name="ratios",
+        headers=headers,
+        rows=rows,
+        text=text,
+        passed=model_ok and ordering_ok and proposed_band_ok,
+        notes=notes,
+    )

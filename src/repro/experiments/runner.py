@@ -1,0 +1,113 @@
+"""Experiment runner CLI.
+
+``python -m repro.experiments <name ...|all> [--quick] [--out DIR]``
+
+Runs the requested experiments, prints each report, and exits non-zero if
+any experiment's reproduction criteria fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    ablation_cache,
+    ablation_cutoff,
+    ablation_threshold,
+    ablation_weights,
+    anonymization,
+    apps,
+    figure1,
+    figure2,
+    figure3,
+    flowstats,
+    generator_study,
+    p2p,
+    ratios,
+    semantics,
+)
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+    "figure1": figure1.run,
+    "flowstats": flowstats.run,
+    "ratios": ratios.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "apps": apps.run,
+    "ablation_weights": ablation_weights.run,
+    "ablation_threshold": ablation_threshold.run,
+    "ablation_cutoff": ablation_cutoff.run,
+    "ablation_cache": ablation_cache.run,
+    "p2p": p2p.run,
+    "anonymization": anonymization.run,
+    "generator_study": generator_study.run,
+    "semantics": semantics.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiment names or 'all' ({', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload (smoke run)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload seed (default 1)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also write reports to this directory"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    config = ExperimentConfig(seed=args.seed)
+    if args.quick:
+        config = config.quick()
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](config)
+        elapsed = time.time() - started
+        banner = "=" * 72
+        print(banner)
+        print(f"{name}  [{'PASS' if result.passed else 'FAIL'}]  ({elapsed:.1f}s)")
+        print(banner)
+        print(result.text)
+        print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(result.text + "\n")
+        if not result.passed:
+            failures.append(name)
+
+    if failures:
+        print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"all {len(names)} experiment(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

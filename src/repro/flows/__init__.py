@@ -1,0 +1,61 @@
+"""Flow layer: assembly, characterization (section 2), and clustering.
+
+This subpackage turns raw packet traces into the bidirectional TCP flows
+the paper reasons about, computes the per-packet ``f(p)`` values and
+per-flow ``V_f`` vectors of section 2, and provides the distance rule
+(equation 4) and clustering utilities behind the compressor.
+"""
+
+from repro.flows.model import Direction, Flow, FlowPacket
+from repro.flows.assembler import AssemblerConfig, FlowAssembler, assemble_flows
+from repro.flows.characterize import (
+    DEFAULT_WEIGHTS,
+    CharacterizationConfig,
+    Weights,
+    ack_dependence_class,
+    characterize_flow,
+    flag_class,
+    packet_value,
+    payload_size_class,
+)
+from repro.flows.distance import (
+    MAX_PACKET_DISTANCE,
+    SIMILARITY_PERCENT,
+    max_inter_flow_distance,
+    similarity_threshold,
+    vector_distance,
+    vectors_similar,
+)
+from repro.flows.clustering import (
+    Cluster,
+    ClusteringResult,
+    cluster_vectors,
+    cluster_flows,
+)
+
+__all__ = [
+    "Direction",
+    "Flow",
+    "FlowPacket",
+    "AssemblerConfig",
+    "FlowAssembler",
+    "assemble_flows",
+    "DEFAULT_WEIGHTS",
+    "CharacterizationConfig",
+    "Weights",
+    "ack_dependence_class",
+    "characterize_flow",
+    "flag_class",
+    "packet_value",
+    "payload_size_class",
+    "MAX_PACKET_DISTANCE",
+    "SIMILARITY_PERCENT",
+    "max_inter_flow_distance",
+    "similarity_threshold",
+    "vector_distance",
+    "vectors_similar",
+    "Cluster",
+    "ClusteringResult",
+    "cluster_vectors",
+    "cluster_flows",
+]

@@ -1,0 +1,148 @@
+"""Flow clustering — the section 2.1 diversity study.
+
+The compressor itself uses an *online* leader-style clustering (the first
+vector of a new cluster becomes its template; see
+:mod:`repro.core.compressor`).  This module provides the offline analysis
+counterpart used to reproduce the paper's observation that "in consequence
+of the huge similarity among Web flows, we can group a high amount of them
+into few clusters": greedy leader clustering of ``V_f`` vectors grouped by
+flow length, plus summary statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.flows.characterize import CharacterizationConfig, characterize_flow
+from repro.flows.distance import (
+    MAX_PACKET_DISTANCE,
+    SIMILARITY_PERCENT,
+    vector_distance,
+    vectors_similar,
+)
+from repro.flows.model import Flow
+
+
+@dataclass
+class Cluster:
+    """One cluster of same-length ``V_f`` vectors.
+
+    The *center* is the first vector inserted (the paper: "This new V_f
+    vector will constitute the center of a new cluster").
+    """
+
+    center: tuple[int, ...]
+    member_count: int = 1
+
+    @property
+    def length(self) -> int:
+        """Flow length (packets) this cluster covers."""
+        return len(self.center)
+
+    def admits(
+        self,
+        vector: Sequence[int],
+        percent: float = SIMILARITY_PERCENT,
+        per_packet_max: int = MAX_PACKET_DISTANCE,
+    ) -> bool:
+        """True when ``vector`` is similar to the center (eq. 4 rule)."""
+        if len(vector) != self.length:
+            return False
+        return vectors_similar(self.center, vector, percent, per_packet_max)
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of clustering a set of vectors."""
+
+    clusters_by_length: dict[int, list[Cluster]] = field(default_factory=dict)
+    vector_count: int = 0
+
+    def cluster_count(self) -> int:
+        """Total clusters over every length group."""
+        return sum(len(group) for group in self.clusters_by_length.values())
+
+    def compression_opportunity(self) -> float:
+        """Fraction of vectors absorbed by an existing cluster.
+
+        1 - clusters/vectors; higher means more template reuse.
+        """
+        if self.vector_count == 0:
+            return 0.0
+        return 1.0 - self.cluster_count() / self.vector_count
+
+    def largest_cluster(self) -> Cluster | None:
+        """The cluster with the most members (None when empty)."""
+        best: Cluster | None = None
+        for group in self.clusters_by_length.values():
+            for cluster in group:
+                if best is None or cluster.member_count > best.member_count:
+                    best = cluster
+        return best
+
+    def cluster_sizes(self) -> list[int]:
+        """Member counts of every cluster, descending."""
+        sizes = [
+            cluster.member_count
+            for group in self.clusters_by_length.values()
+            for cluster in group
+        ]
+        return sorted(sizes, reverse=True)
+
+
+def cluster_vectors(
+    vectors: Iterable[Sequence[int]],
+    percent: float = SIMILARITY_PERCENT,
+    per_packet_max: int = MAX_PACKET_DISTANCE,
+) -> ClusteringResult:
+    """Greedy leader clustering of ``V_f`` vectors.
+
+    Vectors are grouped by length; inside a group, each vector joins the
+    first cluster whose center is within ``d_max``, otherwise it founds a
+    new cluster.  This mirrors the compressor's template search exactly,
+    so ``cluster_count`` equals the number of short-flow templates the
+    compressor would emit for the same input.
+    """
+    result = ClusteringResult(clusters_by_length=defaultdict(list))
+    for vector in vectors:
+        key = tuple(vector)
+        result.vector_count += 1
+        group = result.clusters_by_length[len(key)]
+        for cluster in group:
+            if cluster.admits(key, percent, per_packet_max):
+                cluster.member_count += 1
+                break
+        else:
+            group.append(Cluster(center=key))
+    result.clusters_by_length = dict(result.clusters_by_length)
+    return result
+
+
+def cluster_flows(
+    flows: Iterable[Flow],
+    config: CharacterizationConfig = CharacterizationConfig(),
+    percent: float = SIMILARITY_PERCENT,
+    per_packet_max: int = MAX_PACKET_DISTANCE,
+) -> ClusteringResult:
+    """Characterize flows (section 2) and cluster their vectors."""
+    vectors = (characterize_flow(flow, config) for flow in flows)
+    return cluster_vectors(vectors, percent, per_packet_max)
+
+
+def nearest_cluster(
+    vector: Sequence[int], clusters: Sequence[Cluster]
+) -> tuple[int, int] | None:
+    """Index and distance of the closest same-length cluster center.
+
+    Returns None when no cluster matches the vector's length.
+    """
+    best: tuple[int, int] | None = None
+    for index, cluster in enumerate(clusters):
+        if cluster.length != len(vector):
+            continue
+        distance = vector_distance(cluster.center, vector)
+        if best is None or distance < best[1]:
+            best = (index, distance)
+    return best

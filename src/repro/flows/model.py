@@ -1,0 +1,167 @@
+"""Flow data model.
+
+A :class:`Flow` is a bidirectional TCP conversation: the time-ordered
+packets sharing one canonical 5-tuple, annotated with direction (client →
+server or server → client).  The client is the endpoint that sent the
+first packet (for well-formed Web flows, the SYN sender).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.net.flowkey import FiveTuple
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+
+
+class Direction(enum.Enum):
+    """Direction of a packet relative to the flow's client."""
+
+    CLIENT_TO_SERVER = "c2s"
+    SERVER_TO_CLIENT = "s2c"
+
+    def opposite(self) -> "Direction":
+        if self is Direction.CLIENT_TO_SERVER:
+            return Direction.SERVER_TO_CLIENT
+        return Direction.CLIENT_TO_SERVER
+
+
+@dataclass(frozen=True, slots=True)
+class FlowPacket:
+    """One packet inside a flow, with its direction annotation."""
+
+    packet: PacketRecord
+    direction: Direction
+
+    @property
+    def timestamp(self) -> float:
+        return self.packet.timestamp
+
+    @property
+    def flags(self) -> int:
+        return self.packet.flags
+
+    @property
+    def payload_len(self) -> int:
+        return self.packet.payload_len
+
+
+@dataclass
+class Flow:
+    """A bidirectional TCP flow.
+
+    Attributes
+    ----------
+    key:
+        The client-perspective 5-tuple (client is source).
+    packets:
+        Time-ordered :class:`FlowPacket` list.
+    """
+
+    key: FiveTuple
+    packets: list[FlowPacket] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[FlowPacket]:
+        return iter(self.packets)
+
+    def add(self, packet: PacketRecord) -> None:
+        """Append a packet, inferring its direction from the flow key."""
+        if packet.five_tuple() == self.key:
+            direction = Direction.CLIENT_TO_SERVER
+        elif packet.five_tuple() == self.key.reversed():
+            direction = Direction.SERVER_TO_CLIENT
+        else:
+            raise ValueError(
+                f"packet {packet.five_tuple().describe()} does not belong to "
+                f"flow {self.key.describe()}"
+            )
+        self.packets.append(FlowPacket(packet, direction))
+
+    # -- time -------------------------------------------------------------
+
+    def start_time(self) -> float:
+        """Timestamp of the first packet."""
+        if not self.packets:
+            raise ValueError("empty flow has no start time")
+        return self.packets[0].timestamp
+
+    def end_time(self) -> float:
+        """Timestamp of the last packet."""
+        if not self.packets:
+            raise ValueError("empty flow has no end time")
+        return self.packets[-1].timestamp
+
+    def duration(self) -> float:
+        """Seconds between first and last packet."""
+        return self.end_time() - self.start_time()
+
+    def inter_packet_times(self) -> list[float]:
+        """Gaps between consecutive packets (length ``n - 1``)."""
+        times = [fp.timestamp for fp in self.packets]
+        return [later - earlier for earlier, later in zip(times, times[1:])]
+
+    # -- TCP semantics -----------------------------------------------------
+
+    def starts_with_syn(self) -> bool:
+        """True when the first packet carries a bare SYN."""
+        if not self.packets:
+            return False
+        first = self.packets[0].packet
+        return bool(first.flags & TCP_SYN) and not first.flags & TCP_ACK
+
+    def is_terminated(self) -> bool:
+        """True when some packet carries FIN or RST."""
+        return any(fp.flags & (TCP_FIN | TCP_RST) for fp in self.packets)
+
+    def estimate_rtt(self) -> float:
+        """Round-trip-time estimate (section 2's 'acknowledgment dependence').
+
+        The paper associates the RTT of a short flow with the waiting time
+        of dependent packets (e.g. SYN -> SYN+ACK).  The estimate is the
+        gap between the first packet and the first packet travelling in
+        the opposite direction; flows that never turn around report 0.
+        """
+        if not self.packets:
+            return 0.0
+        first_direction = self.packets[0].direction
+        first_time = self.packets[0].timestamp
+        for flow_packet in self.packets[1:]:
+            if flow_packet.direction is not first_direction:
+                return flow_packet.timestamp - first_time
+        return 0.0
+
+    # -- aggregates ---------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Wire bytes over the whole flow."""
+        return sum(fp.packet.total_length() for fp in self.packets)
+
+    def total_payload(self) -> int:
+        """Payload bytes over the whole flow."""
+        return sum(fp.payload_len for fp in self.packets)
+
+    def server_ip(self) -> int:
+        """The server-side (destination) IP address."""
+        return self.key.dst_ip
+
+    def client_ip(self) -> int:
+        """The client-side (source) IP address."""
+        return self.key.src_ip
+
+    def raw_packets(self) -> list[PacketRecord]:
+        """The underlying packet records, in order."""
+        return [fp.packet for fp in self.packets]
+
+
+def flow_from_packets(key: FiveTuple, packets: Sequence[PacketRecord]) -> Flow:
+    """Build a flow by adding ``packets`` (time order preserved)."""
+    flow = Flow(key)
+    for packet in packets:
+        flow.add(packet)
+    return flow

@@ -1,0 +1,99 @@
+"""ATOM-like checkpointed memory-access recording.
+
+"The Radix Tree code was instrumented using the ATOM tool.  In order to
+delimit the processing of packets, checkpoints were placed at the
+beginning and at the end of the packet processing.  The instrumented code
+records the number of memory accesses performed by each packet."
+
+The recorder stores the flat address stream plus per-packet index ranges,
+so it can answer both "how many accesses did packet ``i`` perform"
+(Figure 2) and "replay packet ``i``'s addresses through a cache"
+(Figure 3).
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class PacketAccessTrace:
+    """The slice of the address stream belonging to one packet."""
+
+    index: int
+    addresses: Sequence[int]
+
+    @property
+    def access_count(self) -> int:
+        return len(self.addresses)
+
+
+class AccessRecorder:
+    """Flat access log with packet checkpoints.
+
+    Usage::
+
+        recorder.begin_packet()
+        recorder.record(address)        # any number of times
+        recorder.end_packet()
+    """
+
+    def __init__(self) -> None:
+        self._addresses = array("Q")
+        self._bounds: list[tuple[int, int]] = []
+        self._packet_start: int | None = None
+
+    # -- recording ----------------------------------------------------------
+
+    def begin_packet(self) -> None:
+        """Checkpoint: packet processing starts."""
+        if self._packet_start is not None:
+            raise RuntimeError("begin_packet without matching end_packet")
+        self._packet_start = len(self._addresses)
+
+    def record(self, address: int) -> None:
+        """Log one memory access (load or store) at ``address``."""
+        self._addresses.append(address)
+
+    def record_many(self, addresses: Sequence[int]) -> None:
+        """Log several accesses at once."""
+        self._addresses.extend(addresses)
+
+    def end_packet(self) -> None:
+        """Checkpoint: packet processing ends."""
+        if self._packet_start is None:
+            raise RuntimeError("end_packet without begin_packet")
+        self._bounds.append((self._packet_start, len(self._addresses)))
+        self._packet_start = None
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def packet_count(self) -> int:
+        """Packets completed so far."""
+        return len(self._bounds)
+
+    @property
+    def total_accesses(self) -> int:
+        """All accesses logged (including any open packet)."""
+        return len(self._addresses)
+
+    def accesses_per_packet(self) -> list[int]:
+        """The per-packet access counts, in packet order (Figure 2 data)."""
+        return [end - start for start, end in self._bounds]
+
+    def packet_trace(self, index: int) -> PacketAccessTrace:
+        """The address slice of packet ``index``."""
+        start, end = self._bounds[index]
+        return PacketAccessTrace(index, self._addresses[start:end])
+
+    def iter_packets(self) -> Iterator[PacketAccessTrace]:
+        """All per-packet traces, in order."""
+        for index, (start, end) in enumerate(self._bounds):
+            yield PacketAccessTrace(index, self._addresses[start:end])
+
+    def flat_addresses(self) -> Sequence[int]:
+        """The whole address stream (cache warm-up / full replay)."""
+        return self._addresses

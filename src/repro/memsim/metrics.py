@@ -1,0 +1,126 @@
+"""Per-packet memory metrics and the Figure 2/3 aggregations.
+
+Figure 2 plots cumulative traffic (%) against the number of memory
+accesses per packet; Figure 3 buckets per-packet cache miss rates into
+0–5%, 5–10%, 10–20% and >20% bins.  This module turns a recorded access
+stream (plus a cache replay) into exactly those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.memsim.access import AccessRecorder
+from repro.memsim.cache import CacheConfig, SetAssociativeCache
+
+MISS_RATE_BUCKETS: tuple[tuple[float, float], ...] = (
+    (0.00, 0.05),
+    (0.05, 0.10),
+    (0.10, 0.20),
+    (0.20, 1.01),
+)
+"""Figure 3's bucket edges (last bucket is '>20%')."""
+
+MISS_RATE_BUCKET_LABELS = ("0%-5%", "5%-10%", "10%-20%", ">20%")
+
+
+@dataclass(frozen=True)
+class PacketMemoryMetrics:
+    """One packet's instrumentation result."""
+
+    index: int
+    accesses: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class TraceMemoryProfile:
+    """The full per-packet profile of one trace run through a benchmark."""
+
+    name: str
+    packets: list[PacketMemoryMetrics]
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def access_counts(self) -> list[int]:
+        """Per-packet access counts (Figure 2 raw data)."""
+        return [p.accesses for p in self.packets]
+
+    def miss_rates(self) -> list[float]:
+        """Per-packet miss rates (Figure 3 raw data)."""
+        return [p.miss_rate for p in self.packets]
+
+    def mean_accesses(self) -> float:
+        """Average accesses per packet."""
+        if not self.packets:
+            return 0.0
+        return sum(p.accesses for p in self.packets) / len(self.packets)
+
+    def overall_miss_rate(self) -> float:
+        """Whole-trace miss rate (all accesses pooled)."""
+        accesses = sum(p.accesses for p in self.packets)
+        misses = sum(p.misses for p in self.packets)
+        return misses / accesses if accesses else 0.0
+
+    def cumulative_traffic_by_accesses(
+        self, thresholds: Sequence[int]
+    ) -> list[float]:
+        """Fraction of packets with access count <= each threshold.
+
+        This is Figure 2's Y axis ("Traffic (%)") sampled at the given
+        X values ("#Mem Accs").
+        """
+        counts = sorted(self.access_counts())
+        total = len(counts)
+        if total == 0:
+            return [0.0 for _ in thresholds]
+        out: list[float] = []
+        cursor = 0
+        for threshold in thresholds:
+            while cursor < total and counts[cursor] <= threshold:
+                cursor += 1
+            out.append(100.0 * cursor / total)
+        return out
+
+    def miss_rate_buckets(self) -> list[float]:
+        """Fraction of packets (%) in each Figure 3 bucket."""
+        return bucket_miss_rates(self.miss_rates())
+
+
+def bucket_miss_rates(rates: Sequence[float]) -> list[float]:
+    """Share of packets (%) per Figure 3 miss-rate bucket."""
+    if not rates:
+        return [0.0] * len(MISS_RATE_BUCKETS)
+    counts = [0] * len(MISS_RATE_BUCKETS)
+    for rate in rates:
+        for index, (low, high) in enumerate(MISS_RATE_BUCKETS):
+            if low <= rate < high:
+                counts[index] += 1
+                break
+    return [100.0 * c / len(rates) for c in counts]
+
+
+def profile_from_recorder(
+    name: str,
+    recorder: AccessRecorder,
+    cache_config: CacheConfig | None = None,
+) -> TraceMemoryProfile:
+    """Replay a recorded stream through a fresh cache; build the profile.
+
+    The cache persists across packets (hardware behaviour); each packet's
+    miss count comes from its own slice of the replay.
+    """
+    cache = SetAssociativeCache(cache_config)
+    packets: list[PacketMemoryMetrics] = []
+    for trace in recorder.iter_packets():
+        burst = cache.replay(trace.addresses)
+        packets.append(
+            PacketMemoryMetrics(trace.index, burst.accesses, burst.misses)
+        )
+    return TraceMemoryProfile(name, packets)

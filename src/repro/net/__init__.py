@@ -1,0 +1,50 @@
+"""Network primitives shared by every other subsystem.
+
+This subpackage models exactly what the paper's traces contain: IPv4
+addresses, TCP header fields, and the 40-byte TCP/IP header record plus
+timing information that the compressor consumes.
+"""
+
+from repro.net.ip import (
+    IPv4Address,
+    IPv4Prefix,
+    address_class,
+    format_ipv4,
+    parse_ipv4,
+    random_class_b_or_c,
+)
+from repro.net.tcp import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    TCP_URG,
+    FlagClass,
+    classify_flags,
+    flags_to_str,
+)
+from repro.net.packet import HEADER_BYTES, PacketRecord
+from repro.net.flowkey import FiveTuple, flow_hash
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "address_class",
+    "format_ipv4",
+    "parse_ipv4",
+    "random_class_b_or_c",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_PSH",
+    "TCP_RST",
+    "TCP_SYN",
+    "TCP_URG",
+    "FlagClass",
+    "classify_flags",
+    "flags_to_str",
+    "HEADER_BYTES",
+    "PacketRecord",
+    "FiveTuple",
+    "flow_hash",
+]

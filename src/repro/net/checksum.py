@@ -1,0 +1,31 @@
+"""The Internet (RFC 1071) ones'-complement checksum.
+
+TSH records embed a real IPv4 header; storing a correct header checksum
+matters for the GZIP baseline (a constant zero checksum is free entropy
+removal no real capture would offer) and lets the TSH decoder verify
+integrity.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 16-bit ones'-complement sum of ``data``.
+
+    Odd-length input is zero-padded, per the RFC.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def ipv4_header_checksum(header: bytes) -> int:
+    """Checksum of a 20-byte IPv4 header (checksum field zeroed by caller)."""
+    if len(header) != 20:
+        raise ValueError(f"IPv4 base header must be 20 bytes, got {len(header)}")
+    return internet_checksum(header)

@@ -1,0 +1,86 @@
+"""Flow keys.
+
+The paper defines a packet flow as "a sequence of packets in which each
+packet has the same value for a 5-tuple of source and destination IP
+address, protocol number, and source and destination port number".
+
+Two key forms are used:
+
+* :class:`FiveTuple` — the direction-sensitive key straight from a packet;
+* :meth:`FiveTuple.canonical` — a direction-insensitive key so that the
+  two halves of a TCP conversation fall into the same bidirectional flow
+  (the compressor models request/response dependence inside one flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.ip import format_ipv4
+
+_HASH_PRIME = 0x100000001B3
+_HASH_BASIS = 0xCBF29CE484222325
+_HASH_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class FiveTuple:
+    """The classic (src ip, dst ip, protocol, src port, dst port) key."""
+
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int
+    dst_port: int
+
+    def canonical(self) -> "FiveTuple":
+        """Direction-insensitive form: lower endpoint ordered first.
+
+        Endpoints are compared as (ip, port) pairs so that both directions
+        of one conversation canonicalize identically.
+        """
+        forward = (self.src_ip, self.src_port)
+        backward = (self.dst_ip, self.dst_port)
+        if forward <= backward:
+            return self
+        return self.reversed()
+
+    def reversed(self) -> "FiveTuple":
+        """The same conversation seen from the opposite direction."""
+        return FiveTuple(
+            self.dst_ip, self.src_ip, self.protocol, self.dst_port, self.src_port
+        )
+
+    def is_forward_of(self, other: "FiveTuple") -> bool:
+        """True when ``self`` equals ``other`` exactly (same direction)."""
+        return self == other
+
+    def describe(self) -> str:
+        """Human-readable ``ip:port > ip:port proto`` rendering."""
+        return (
+            f"{format_ipv4(self.src_ip)}:{self.src_port} > "
+            f"{format_ipv4(self.dst_ip)}:{self.dst_port} proto={self.protocol}"
+        )
+
+
+def flow_hash(key: FiveTuple) -> int:
+    """A deterministic 64-bit FNV-1a hash of a 5-tuple.
+
+    Section 3 stores in each linked-list node "a key (a hashing of source
+    and destination IP addresses, source and destination port numbers, and
+    protocol number)".  Python's builtin ``hash`` is salted per process, so
+    a stable hash is provided for reproducibility and for the on-disk
+    codec.
+    """
+    value = _HASH_BASIS
+    for word in (
+        key.src_ip,
+        key.dst_ip,
+        key.protocol,
+        key.src_port,
+        key.dst_port,
+    ):
+        for shift in (0, 8, 16, 24):
+            value ^= (word >> shift) & 0xFF
+            value = (value * _HASH_PRIME) & _HASH_MASK
+    return value

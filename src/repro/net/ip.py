@@ -1,0 +1,135 @@
+"""IPv4 address handling.
+
+Addresses are carried as plain ``int`` everywhere in the library for speed;
+this module provides parsing, formatting, classful queries (the paper's
+decompressor assigns "a random class B or C address" to sources), and a
+small prefix type used by the routing-table substrate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+MAX_IPV4 = 0xFFFFFFFF
+
+# Classful boundaries (first octet ranges).
+_CLASS_A_FIRST = range(1, 128)
+_CLASS_B_FIRST = range(128, 192)
+_CLASS_C_FIRST = range(192, 224)
+
+IPv4Address = int
+"""Type alias: IPv4 addresses are 32-bit unsigned integers."""
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse a dotted-quad string into a 32-bit integer.
+
+    >>> parse_ipv4("10.0.0.1")
+    167772161
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad string.
+
+    >>> format_ipv4(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise ValueError(f"not a 32-bit address: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def address_class(value: int) -> str:
+    """Return the classful class letter ('A'..'E') of an address."""
+    first = (value >> 24) & 0xFF
+    if first in _CLASS_A_FIRST or first == 0:
+        return "A"
+    if first in _CLASS_B_FIRST:
+        return "B"
+    if first in _CLASS_C_FIRST:
+        return "C"
+    if first < 240:
+        return "D"
+    return "E"
+
+
+def random_class_b_or_c(rng: random.Random) -> int:
+    """Draw a uniform random class B or class C address.
+
+    The paper's decompression algorithm (section 4) assigns source
+    addresses this way: "For source address, we assign randomly an IP
+    class B or C address."
+    """
+    if rng.random() < 0.5:
+        first = rng.randrange(128, 192)
+    else:
+        first = rng.randrange(192, 224)
+    rest = rng.getrandbits(24)
+    return (first << 24) | rest
+
+
+@dataclass(frozen=True, slots=True)
+class IPv4Prefix:
+    """A routing prefix ``network/length``.
+
+    The network address is stored already masked; construction normalizes
+    (and rejects lengths outside 0..32).
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        masked = self.network & self.mask()
+        if masked != self.network:
+            object.__setattr__(self, "network", masked)
+
+    def mask(self) -> int:
+        """The 32-bit netmask for this prefix length."""
+        if self.length == 0:
+            return 0
+        return (MAX_IPV4 << (32 - self.length)) & MAX_IPV4
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` falls inside this prefix."""
+        return (address & self.mask()) == self.network
+
+    def bit(self, position: int) -> int:
+        """The bit of the network address at ``position`` (0 = MSB)."""
+        if not 0 <= position < 32:
+            raise ValueError(f"bit position out of range: {position}")
+        return (self.network >> (31 - position)) & 1
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``a.b.c.d/len`` notation.
+
+        >>> IPv4Prefix.parse("192.168.0.0/16").length
+        16
+        """
+        if "/" not in text:
+            raise ValueError(f"missing '/length' in prefix: {text!r}")
+        net_text, len_text = text.rsplit("/", 1)
+        return cls(parse_ipv4(net_text), int(len_text))
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+
+def address_bit(address: int, position: int) -> int:
+    """The bit of ``address`` at ``position`` where 0 is the MSB."""
+    return (address >> (31 - position)) & 1

@@ -1,0 +1,66 @@
+"""TCP flag constants and the paper's four-way flag classification.
+
+Section 2 of the paper maps each packet's TCP flags onto an integer
+``g1(p)``; the text restricts the study "for the most common" flag
+arrangements: SYN, SYN+ACK, plain ACK (data or pure acknowledgment), and
+the connection-closing FIN/RST family.
+"""
+
+from __future__ import annotations
+
+import enum
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+TCP_URG = 0x20
+
+_FLAG_NAMES = (
+    (TCP_FIN, "FIN"),
+    (TCP_SYN, "SYN"),
+    (TCP_RST, "RST"),
+    (TCP_PSH, "PSH"),
+    (TCP_ACK, "ACK"),
+    (TCP_URG, "URG"),
+)
+
+
+class FlagClass(enum.IntEnum):
+    """The paper's ``g1`` values: the TCP-flag class of a packet."""
+
+    SYN = 0
+    SYN_ACK = 1
+    ACK = 2
+    FIN_RST = 3
+
+
+def classify_flags(flags: int) -> FlagClass:
+    """Map a raw TCP flag byte onto the paper's four classes.
+
+    The order of tests matters: SYN+ACK must be recognized before plain
+    SYN or ACK, and FIN/RST close classification wins over a piggybacked
+    ACK (a FIN+ACK is still a closing segment).
+    """
+    if flags & TCP_SYN:
+        if flags & TCP_ACK:
+            return FlagClass.SYN_ACK
+        return FlagClass.SYN
+    if flags & (TCP_FIN | TCP_RST):
+        return FlagClass.FIN_RST
+    return FlagClass.ACK
+
+
+def flags_to_str(flags: int) -> str:
+    """Human-readable rendering, e.g. ``'SYN|ACK'``; ``'-'`` for none."""
+    names = [name for bit, name in _FLAG_NAMES if flags & bit]
+    return "|".join(names) if names else "-"
+
+
+def is_flow_terminator(flags: int) -> bool:
+    """True for segments that end a flow in the online compressor.
+
+    Section 3: "When a Fin or Rst TCP flag is found, the algorithm ...".
+    """
+    return bool(flags & (TCP_FIN | TCP_RST))

@@ -1,0 +1,75 @@
+"""Shared benchmark-application harness.
+
+Every section 6 application processes a trace packet-by-packet between
+recorder checkpoints (the ATOM instrumentation pattern) and yields a
+:class:`BenchmarkResult`: the raw recorder (for cache replays at any
+geometry) plus the derived per-packet profile.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.memsim.access import AccessRecorder
+from repro.memsim.cache import CacheConfig
+from repro.memsim.memory import SimulatedHeap
+from repro.memsim.metrics import TraceMemoryProfile, profile_from_recorder
+from repro.net.packet import PacketRecord
+from repro.trace.trace import Trace
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of running one app over one trace."""
+
+    app_name: str
+    trace_name: str
+    recorder: AccessRecorder
+    packets_processed: int
+
+    def profile(self, cache_config: CacheConfig | None = None) -> TraceMemoryProfile:
+        """Per-packet access/miss profile under a cache geometry."""
+        return profile_from_recorder(
+            f"{self.app_name}:{self.trace_name}", self.recorder, cache_config
+        )
+
+    def accesses_per_packet(self) -> list[int]:
+        """Raw Figure 2 data."""
+        return self.recorder.accesses_per_packet()
+
+
+class BenchmarkApp(abc.ABC):
+    """Base class: builds its data structures, then processes traces.
+
+    Subclasses implement :meth:`_prepare` (installing tables against the
+    trace) and :meth:`_process_packet`.
+    """
+
+    name = "benchmark"
+
+    def __init__(self) -> None:
+        self.heap = SimulatedHeap()
+        self.recorder = AccessRecorder()
+
+    @abc.abstractmethod
+    def _prepare(self, trace: Trace) -> None:
+        """Build tables/state for ``trace`` (not instrumented per packet)."""
+
+    @abc.abstractmethod
+    def _process_packet(self, packet: PacketRecord) -> None:
+        """Handle one packet; every data-structure touch is recorded."""
+
+    def run(self, trace: Trace) -> BenchmarkResult:
+        """Process a whole trace with per-packet checkpoints."""
+        self._prepare(trace)
+        for packet in trace.packets:
+            self.recorder.begin_packet()
+            self._process_packet(packet)
+            self.recorder.end_packet()
+        return BenchmarkResult(
+            app_name=self.name,
+            trace_name=trace.name,
+            recorder=self.recorder,
+            packets_processed=len(trace.packets),
+        )

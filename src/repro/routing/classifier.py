@@ -1,0 +1,97 @@
+"""CLASSIFY — a two-field packet classifier benchmark.
+
+Netbench's suite includes table-lookup/classification kernels alongside
+Route and NAT.  This app models the standard hierarchical-trie
+classifier: a destination radix trie whose matching entries point to
+per-rule source tries.  Per packet: walk the destination trie, then the
+rule's source trie, touching simulated memory exactly like the other
+section 6 apps — a fourth, heavier consumer of the same substrate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.ip import IPv4Prefix
+from repro.net.packet import PacketRecord
+from repro.routing.base import BenchmarkApp
+from repro.routing.radix import RadixTree
+from repro.routing.table import RoutingTableConfig, covering_entries_for_trace
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Rule-set shape.
+
+    Each destination rule carries a source trie of ``sources_per_rule``
+    prefixes; unmatched packets fall to the default action.
+    """
+
+    sources_per_rule: int = 8
+    source_prefix_length: int = 16
+    seed: int = 101
+    table: RoutingTableConfig = RoutingTableConfig()
+
+    def __post_init__(self) -> None:
+        if self.sources_per_rule < 1:
+            raise ValueError("sources_per_rule must be >= 1")
+        if not 0 < self.source_prefix_length <= 32:
+            raise ValueError("source_prefix_length must be 1..32")
+
+
+class ClassifierApp(BenchmarkApp):
+    """Hierarchical-trie (dst, src) classification."""
+
+    name = "classify"
+
+    def __init__(self, config: ClassifierConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or ClassifierConfig()
+        self._dst_tree: RadixTree | None = None
+        self._src_trees: list[RadixTree] = []
+        self.matched = 0
+        self.default_action = 0
+
+    def _prepare(self, trace: Trace) -> None:
+        rng = random.Random(self.config.seed)
+        self._dst_tree = RadixTree(heap=self.heap, recorder=None)
+        self._src_trees = []
+
+        mask = IPv4Prefix(0, self.config.source_prefix_length).mask()
+        client_prefixes = sorted(
+            {packet.src_ip & mask for packet in trace.packets}
+        )
+        for entry in covering_entries_for_trace(trace, self.config.table):
+            rule_index = len(self._src_trees)
+            source_tree = RadixTree(heap=self.heap, recorder=None)
+            chosen = rng.sample(
+                client_prefixes,
+                min(self.config.sources_per_rule, len(client_prefixes)),
+            )
+            for network in chosen:
+                source_tree.insert(
+                    IPv4Prefix(network, self.config.source_prefix_length),
+                    rng.randrange(1, 16),
+                )
+            # Wildcard source so every rule terminates classification.
+            source_tree.insert(IPv4Prefix(0, 0), 0)
+            self._src_trees.append(source_tree)
+            self._dst_tree.insert(entry.prefix, rule_index)
+
+        self._dst_tree.recorder = self.recorder
+        for source_tree in self._src_trees:
+            source_tree.recorder = self.recorder
+
+    def _process_packet(self, packet: PacketRecord) -> None:
+        assert self._dst_tree is not None, "run() prepares the tries"
+        rule_index = self._dst_tree.lookup(packet.dst_ip)
+        if rule_index is None:
+            self.default_action += 1
+            return
+        action = self._src_trees[rule_index].lookup(packet.src_ip)
+        if action:
+            self.matched += 1
+        else:
+            self.default_action += 1

@@ -1,0 +1,115 @@
+"""NAT — the Netbench network-address-translation benchmark.
+
+Per packet: look the flow up in a hash table of translation entries
+(bucket probe + entry compares, all against simulated memory); on a miss
+allocate a new entry (heap churn — the paper points at allocator reuse as
+one source of original-vs-random divergence) and route the packet through
+the radix tree to pick the outgoing interface; on FIN/RST free the entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.flowkey import FiveTuple, flow_hash
+from repro.net.packet import PacketRecord
+from repro.net.tcp import is_flow_terminator
+from repro.routing.base import BenchmarkApp
+from repro.routing.radix import RadixTree
+from repro.routing.table import RoutingTableConfig, table_covering_trace
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class NatConfig:
+    """NAT table geometry."""
+
+    bucket_count: int = 4096
+    entry_bytes: int = 48
+    bucket_bytes: int = 8
+    table: RoutingTableConfig = RoutingTableConfig()
+
+    def __post_init__(self) -> None:
+        if self.bucket_count < 1:
+            raise ValueError("bucket_count must be positive")
+
+
+class _NatEntry:
+    """One translation entry living at a simulated address."""
+
+    __slots__ = ("address", "key", "translated_port", "next_hop")
+
+    def __init__(self, address: int, key: FiveTuple, translated_port: int) -> None:
+        self.address = address
+        self.key = key
+        self.translated_port = translated_port
+        self.next_hop = 0
+
+
+class NatApp(BenchmarkApp):
+    """Flow-table NAT with radix-tree egress selection."""
+
+    name = "nat"
+
+    def __init__(self, config: NatConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or NatConfig()
+        self.tree: RadixTree | None = None
+        self._buckets: list[list[_NatEntry]] = []
+        self._bucket_addresses: list[int] = []
+        self._next_port = 10_000
+        self.translations_created = 0
+        self.translations_removed = 0
+        self.hits = 0
+
+    def _prepare(self, trace: Trace) -> None:
+        self.tree = table_covering_trace(
+            trace, self.config.table, RadixTree(heap=self.heap, recorder=None)
+        )
+        self.tree.recorder = self.recorder
+        self._buckets = [[] for _ in range(self.config.bucket_count)]
+        self._bucket_addresses = [
+            self.heap.alloc(self.config.bucket_bytes, label="nat-bucket")
+            for _ in range(self.config.bucket_count)
+        ]
+
+    def _process_packet(self, packet: PacketRecord) -> None:
+        assert self.tree is not None, "run() prepares the tables"
+        key = packet.five_tuple().canonical()
+        index = flow_hash(key) % self.config.bucket_count
+
+        # Probe the bucket head, then walk the chain comparing keys.
+        self.recorder.record(self._bucket_addresses[index])
+        bucket = self._buckets[index]
+        found: _NatEntry | None = None
+        for entry in bucket:
+            self.recorder.record(entry.address)  # key compare
+            if entry.key == key:
+                found = entry
+                break
+
+        if found is None:
+            address = self.heap.alloc(self.config.entry_bytes, label="nat-entry")
+            self._next_port += 1
+            if self._next_port > 60_000:
+                self._next_port = 10_000
+            found = _NatEntry(address, key, self._next_port)
+            found.next_hop = self.tree.lookup(packet.dst_ip) or 0
+            bucket.append(found)
+            self.recorder.record(address)  # entry initialization store
+            self.recorder.record(self._bucket_addresses[index])  # chain update
+            self.translations_created += 1
+        else:
+            self.hits += 1
+            # Touch the translation fields (the rewrite a real NAT does).
+            self.recorder.record(found.address + 16)
+
+        if is_flow_terminator(packet.flags):
+            bucket.remove(found)
+            self.recorder.record(self._bucket_addresses[index])
+            self.heap.free(found.address)
+            self.translations_removed += 1
+
+    def live_translations(self) -> int:
+        """Currently installed entries."""
+        return sum(len(bucket) for bucket in self._buckets)

@@ -1,0 +1,205 @@
+"""Instrumented radix (binary) routing trie.
+
+"The Radix Tree is a binary tree, which starting at the root, stores the
+prefix address and mask so far.  As you move down the tree, more bits are
+matched going one way down the tree.  If they don't match, the other
+branch holds the entry required. ... The returned value from looking up
+an entry will typically be the next hop IP router."
+
+The tree is a bit-per-level binary trie whose nodes live on a
+:class:`~repro.memsim.memory.SimulatedHeap`; every field touch during
+insertion and lookup is logged against the node's simulated address, so
+the access recorder sees exactly the loads a pointer-chasing C
+implementation would issue: read the node's entry slot, read the child
+pointer, move down.  Longest-prefix match is the standard
+remember-the-last-entry descent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.access import AccessRecorder
+from repro.memsim.memory import SimulatedHeap
+from repro.net.ip import IPv4Prefix
+
+
+@dataclass(frozen=True)
+class RadixNodeLayout:
+    """Byte offsets of the simulated node fields.
+
+    A C node would be ``struct { u32 entry; node *left; node *right; u32
+    nexthop; }`` — 32 bytes with alignment.  Offsets are what the access
+    recorder logs, so two fields of one node share a cache line while
+    distinct nodes do not (with 32-byte lines).
+    """
+
+    node_bytes: int = 32
+    entry_offset: int = 0
+    left_offset: int = 8
+    right_offset: int = 16
+    value_offset: int = 24
+
+
+class _Node:
+    """In-Python node mirror; the address is its simulated identity."""
+
+    __slots__ = ("address", "left", "right", "has_entry", "next_hop", "depth")
+
+    def __init__(self, address: int, depth: int) -> None:
+        self.address = address
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.has_entry = False
+        self.next_hop = 0
+        self.depth = depth
+
+
+class RadixTree:
+    """Longest-prefix-match radix trie with access instrumentation."""
+
+    def __init__(
+        self,
+        heap: SimulatedHeap | None = None,
+        recorder: AccessRecorder | None = None,
+        layout: RadixNodeLayout | None = None,
+    ) -> None:
+        self.heap = heap or SimulatedHeap()
+        self.recorder = recorder
+        self.layout = layout or RadixNodeLayout()
+        self._root = self._new_node(depth=0)
+        self._entry_count = 0
+        self.lookup_count = 0
+
+    # -- instrumentation helpers -------------------------------------------
+
+    def _touch(self, node: _Node, offset: int) -> None:
+        if self.recorder is not None:
+            self.recorder.record(node.address + offset)
+
+    def _new_node(self, depth: int) -> _Node:
+        address = self.heap.alloc(self.layout.node_bytes, label="radix-node")
+        return _Node(address, depth)
+
+    # -- construction ---------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Number of routes installed."""
+        return self._entry_count
+
+    @property
+    def node_count(self) -> int:
+        """Number of trie nodes allocated."""
+        return self.heap.alloc_count
+
+    def insert(self, prefix: IPv4Prefix, next_hop: int) -> None:
+        """Install a route; replaces an existing identical prefix."""
+        node = self._root
+        self._touch(node, self.layout.entry_offset)
+        for position in range(prefix.length):
+            bit = prefix.bit(position)
+            if bit == 0:
+                self._touch(node, self.layout.left_offset)
+                if node.left is None:
+                    node.left = self._new_node(node.depth + 1)
+                node = node.left
+            else:
+                self._touch(node, self.layout.right_offset)
+                if node.right is None:
+                    node.right = self._new_node(node.depth + 1)
+                node = node.right
+        if not node.has_entry:
+            self._entry_count += 1
+        node.has_entry = True
+        node.next_hop = next_hop
+        self._touch(node, self.layout.value_offset)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, address: int) -> int | None:
+        """Longest-prefix-match next hop for ``address`` (None if no route).
+
+        Models the 4.4BSD radix algorithm's cost structure: the descent
+        reads each node (header + child pointer: two logged accesses per
+        level) until it falls off the trie, then *backtracks* towards the
+        root re-examining each node's entry slot (one access per level)
+        until it finds the longest matching prefix.  Addresses covered by
+        a deep route terminate almost immediately after fall-off;
+        addresses that only match a shallow aggregate pay the walk back up
+        — which is exactly why random/fractal destinations separate from
+        real ones in Figure 2.
+        """
+        self.lookup_count += 1
+        layout = self.layout
+        node = self._root
+        position = 0
+        path: list[_Node] = []
+        while True:
+            self._touch(node, layout.entry_offset)
+            path.append(node)
+            if position == 32:
+                break
+            bit = (address >> (31 - position)) & 1
+            if bit == 0:
+                self._touch(node, layout.left_offset)
+                child = node.left
+            else:
+                self._touch(node, layout.right_offset)
+                child = node.right
+            if child is None:
+                break
+            node = child
+            position += 1
+
+        for candidate in reversed(path):
+            self._touch(candidate, layout.entry_offset)
+            if candidate.has_entry:
+                self._touch(candidate, layout.value_offset)
+                return candidate.next_hop
+        return None
+
+    def lookup_depth(self, address: int) -> int:
+        """Number of nodes a lookup for ``address`` visits (no logging)."""
+        node = self._root
+        depth = 1
+        position = 0
+        while position < 32:
+            bit = (address >> (31 - position)) & 1
+            child = node.left if bit == 0 else node.right
+            if child is None:
+                return depth
+            node = child
+            depth += 1
+            position += 1
+        return depth
+
+    # -- introspection ----------------------------------------------------------
+
+    def max_depth(self) -> int:
+        """Deepest node in the trie."""
+        deepest = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            deepest = max(deepest, node.depth)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return deepest
+
+    def entries(self) -> list[tuple[IPv4Prefix, int]]:
+        """All installed routes as (prefix, next hop)."""
+        out: list[tuple[IPv4Prefix, int]] = []
+        stack: list[tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, bits, length = stack.pop()
+            if node.has_entry:
+                network = bits << (32 - length) if length else 0
+                out.append((IPv4Prefix(network, length), node.next_hop))
+            if node.left is not None:
+                stack.append((node.left, bits << 1, length + 1))
+            if node.right is not None:
+                stack.append((node.right, (bits << 1) | 1, length + 1))
+        return sorted(out, key=lambda item: (item[0].length, item[0].network))

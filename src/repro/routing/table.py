@@ -1,0 +1,176 @@
+"""Synthetic routing tables.
+
+The benchmarks need a forwarding table whose structure resembles a real
+BGP-derived FIB: a default route, a realistic prefix-length mix peaking
+at /24 and /16, and — crucially for section 6 — prefixes that actually
+cover the trace's destination population, so that trace packets walk deep
+trie paths while random-address packets mostly fall off early.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.ip import IPv4Prefix
+from repro.routing.radix import RadixTree
+from repro.trace.trace import Trace
+
+#: Realistic FIB prefix-length mix (share of routes per length).
+PREFIX_LENGTH_MIX: dict[int, float] = {
+    8: 0.02,
+    12: 0.03,
+    16: 0.22,
+    18: 0.05,
+    20: 0.13,
+    22: 0.10,
+    24: 0.42,
+    28: 0.03,
+}
+
+
+@dataclass(frozen=True)
+class RoutingTableConfig:
+    """Shape of the synthetic table.
+
+    The covering fractions control how deep trace destinations match:
+    the hottest ``host_route_fraction`` of destinations get /32 host
+    routes, ``slash24_fraction`` of /24 subnets get a /24 route, and the
+    remainder only match their /16 aggregate — producing the spread of
+    per-packet access counts Figure 2 shows for real traffic.
+    """
+
+    background_routes: int = 2000
+    next_hop_count: int = 16
+    include_default: bool = True
+    seed: int = 31
+    host_route_fraction: float = 0.10
+    slash24_fraction: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.background_routes < 0:
+            raise ValueError("background_routes cannot be negative")
+        if self.next_hop_count < 1:
+            raise ValueError("need at least one next hop")
+        if not 0.0 <= self.host_route_fraction <= 1.0:
+            raise ValueError("host_route_fraction must be in [0,1]")
+        if not 0.0 <= self.slash24_fraction <= 1.0:
+            raise ValueError("slash24_fraction must be in [0,1]")
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEntry:
+    """One route: prefix plus next-hop identifier."""
+
+    prefix: IPv4Prefix
+    next_hop: int
+
+
+def _sample_length(rng: random.Random) -> int:
+    draw = rng.random()
+    running = 0.0
+    for length, share in PREFIX_LENGTH_MIX.items():
+        running += share
+        if draw < running:
+            return length
+    return 24
+
+
+def generate_route_entries(config: RoutingTableConfig) -> list[RouteEntry]:
+    """Background routes with the realistic length mix."""
+    rng = random.Random(config.seed)
+    entries: list[RouteEntry] = []
+    seen: set[tuple[int, int]] = set()
+    if config.include_default:
+        entries.append(RouteEntry(IPv4Prefix(0, 0), next_hop=0))
+    while len(entries) < config.background_routes + int(config.include_default):
+        length = _sample_length(rng)
+        first = rng.randrange(1, 224)
+        network = ((first << 24) | rng.getrandbits(24)) & IPv4Prefix(0, length).mask()
+        key = (network, length)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            RouteEntry(
+                IPv4Prefix(network, length),
+                next_hop=rng.randrange(1, config.next_hop_count),
+            )
+        )
+    return entries
+
+
+def covering_entries_for_trace(
+    trace: Trace, config: RoutingTableConfig
+) -> list[RouteEntry]:
+    """Tiered routes for the trace's destinations.
+
+    Every destination's /16 aggregate is present; ``slash24_fraction`` of
+    the /24 subnets additionally get a /24; the hottest
+    ``host_route_fraction`` of individual destinations get /32 host
+    routes.  Popularity is measured on the trace itself, so the
+    decompressed trace (same destination population and frequencies)
+    builds the same table.
+    """
+    rng = random.Random(config.seed ^ 0xC0FFEE)
+    destination_hits: dict[int, int] = {}
+    for packet in trace.packets:
+        destination_hits[packet.dst_ip] = destination_hits.get(packet.dst_ip, 0) + 1
+
+    slash16 = {dst & 0xFFFF0000 for dst in destination_hits}
+    slash24_all = sorted({dst & 0xFFFFFF00 for dst in destination_hits})
+    slash24_selected = [
+        network
+        for network in slash24_all
+        if rng.random() < config.slash24_fraction
+    ]
+    by_popularity = sorted(
+        destination_hits, key=lambda dst: destination_hits[dst], reverse=True
+    )
+    host_count = int(len(by_popularity) * config.host_route_fraction)
+    host_routes = by_popularity[:host_count]
+
+    entries = [
+        RouteEntry(IPv4Prefix(network, 16), rng.randrange(1, config.next_hop_count))
+        for network in sorted(slash16)
+    ]
+    entries.extend(
+        RouteEntry(IPv4Prefix(network, 24), rng.randrange(1, config.next_hop_count))
+        for network in slash24_selected
+    )
+    entries.extend(
+        RouteEntry(IPv4Prefix(address, 32), rng.randrange(1, config.next_hop_count))
+        for address in sorted(host_routes)
+    )
+    return entries
+
+
+def build_routing_table(
+    config: RoutingTableConfig | None = None,
+    tree: RadixTree | None = None,
+) -> RadixTree:
+    """A radix tree loaded with background routes only."""
+    config = config or RoutingTableConfig()
+    tree = tree or RadixTree()
+    for entry in generate_route_entries(config):
+        tree.insert(entry.prefix, entry.next_hop)
+    return tree
+
+
+def table_covering_trace(
+    trace: Trace,
+    config: RoutingTableConfig | None = None,
+    tree: RadixTree | None = None,
+) -> RadixTree:
+    """A radix tree with background routes plus trace-covering routes.
+
+    This mirrors the paper's setting: the RedIRIS router *had* routes for
+    the destinations its link carried.
+    """
+    config = config or RoutingTableConfig()
+    tree = tree or RadixTree()
+    for entry in generate_route_entries(config):
+        tree.insert(entry.prefix, entry.next_hop)
+    for entry in covering_entries_for_trace(trace, config):
+        tree.insert(entry.prefix, entry.next_hop)
+    return tree

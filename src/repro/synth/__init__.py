@@ -1,0 +1,48 @@
+"""Synthetic traffic substrate.
+
+The paper evaluates on captured RedIRIS/NLANR traces that are not
+available; this subpackage generates calibrated substitutes:
+
+* :mod:`repro.synth.webgen` — Web traffic with TCP session semantics and
+  the paper's measured flow statistics (98% of flows short, 75% of
+  packets, 80% of bytes in short flows);
+* :mod:`repro.synth.randomize` — the "random IP destinations, same
+  temporal distribution" control trace of section 6.1;
+* :mod:`repro.synth.fractal` + :mod:`repro.synth.lrustack` — the
+  "fracexp" control trace (multiplicative-process addresses launched
+  with an LRU stack model and exponential inter-packet times).
+"""
+
+from repro.synth.distributions import (
+    BoundedPareto,
+    DiscreteDistribution,
+    Exponential,
+    LogNormal,
+    Zipf,
+)
+from repro.synth.webgen import WebTrafficConfig, WebTrafficGenerator, generate_web_trace
+from repro.synth.p2pgen import P2PTrafficConfig, P2PTrafficGenerator, generate_p2p_trace
+from repro.synth.addresses import AddressPool, AddressPoolConfig
+from repro.synth.randomize import randomize_destinations
+from repro.synth.fractal import MultiplicativeCascade
+from repro.synth.lrustack import LruStackModel, generate_fracexp_trace
+
+__all__ = [
+    "BoundedPareto",
+    "DiscreteDistribution",
+    "Exponential",
+    "LogNormal",
+    "Zipf",
+    "WebTrafficConfig",
+    "WebTrafficGenerator",
+    "generate_web_trace",
+    "P2PTrafficConfig",
+    "P2PTrafficGenerator",
+    "generate_p2p_trace",
+    "AddressPool",
+    "AddressPoolConfig",
+    "randomize_destinations",
+    "MultiplicativeCascade",
+    "LruStackModel",
+    "generate_fracexp_trace",
+]

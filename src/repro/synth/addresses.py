@@ -1,0 +1,108 @@
+"""Address pools with Web-like spatial and temporal locality.
+
+The paper's "semantic properties" include "spatial and temporal locality
+of IP address" and "IP address structure".  The pool models them with:
+
+* a fixed set of server addresses clustered into class B/C subnets
+  (spatial locality / address structure), and
+* Zipf popularity over servers (temporal locality — hot servers recur,
+  which is what makes the radix-tree cache behaviour of section 6
+  non-uniform).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.synth.distributions import Zipf
+
+
+@dataclass(frozen=True)
+class AddressPoolConfig:
+    """Shape of the synthetic address population.
+
+    ``server_count`` servers spread over ``server_subnets`` class-C-like
+    /24 subnets; ``client_count`` clients over ``client_subnets`` subnets;
+    ``popularity_s`` is the Zipf exponent of server popularity (≈1 is the
+    classic Web value).
+    """
+
+    server_count: int = 400
+    server_subnets: int = 40
+    client_count: int = 4000
+    client_subnets: int = 200
+    popularity_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.server_count < 1 or self.client_count < 1:
+            raise ValueError("need at least one server and one client")
+        if self.server_subnets < 1 or self.client_subnets < 1:
+            raise ValueError("need at least one subnet on each side")
+
+
+class AddressPool:
+    """Deterministic population of server and client addresses."""
+
+    def __init__(
+        self, config: AddressPoolConfig | None = None, seed: int = 7
+    ) -> None:
+        self.config = config or AddressPoolConfig()
+        rng = random.Random(seed)
+        self._servers = self._build_population(
+            rng,
+            self.config.server_count,
+            self.config.server_subnets,
+            first_octet_range=(192, 224),  # class C space
+        )
+        self._clients = self._build_population(
+            rng,
+            self.config.client_count,
+            self.config.client_subnets,
+            first_octet_range=(128, 192),  # class B space
+        )
+        self._popularity = Zipf(self.config.server_count, self.config.popularity_s)
+
+    @staticmethod
+    def _build_population(
+        rng: random.Random,
+        count: int,
+        subnets: int,
+        first_octet_range: tuple[int, int],
+    ) -> list[int]:
+        """``count`` unique addresses clustered into ``subnets`` /24s."""
+        bases: list[int] = []
+        seen: set[int] = set()
+        while len(bases) < subnets:
+            first = rng.randrange(*first_octet_range)
+            base = (first << 24) | (rng.getrandbits(16) << 8)
+            if base not in seen:
+                seen.add(base)
+                bases.append(base)
+        addresses: list[int] = []
+        used: set[int] = set()
+        while len(addresses) < count:
+            base = bases[rng.randrange(subnets)]
+            address = base | rng.randrange(1, 255)
+            if address not in used:
+                used.add(address)
+                addresses.append(address)
+        return addresses
+
+    @property
+    def servers(self) -> list[int]:
+        """All server addresses (copy-safe: treat as read-only)."""
+        return self._servers
+
+    @property
+    def clients(self) -> list[int]:
+        """All client addresses (treat as read-only)."""
+        return self._clients
+
+    def pick_server(self, rng: random.Random) -> int:
+        """A Zipf-popular server address (temporal locality)."""
+        return self._servers[self._popularity.sample(rng)]
+
+    def pick_client(self, rng: random.Random) -> int:
+        """A uniform random client address."""
+        return self._clients[rng.randrange(len(self._clients))]

@@ -1,0 +1,171 @@
+"""Random distributions used by the traffic generators.
+
+All distributions draw from an injected :class:`random.Random` so every
+generated trace is reproducible from its seed.  The heavy-tailed shapes
+(bounded Pareto for response sizes, Zipf for server popularity) are the
+standard choices for Web traffic models — the "mice and elephants"
+literature the paper cites ([10], [11]) motivates exactly these tails.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class BoundedPareto:
+    """Pareto distribution truncated to ``[xmin, xmax]``.
+
+    Sampled by inverse-CDF; ``alpha`` is the tail index (smaller = heavier
+    tail).
+    """
+
+    alpha: float
+    xmin: float
+    xmax: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive: {self.alpha}")
+        if not 0 < self.xmin < self.xmax:
+            raise ValueError(f"need 0 < xmin < xmax: {self.xmin}, {self.xmax}")
+
+    def sample(self, rng: random.Random) -> float:
+        """One draw in ``[xmin, xmax]``."""
+        u = rng.random()
+        ha = self.xmax**self.alpha
+        la = self.xmin**self.alpha
+        # Inverse CDF of the bounded Pareto.
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        """Analytic mean of the bounded Pareto."""
+        a, lo, hi = self.alpha, self.xmin, self.xmax
+        if a == 1.0:
+            return math.log(hi / lo) * lo * hi / (hi - lo)
+        num = lo**a / (1 - (lo / hi) ** a)
+        return num * (a / (a - 1)) * (lo ** (1 - a) - hi ** (1 - a))
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Log-normal distribution (used for RTTs)."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma cannot be negative: {self.sigma}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        """Analytic mean ``exp(mu + sigma^2 / 2)``."""
+        return math.exp(self.mu + self.sigma**2 / 2)
+
+    @classmethod
+    def from_median_sigma(cls, median: float, sigma: float) -> "LogNormal":
+        """Construct from the (more intuitive) median."""
+        if median <= 0:
+            raise ValueError(f"median must be positive: {median}")
+        return cls(math.log(median), sigma)
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential distribution (Poisson arrivals, fracexp inter-packets)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive: {self.rate}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+
+class Zipf:
+    """Zipf distribution over ranks ``0..n-1`` with exponent ``s``.
+
+    ``P(rank k) ∝ 1 / (k+1)**s``.  Sampling is O(log n) via a
+    precomputed CDF.
+    """
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one rank: {n}")
+        if s < 0:
+            raise ValueError(f"exponent cannot be negative: {s}")
+        self.n = n
+        self.s = s
+        weights = [1.0 / (k + 1) ** s for k in range(n)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        running = 0.0
+        for w in weights:
+            running += w / total
+            self._cdf.append(running)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank draw in ``[0, n)``."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def probability(self, rank: int) -> float:
+        """``P(rank)``."""
+        if not 0 <= rank < self.n:
+            raise ValueError(f"rank out of range: {rank}")
+        previous = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - previous
+
+
+class DiscreteDistribution:
+    """An explicit finite distribution ``{value: probability}``.
+
+    Used to feed measured flow-length PMFs (``P_n``) back into the
+    analytic models and generators.
+    """
+
+    def __init__(self, pmf: dict[int, float]) -> None:
+        if not pmf:
+            raise ValueError("empty distribution")
+        if any(p < 0 for p in pmf.values()):
+            raise ValueError("negative probability")
+        total = sum(pmf.values())
+        if total <= 0:
+            raise ValueError("zero total probability")
+        self._values: list[int] = sorted(pmf)
+        self._cdf: list[float] = []
+        running = 0.0
+        for value in self._values:
+            running += pmf[value] / total
+            self._cdf.append(running)
+        self._cdf[-1] = 1.0
+        self._pmf = {v: pmf[v] / total for v in self._values}
+
+    def sample(self, rng: random.Random) -> int:
+        """One value draw."""
+        index = bisect.bisect_left(self._cdf, rng.random())
+        return self._values[index]
+
+    def probability(self, value: int) -> float:
+        """``P(value)`` (0 for unknown values)."""
+        return self._pmf.get(value, 0.0)
+
+    def values(self) -> Sequence[int]:
+        """Support of the distribution, ascending."""
+        return tuple(self._values)
+
+    def mean(self) -> float:
+        """Expected value."""
+        return sum(v * p for v, p in self._pmf.items())

@@ -1,0 +1,178 @@
+"""P2P-like traffic generation — probing the method beyond Web traffic.
+
+The paper restricts itself to Web flows and lists P2P as future work
+("verifying also the applicability of the method to other types of
+applications like P2P").  This generator produces the traffic shape that
+stresses the compressor's assumptions:
+
+* ephemeral ports on *both* sides (no port-80 anchor);
+* symmetric, long-lived chunk-exchange sessions — both peers upload;
+* a much heavier long-flow population (swarm transfers), so the
+  short/long split and template reuse behave very differently;
+* keep-alive/have-message chatter inside transfers.
+
+The E7 experiment (`repro.experiments.p2p`) compresses this traffic and
+compares ratio and template reuse against the Web workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.hostprops import plausible_ttl, plausible_window
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.synth.distributions import BoundedPareto, LogNormal
+from repro.trace.trace import Trace
+
+CHUNK_SEGMENT = 1460
+HAVE_MESSAGE = 68  # BitTorrent-like control message size
+
+
+@dataclass(frozen=True)
+class P2PTrafficConfig:
+    """Knobs of the P2P generator.
+
+    ``chunk_segments`` shapes per-session transferred data (heavy tail,
+    far heavier than Web responses); ``swap_prob`` is the chance the
+    transfer direction flips after a chunk (symmetric exchange).
+    """
+
+    duration: float = 100.0
+    session_rate: float = 8.0
+    seed: int = 77
+    peer_count: int = 300
+    chunk_segments: BoundedPareto = BoundedPareto(alpha=1.1, xmin=8.0, xmax=2000.0)
+    rtt: LogNormal = LogNormal.from_median_sigma(0.090, 0.6)
+    back_to_back_gap: float = 0.0002
+    swap_prob: float = 0.35
+    ack_every: int = 2
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.session_rate <= 0:
+            raise ValueError(f"session_rate must be positive: {self.session_rate}")
+        if self.peer_count < 2:
+            raise ValueError(f"need at least two peers: {self.peer_count}")
+        if not 0.0 <= self.swap_prob <= 1.0:
+            raise ValueError(f"swap_prob must be in [0,1]: {self.swap_prob}")
+
+
+class P2PTrafficGenerator:
+    """Deterministic (seeded) P2P traffic source."""
+
+    def __init__(self, config: P2PTrafficConfig | None = None) -> None:
+        self.config = config or P2PTrafficConfig()
+        self._rng = random.Random(self.config.seed)
+        self._peers = self._build_peers()
+
+    def _build_peers(self) -> list[int]:
+        rng = random.Random(self.config.seed ^ 0x9EE9)
+        peers: set[int] = set()
+        while len(peers) < self.config.peer_count:
+            first = rng.randrange(1, 224)
+            peers.add((first << 24) | rng.getrandbits(24))
+        return sorted(peers)
+
+    def generate(self) -> Trace:
+        """Generate the whole P2P trace (time-sorted)."""
+        config = self.config
+        rng = self._rng
+        packets: list[PacketRecord] = []
+        arrival = 0.0
+        while True:
+            arrival += rng.expovariate(config.session_rate)
+            if arrival >= config.duration:
+                break
+            packets.extend(self._play_session(arrival))
+        packets.sort(key=lambda p: p.timestamp)
+        return Trace(packets, name=f"p2p-{config.seed}")
+
+    def _play_session(self, start: float) -> list[PacketRecord]:
+        config = self.config
+        rng = self._rng
+        gap = config.back_to_back_gap
+        rtt = max(0.004, config.rtt.sample(rng))
+
+        peer_a, peer_b = rng.sample(self._peers, 2)
+        port_a = rng.randint(1025, 65000)
+        port_b = rng.randint(1025, 65000)
+        state = {"aseq": rng.getrandbits(32), "bseq": rng.getrandbits(32)}
+        out: list[PacketRecord] = []
+
+        def emit(timestamp: float, a_to_b: bool, flags: int, payload: int) -> None:
+            if a_to_b:
+                src, dst = peer_a, peer_b
+                sport, dport = port_a, port_b
+                seq, ack = state["aseq"], state["bseq"]
+                state["aseq"] = (state["aseq"] + max(payload, 1)) & 0xFFFFFFFF
+            else:
+                src, dst = peer_b, peer_a
+                sport, dport = port_b, port_a
+                seq, ack = state["bseq"], state["aseq"]
+                state["bseq"] = (state["bseq"] + max(payload, 1)) & 0xFFFFFFFF
+            out.append(
+                PacketRecord(
+                    timestamp=timestamp,
+                    src_ip=src,
+                    dst_ip=dst,
+                    src_port=sport,
+                    dst_port=dport,
+                    flags=flags,
+                    payload_len=payload,
+                    seq=seq,
+                    ack=ack,
+                    ip_id=rng.getrandbits(16),
+                    ttl=plausible_ttl(src),
+                    window=plausible_window(src),
+                )
+            )
+
+        # Handshake (peer A initiates).
+        now = start
+        emit(now, True, TCP_SYN, 0)
+        now += rtt
+        emit(now, False, TCP_SYN | TCP_ACK, 0)
+        now += rtt
+        emit(now, True, TCP_ACK, 0)
+
+        # Chunk exchange: bursts of data with periodic direction swaps
+        # and have-message chatter from the receiving side.
+        segments = max(1, int(round(config.chunk_segments.sample(rng))))
+        uploader_is_a = rng.random() < 0.5
+        sent = 0
+        while sent < segments:
+            burst = min(rng.randint(4, 16), segments - sent)
+            for index in range(burst):
+                now += gap
+                emit(now, uploader_is_a, TCP_ACK, CHUNK_SEGMENT)
+                if (index + 1) % config.ack_every == 0:
+                    now += gap
+                    emit(now, not uploader_is_a, TCP_ACK, 0)
+            sent += burst
+            # Receiving peer announces the finished chunk.
+            now += rtt
+            emit(now, not uploader_is_a, TCP_ACK, HAVE_MESSAGE)
+            if rng.random() < config.swap_prob:
+                uploader_is_a = not uploader_is_a
+                now += rtt  # request/unchoke turnaround
+
+        now += gap
+        emit(now, True, TCP_FIN | TCP_ACK, 0)
+        return out
+
+
+def generate_p2p_trace(
+    duration: float = 100.0,
+    session_rate: float = 8.0,
+    seed: int = 77,
+    config: P2PTrafficConfig | None = None,
+) -> Trace:
+    """Convenience wrapper: one call, one P2P trace."""
+    if config is None:
+        config = P2PTrafficConfig(
+            duration=duration, session_rate=session_rate, seed=seed
+        )
+    return P2PTrafficGenerator(config).generate()

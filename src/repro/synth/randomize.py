@@ -1,0 +1,58 @@
+"""The "random destinations" control trace of section 6.1.
+
+"A third trace was generated assigning random IP destinations addresses,
+but maintaining the same temporal distribution of the Original trace."
+
+Every packet keeps its timestamp, size, flags and ports; only the
+addresses are replaced by uniform random draws.  Each *flow* keeps one
+consistent random destination (otherwise the notion of a flow would
+dissolve entirely and even the packet count per destination would lose
+meaning); clients are re-randomized the same way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.net.flowkey import FiveTuple
+from repro.net.packet import PacketRecord
+from repro.trace.trace import Trace
+
+
+def _random_address(rng: random.Random) -> int:
+    """Uniform random unicast-looking address (first octet 1..223)."""
+    first = rng.randrange(1, 224)
+    return (first << 24) | rng.getrandbits(24)
+
+
+def randomize_destinations(
+    trace: Trace, seed: int = 97, per_flow: bool = True
+) -> Trace:
+    """Replace addresses with uniform random ones, keeping timing.
+
+    ``per_flow=True`` (default) draws one address pair per flow;
+    ``per_flow=False`` re-draws per packet (the most hostile variant —
+    destroys all locality including flow identity).
+    """
+    rng = random.Random(seed)
+    packets: list[PacketRecord] = []
+    mapping: dict[FiveTuple, tuple[int, int]] = {}
+
+    for packet in trace.packets:
+        if per_flow:
+            key = packet.five_tuple().canonical()
+            pair = mapping.get(key)
+            if pair is None:
+                pair = (_random_address(rng), _random_address(rng))
+                mapping[key] = pair
+            # Preserve direction: the canonical key's src gets pair[0].
+            if packet.five_tuple() == key:
+                src, dst = pair
+            else:
+                dst, src = pair
+        else:
+            src, dst = _random_address(rng), _random_address(rng)
+        packets.append(replace(packet, src_ip=src, dst_ip=dst))
+
+    return Trace(packets, name=f"{trace.name}-random")

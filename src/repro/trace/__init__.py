@@ -1,0 +1,41 @@
+"""Trace storage substrate.
+
+The paper measures compression against TSH (Time Sequence Header) trace
+files — the NLANR capture format that stores, per packet, a timestamp plus
+the IP header and the first 16 bytes of the TCP header in 44 bytes.  This
+subpackage provides the TSH codec, a minimal pcap writer/reader for
+interoperability, an in-memory :class:`Trace` container, and the
+flow-statistics machinery behind the paper's section 3 numbers.
+"""
+
+from repro.trace.trace import Trace
+from repro.trace.tsh import (
+    TSH_RECORD_BYTES,
+    read_tsh,
+    read_tsh_bytes,
+    write_tsh,
+    write_tsh_bytes,
+)
+from repro.trace.pcaplite import read_pcap, write_pcap
+from repro.trace.stats import FlowLengthDistribution, TraceStatistics, compute_statistics
+from repro.trace.filters import select_time_window, select_web_traffic, split_by_seconds
+from repro.trace.anonymize import PrefixPreservingAnonymizer, anonymize_prefix_preserving
+
+__all__ = [
+    "Trace",
+    "TSH_RECORD_BYTES",
+    "read_tsh",
+    "read_tsh_bytes",
+    "write_tsh",
+    "write_tsh_bytes",
+    "read_pcap",
+    "write_pcap",
+    "FlowLengthDistribution",
+    "TraceStatistics",
+    "compute_statistics",
+    "select_time_window",
+    "select_web_traffic",
+    "split_by_seconds",
+    "PrefixPreservingAnonymizer",
+    "anonymize_prefix_preserving",
+]

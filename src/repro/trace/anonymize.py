@@ -1,0 +1,93 @@
+"""Prefix-preserving trace anonymization.
+
+The paper's introduction motivates compression partly by the damage
+sanitization does: public traces "are delivered after some
+transformations, such as sanitization, which modify some basic semantic
+properties (such as IP address structure)".
+
+This module provides both ends of that spectrum so the claim is testable:
+
+* :func:`anonymize_prefix_preserving` — a Crypto-PAn-style deterministic
+  mapping where two addresses sharing a k-bit prefix map to outputs
+  sharing exactly a k-bit prefix.  Address *structure* survives, so
+  radix-tree behaviour is preserved.
+* naive randomization lives in :mod:`repro.synth.randomize` — structure
+  is destroyed, which is what Figure 2/3's "random" control shows.
+
+The anonymization experiment (E8) runs the Route benchmark on both and
+confirms only the prefix-preserving variant keeps the memory profile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+from repro.trace.trace import Trace
+
+
+class PrefixPreservingAnonymizer:
+    """Deterministic prefix-preserving IPv4 address mapping.
+
+    For each bit position i, the output bit is the input bit XOR a
+    pseudo-random function of the input's first i bits — the classic
+    Crypto-PAn construction with HMAC-free keyed SHA-256 as the PRF
+    (cryptographic strength is not the point here; structure preservation
+    and determinism are).
+    """
+
+    def __init__(self, key: bytes | str = b"repro-anonymizer") -> None:
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        self._key = key
+        self._cache: dict[int, int] = {}
+
+    def _prf_bit(self, prefix_bits: int, length: int) -> int:
+        digest = hashlib.sha256(
+            self._key + length.to_bytes(1, "big") + prefix_bits.to_bytes(4, "big")
+        ).digest()
+        return digest[0] & 1
+
+    def anonymize(self, address: int) -> int:
+        """Map one address (memoized)."""
+        if not 0 <= address <= 0xFFFFFFFF:
+            raise ValueError(f"not a 32-bit address: {address}")
+        cached = self._cache.get(address)
+        if cached is not None:
+            return cached
+        output = 0
+        prefix = 0
+        for position in range(32):
+            bit = (address >> (31 - position)) & 1
+            flip = self._prf_bit(prefix, position)
+            output = (output << 1) | (bit ^ flip)
+            prefix = (prefix << 1) | bit
+        self._cache[address] = output
+        return output
+
+    def anonymize_trace(self, trace: Trace) -> Trace:
+        """Anonymize every source and destination address of a trace."""
+        packets = [
+            replace(
+                packet,
+                src_ip=self.anonymize(packet.src_ip),
+                dst_ip=self.anonymize(packet.dst_ip),
+            )
+            for packet in trace.packets
+        ]
+        return Trace(packets, name=f"{trace.name}-anon")
+
+
+def anonymize_prefix_preserving(
+    trace: Trace, key: bytes | str = b"repro-anonymizer"
+) -> Trace:
+    """One-call prefix-preserving anonymization of a trace."""
+    return PrefixPreservingAnonymizer(key).anonymize_trace(trace)
+
+
+def shared_prefix_length(a: int, b: int) -> int:
+    """Number of leading bits two addresses share (0..32)."""
+    difference = (a ^ b) & 0xFFFFFFFF
+    if difference == 0:
+        return 32
+    return 32 - difference.bit_length()

@@ -1,0 +1,71 @@
+"""Trace filters and slicers.
+
+The paper restricts its study to Web traffic ("a subset of the original
+RedIRIS trace, containing only Web flows") and plots Figure 1 against
+elapsed time, which needs per-second prefixes of a trace.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import PacketRecord, PROTO_TCP
+from repro.trace.trace import Trace
+
+WEB_PORTS = frozenset({80, 443, 8080})
+"""Server ports treated as Web traffic."""
+
+
+def is_web_packet(packet: PacketRecord, ports: frozenset[int] = WEB_PORTS) -> bool:
+    """True when either endpoint is a Web server port over TCP."""
+    if packet.protocol != PROTO_TCP:
+        return False
+    return packet.src_port in ports or packet.dst_port in ports
+
+
+def select_web_traffic(trace: Trace, ports: frozenset[int] = WEB_PORTS) -> Trace:
+    """The Web-only subset of a trace (the paper's 'Original trace')."""
+    subset = trace.filter(lambda p: is_web_packet(p, ports))
+    return subset.renamed(f"{trace.name}-web")
+
+
+def select_time_window(trace: Trace, start: float, end: float) -> Trace:
+    """Packets with ``start <= timestamp < end`` (absolute times)."""
+    if end < start:
+        raise ValueError(f"window end {end} before start {start}")
+    subset = trace.filter(lambda p: start <= p.timestamp < end)
+    return subset.renamed(f"{trace.name}[{start:.0f},{end:.0f})")
+
+
+def select_elapsed(trace: Trace, elapsed_seconds: float) -> Trace:
+    """The prefix of a trace covering its first ``elapsed_seconds``.
+
+    Figure 1 samples file sizes at increasing elapsed times; this gives
+    the trace prefix whose TSH size is the "Original TSH file" curve.
+    """
+    if elapsed_seconds < 0:
+        raise ValueError("elapsed time cannot be negative")
+    start = trace.start_time()
+    cutoff = start + elapsed_seconds
+    subset = trace.filter(lambda p: p.timestamp <= cutoff)
+    return subset.renamed(f"{trace.name}@{elapsed_seconds:.0f}s")
+
+
+def split_by_seconds(trace: Trace, bucket_seconds: float) -> list[Trace]:
+    """Split a time-ordered trace into consecutive fixed-width slices."""
+    if bucket_seconds <= 0:
+        raise ValueError("bucket width must be positive")
+    if not trace.packets:
+        return []
+    slices: list[Trace] = []
+    start = trace.start_time()
+    current: list[PacketRecord] = []
+    boundary = start + bucket_seconds
+    index = 0
+    for packet in trace.packets:
+        while packet.timestamp >= boundary:
+            slices.append(Trace(current, name=f"{trace.name}#{index}"))
+            current = []
+            index += 1
+            boundary += bucket_seconds
+        current.append(packet)
+    slices.append(Trace(current, name=f"{trace.name}#{index}"))
+    return slices

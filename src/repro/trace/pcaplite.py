@@ -1,0 +1,145 @@
+"""Minimal pcap reader/writer (headers only).
+
+The library's native format is TSH (:mod:`repro.trace.tsh`); this module
+exists for interoperability so generated or decompressed traces can be
+inspected with standard tools.  It writes classic (non-ng) pcap files with
+raw-IP link type, emitting for each packet a synthetic 40-byte TCP/IP
+header whose ``total length`` field carries the true packet length (the
+payload itself is not stored — snap length 40, exactly what a header
+capture produces).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.packet import HEADER_BYTES, PacketRecord, validate_packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_RAW = 101  # raw IPv4/IPv6
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_IP_HEADER = struct.Struct(">BBHHHBBHII")
+_TCP_HEADER = struct.Struct(">HHIIBBHHH")
+_MICROSECOND = 1_000_000
+
+
+def _packet_bytes(packet: PacketRecord) -> bytes:
+    """The 40 header bytes of a packet as they would appear on the wire."""
+    ip_header = _IP_HEADER.pack(
+        0x45,
+        0,
+        packet.total_length(),
+        packet.ip_id,
+        0,
+        packet.ttl,
+        packet.protocol,
+        0,
+        packet.src_ip,
+        packet.dst_ip,
+    )
+    tcp_header = _TCP_HEADER.pack(
+        packet.src_port,
+        packet.dst_port,
+        packet.seq,
+        packet.ack,
+        0x50,
+        packet.flags,
+        packet.window,
+        0,  # checksum
+        0,  # urgent pointer
+    )
+    return ip_header + tcp_header
+
+
+def write_pcap(packets: Iterable[PacketRecord], stream: BinaryIO) -> int:
+    """Write a pcap file with 40-byte header snapshots; returns count."""
+    stream.write(
+        _GLOBAL_HEADER.pack(
+            PCAP_MAGIC,
+            PCAP_VERSION[0],
+            PCAP_VERSION[1],
+            0,  # thiszone
+            0,  # sigfigs
+            HEADER_BYTES,  # snaplen
+            LINKTYPE_RAW,
+        )
+    )
+    count = 0
+    for packet in packets:
+        validate_packet(packet)
+        seconds = int(packet.timestamp)
+        micros = int(round((packet.timestamp - seconds) * _MICROSECOND))
+        if micros >= _MICROSECOND:
+            seconds += 1
+            micros -= _MICROSECOND
+        payload = _packet_bytes(packet)
+        stream.write(
+            _RECORD_HEADER.pack(seconds, micros, len(payload), packet.total_length())
+        )
+        stream.write(payload)
+        count += 1
+    return count
+
+
+def read_pcap(stream: BinaryIO) -> Iterator[PacketRecord]:
+    """Yield packets from a pcap file written by :func:`write_pcap`.
+
+    Only the subset this library writes is supported (little-endian,
+    raw-IP link type, TCP/UDP headers present).
+    """
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) != _GLOBAL_HEADER.size:
+        raise ValueError("truncated pcap global header")
+    magic, _major, _minor, _zone, _sigfigs, _snaplen, linktype = _GLOBAL_HEADER.unpack(
+        header
+    )
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"unsupported pcap magic: {magic:#x}")
+    if linktype != LINKTYPE_RAW:
+        raise ValueError(f"unsupported link type: {linktype}")
+    while True:
+        record_header = stream.read(_RECORD_HEADER.size)
+        if not record_header:
+            return
+        if len(record_header) != _RECORD_HEADER.size:
+            raise ValueError("truncated pcap record header")
+        seconds, micros, captured, original = _RECORD_HEADER.unpack(record_header)
+        data = stream.read(captured)
+        if len(data) != captured:
+            raise ValueError("truncated pcap record body")
+        if captured < HEADER_BYTES:
+            raise ValueError(f"record too short for TCP/IP headers: {captured}")
+        (
+            _ver_ihl,
+            _tos,
+            _total_length,
+            ip_id,
+            _frag,
+            ttl,
+            protocol,
+            _checksum,
+            src_ip,
+            dst_ip,
+        ) = _IP_HEADER.unpack(data[:20])
+        (src_port, dst_port, seq, ack, _off, flags, window, _ck, _urg) = (
+            _TCP_HEADER.unpack(data[20:40])
+        )
+        yield PacketRecord(
+            timestamp=seconds + micros / _MICROSECOND,
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=protocol,
+            flags=flags,
+            payload_len=max(0, original - HEADER_BYTES),
+            seq=seq,
+            ack=ack,
+            ttl=ttl,
+            ip_id=ip_id,
+            window=window,
+        )

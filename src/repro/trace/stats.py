@@ -1,0 +1,182 @@
+"""Trace statistics: the flow-length distribution behind the paper.
+
+Section 3 motivates the short/long split with three numbers measured on
+the authors' traces: *"98 percent of the flows have less than 51 packets.
+These flows comprise 75 percent of all Web packets transmitted on the link
+and 80 percent of the bytes on average."*
+
+This module computes those quantities plus the flow-length probability
+mass function ``P_n`` that feeds the analytic compression-ratio models of
+section 5 (equations 5–8).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.net.flowkey import FiveTuple
+from repro.net.packet import PacketRecord
+from repro.trace.trace import Trace
+
+DEFAULT_SHORT_FLOW_MAX = 50
+"""Paper constant: short flows have 2..50 packets; long flows > 50."""
+
+
+@dataclass(frozen=True)
+class FlowLengthDistribution:
+    """The probability ``P_n`` that a flow has exactly ``n`` packets."""
+
+    counts: Mapping[int, int]
+
+    def total_flows(self) -> int:
+        """Number of flows observed."""
+        return sum(self.counts.values())
+
+    def total_packets(self) -> int:
+        """Number of packets across all flows."""
+        return sum(n * c for n, c in self.counts.items())
+
+    def probability(self, n: int) -> float:
+        """``P_n`` — fraction of flows with exactly ``n`` packets."""
+        total = self.total_flows()
+        if total == 0:
+            return 0.0
+        return self.counts.get(n, 0) / total
+
+    def probabilities(self) -> dict[int, float]:
+        """The full PMF as ``{n: P_n}`` (sums to 1 for non-empty data)."""
+        total = self.total_flows()
+        if total == 0:
+            return {}
+        return {n: c / total for n, c in sorted(self.counts.items())}
+
+    def mean_length(self) -> float:
+        """Average packets per flow."""
+        total = self.total_flows()
+        if total == 0:
+            return 0.0
+        return self.total_packets() / total
+
+    def fraction_flows_at_most(self, n: int) -> float:
+        """Fraction of flows with length <= ``n`` (the paper's 98%)."""
+        total = self.total_flows()
+        if total == 0:
+            return 0.0
+        return sum(c for length, c in self.counts.items() if length <= n) / total
+
+    def fraction_packets_at_most(self, n: int) -> float:
+        """Fraction of packets in flows of length <= ``n`` (the 75%)."""
+        total = self.total_packets()
+        if total == 0:
+            return 0.0
+        short = sum(length * c for length, c in self.counts.items() if length <= n)
+        return short / total
+
+    def percentile_length(self, fraction: float) -> int:
+        """Smallest ``n`` such that at least ``fraction`` of flows are <= n."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+        total = self.total_flows()
+        if total == 0:
+            return 0
+        running = 0
+        for length in sorted(self.counts):
+            running += self.counts[length]
+            if running / total >= fraction:
+                return length
+        return max(self.counts)
+
+    @classmethod
+    def from_lengths(cls, lengths: Iterable[int]) -> "FlowLengthDistribution":
+        """Build from an iterable of per-flow packet counts."""
+        return cls(Counter(lengths))
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate statistics of one trace, flow-aware.
+
+    ``short_flow_max`` is the short/long cutoff used for the short-side
+    shares (paper default 50).
+    """
+
+    packet_count: int
+    flow_count: int
+    total_bytes: int
+    duration_seconds: float
+    length_distribution: FlowLengthDistribution
+    short_flow_max: int
+    short_flow_fraction: float
+    short_packet_fraction: float
+    short_byte_fraction: float
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary (used by the CLI and experiments)."""
+        return [
+            f"packets               : {self.packet_count}",
+            f"flows                 : {self.flow_count}",
+            f"wire bytes            : {self.total_bytes}",
+            f"duration              : {self.duration_seconds:.3f} s",
+            f"mean flow length      : {self.length_distribution.mean_length():.2f} pkts",
+            (
+                f"flows <= {self.short_flow_max} pkts    : "
+                f"{100.0 * self.short_flow_fraction:.1f}% "
+                "(paper: 98%)"
+            ),
+            (
+                f"packets in short flows: "
+                f"{100.0 * self.short_packet_fraction:.1f}% "
+                "(paper: 75%)"
+            ),
+            (
+                f"bytes in short flows  : "
+                f"{100.0 * self.short_byte_fraction:.1f}% "
+                "(paper: 80%)"
+            ),
+        ]
+
+
+def group_flow_lengths(
+    packets: Iterable[PacketRecord],
+) -> dict[FiveTuple, list[PacketRecord]]:
+    """Group packets by canonical (bidirectional) 5-tuple.
+
+    This is the lightweight grouping used for statistics; the full
+    stateful assembler with FIN/RST and timeout handling lives in
+    :mod:`repro.flows.assembler`.
+    """
+    flows: dict[FiveTuple, list[PacketRecord]] = defaultdict(list)
+    for packet in packets:
+        flows[packet.five_tuple().canonical()].append(packet)
+    return dict(flows)
+
+
+def compute_statistics(
+    trace: Trace, short_flow_max: int = DEFAULT_SHORT_FLOW_MAX
+) -> TraceStatistics:
+    """Compute flow-aware statistics of a trace (section 3 numbers)."""
+    flows = group_flow_lengths(trace.packets)
+    lengths = [len(packets) for packets in flows.values()]
+    distribution = FlowLengthDistribution.from_lengths(lengths)
+
+    total_bytes = trace.wire_bytes()
+    short_bytes = sum(
+        sum(p.total_length() for p in packets)
+        for packets in flows.values()
+        if len(packets) <= short_flow_max
+    )
+    byte_fraction = short_bytes / total_bytes if total_bytes else 0.0
+
+    return TraceStatistics(
+        packet_count=len(trace),
+        flow_count=len(flows),
+        total_bytes=total_bytes,
+        duration_seconds=trace.duration(),
+        length_distribution=distribution,
+        short_flow_max=short_flow_max,
+        short_flow_fraction=distribution.fraction_flows_at_most(short_flow_max),
+        short_packet_fraction=distribution.fraction_packets_at_most(short_flow_max),
+        short_byte_fraction=byte_fraction,
+    )

@@ -1,0 +1,152 @@
+"""The in-memory trace container.
+
+A :class:`Trace` is an ordered list of :class:`~repro.net.packet.PacketRecord`
+with convenience constructors for the on-disk formats and the size
+accounting used throughout the evaluation (Figure 1 compares *file sizes*,
+so every trace knows its TSH byte size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.net.packet import HEADER_BYTES, PacketRecord
+from repro.trace import tsh as tsh_format
+from repro.trace import pcaplite
+
+
+@dataclass
+class Trace:
+    """An ordered packet-header trace.
+
+    Packets are expected in non-decreasing timestamp order; use
+    :meth:`sorted_by_time` to enforce it after merging traces.
+    """
+
+    packets: list[PacketRecord] = field(default_factory=list)
+    name: str = "trace"
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self.packets)
+
+    def __getitem__(self, index: int) -> PacketRecord:
+        return self.packets[index]
+
+    def append(self, packet: PacketRecord) -> None:
+        """Append one packet to the trace."""
+        self.packets.append(packet)
+
+    def extend(self, packets: Iterable[PacketRecord]) -> None:
+        """Append many packets to the trace."""
+        self.packets.extend(packets)
+
+    # -- time properties -------------------------------------------------
+
+    def duration(self) -> float:
+        """Elapsed seconds between first and last packet (0 if < 2)."""
+        if len(self.packets) < 2:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    def start_time(self) -> float:
+        """Timestamp of the first packet (0 for an empty trace)."""
+        return self.packets[0].timestamp if self.packets else 0.0
+
+    def end_time(self) -> float:
+        """Timestamp of the last packet (0 for an empty trace)."""
+        return self.packets[-1].timestamp if self.packets else 0.0
+
+    def is_time_ordered(self) -> bool:
+        """True when timestamps never decrease."""
+        return all(
+            earlier.timestamp <= later.timestamp
+            for earlier, later in zip(self.packets, self.packets[1:])
+        )
+
+    def sorted_by_time(self) -> "Trace":
+        """A new trace with packets stably sorted by timestamp."""
+        ordered = sorted(self.packets, key=lambda p: p.timestamp)
+        return Trace(ordered, name=self.name)
+
+    # -- size accounting --------------------------------------------------
+
+    def stored_size_bytes(self) -> int:
+        """On-disk TSH size: 44 bytes per packet (Figure 1's x-input)."""
+        return tsh_format.tsh_file_size(len(self.packets))
+
+    def header_bytes(self) -> int:
+        """Total stored header bytes (40 per packet, eq. 5/7 denominator)."""
+        return HEADER_BYTES * len(self.packets)
+
+    def wire_bytes(self) -> int:
+        """Total bytes as seen on the link (headers + payloads)."""
+        return sum(p.total_length() for p in self.packets)
+
+    # -- transforms --------------------------------------------------------
+
+    def filter(self, predicate: Callable[[PacketRecord], bool]) -> "Trace":
+        """A new trace containing the packets matching ``predicate``."""
+        return Trace([p for p in self.packets if predicate(p)], name=self.name)
+
+    def map_packets(
+        self, transform: Callable[[PacketRecord], PacketRecord]
+    ) -> "Trace":
+        """A new trace with ``transform`` applied to every packet."""
+        return Trace([transform(p) for p in self.packets], name=self.name)
+
+    def head(self, count: int) -> "Trace":
+        """A new trace with only the first ``count`` packets."""
+        return Trace(self.packets[:count], name=self.name)
+
+    def renamed(self, name: str) -> "Trace":
+        """The same packet list under a different trace name."""
+        return Trace(self.packets, name=name)
+
+    # -- I/O ----------------------------------------------------------------
+
+    def to_tsh_bytes(self) -> bytes:
+        """Serialize to the TSH byte format."""
+        return tsh_format.write_tsh_bytes(self.packets)
+
+    @classmethod
+    def from_tsh_bytes(cls, data: bytes, name: str = "trace") -> "Trace":
+        """Parse a TSH byte string."""
+        return cls(tsh_format.read_tsh_bytes(data), name=name)
+
+    def save_tsh(self, path: str | Path) -> int:
+        """Write a ``.tsh`` file; returns bytes written."""
+        data = self.to_tsh_bytes()
+        Path(path).write_bytes(data)
+        return len(data)
+
+    @classmethod
+    def load_tsh(cls, path: str | Path, name: str | None = None) -> "Trace":
+        """Read a ``.tsh`` file."""
+        data = Path(path).read_bytes()
+        return cls.from_tsh_bytes(data, name=name or Path(path).stem)
+
+    def save_pcap(self, path: str | Path) -> int:
+        """Write a header-only pcap file; returns the packet count."""
+        with open(path, "wb") as stream:
+            return pcaplite.write_pcap(self.packets, stream)
+
+    @classmethod
+    def load_pcap(cls, path: str | Path, name: str | None = None) -> "Trace":
+        """Read a pcap file produced by :meth:`save_pcap`."""
+        with open(path, "rb") as stream:
+            packets = list(pcaplite.read_pcap(stream))
+        return cls(packets, name=name or Path(path).stem)
+
+
+def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Merge several traces into one, sorted by timestamp."""
+    combined: list[PacketRecord] = []
+    for trace in traces:
+        combined.extend(trace.packets)
+    combined.sort(key=lambda p: p.timestamp)
+    return Trace(combined, name=name)

@@ -1,0 +1,161 @@
+"""TSH (Time Sequence Header) trace format.
+
+NLANR's TSH format stores one 44-byte record per packet:
+
+======  ====  =====================================================
+offset  size  field
+======  ====  =====================================================
+0       4     timestamp, seconds (big-endian)
+4       1     interface number
+5       3     timestamp, microseconds (24-bit big-endian)
+8       20    IPv4 header (no options)
+28      16    first 16 bytes of the TCP header
+======  ====  =====================================================
+
+The 16 TCP bytes cover source/destination ports, sequence and
+acknowledgment numbers, data offset, flags, and window — everything the
+flow-clustering compressor needs.  The checksum and urgent pointer are the
+4 bytes that fall off the end; the paper's Van Jacobson adaptation also
+drops the checksum.
+
+Records are fixed-size, so ``file size = 44 * packets``; this is the
+"Original TSH file" curve of Figure 1.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.checksum import ipv4_header_checksum
+from repro.net.packet import HEADER_BYTES, PacketRecord, validate_packet
+
+TSH_RECORD_BYTES = 44
+"""On-disk bytes per packet in a TSH trace."""
+
+_IP_HEADER = struct.Struct(">BBHHHBBHII")
+_TCP_PREFIX = struct.Struct(">HHIIBBH")
+_MICROSECOND = 1_000_000
+
+
+def encode_record(packet: PacketRecord, interface: int = 1) -> bytes:
+    """Encode one packet as a 44-byte TSH record."""
+    validate_packet(packet)
+    seconds = int(packet.timestamp)
+    micros = int(round((packet.timestamp - seconds) * _MICROSECOND))
+    if micros >= _MICROSECOND:  # rounding may spill into the next second
+        seconds += 1
+        micros -= _MICROSECOND
+    header = struct.pack(
+        ">IB3s", seconds, interface & 0xFF, micros.to_bytes(3, "big")
+    )
+    bare_ip_header = _IP_HEADER.pack(
+        0x45,  # version 4, IHL 5
+        0,  # TOS
+        packet.total_length(),
+        packet.ip_id,
+        0,  # flags / fragment offset
+        packet.ttl,
+        packet.protocol,
+        0,  # checksum placeholder
+        packet.src_ip,
+        packet.dst_ip,
+    )
+    checksum = ipv4_header_checksum(bare_ip_header)
+    ip_header = bare_ip_header[:10] + checksum.to_bytes(2, "big") + bare_ip_header[12:]
+    tcp_prefix = _TCP_PREFIX.pack(
+        packet.src_port,
+        packet.dst_port,
+        packet.seq,
+        packet.ack,
+        0x50,  # data offset 5, no reserved bits
+        packet.flags,
+        packet.window,
+    )
+    return header + ip_header + tcp_prefix
+
+
+def decode_record(record: bytes) -> PacketRecord:
+    """Decode one 44-byte TSH record into a :class:`PacketRecord`."""
+    if len(record) != TSH_RECORD_BYTES:
+        raise ValueError(
+            f"TSH record must be {TSH_RECORD_BYTES} bytes, got {len(record)}"
+        )
+    seconds, _interface, micro_bytes = struct.unpack(">IB3s", record[:8])
+    micros = int.from_bytes(micro_bytes, "big")
+    (
+        _ver_ihl,
+        _tos,
+        total_length,
+        ip_id,
+        _frag,
+        ttl,
+        protocol,
+        _checksum,
+        src_ip,
+        dst_ip,
+    ) = _IP_HEADER.unpack(record[8:28])
+    (src_port, dst_port, seq, ack, _offset, flags, window) = _TCP_PREFIX.unpack(
+        record[28:44]
+    )
+    return PacketRecord(
+        timestamp=seconds + micros / _MICROSECOND,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+        flags=flags,
+        payload_len=max(0, total_length - HEADER_BYTES),
+        seq=seq,
+        ack=ack,
+        ttl=ttl,
+        ip_id=ip_id,
+        window=window,
+    )
+
+
+def write_tsh(packets: Iterable[PacketRecord], stream: BinaryIO) -> int:
+    """Write packets to a binary stream; returns the number written."""
+    count = 0
+    for packet in packets:
+        stream.write(encode_record(packet))
+        count += 1
+    return count
+
+
+def read_tsh(stream: BinaryIO) -> Iterator[PacketRecord]:
+    """Yield packets from a binary TSH stream.
+
+    Raises ``ValueError`` on a truncated trailing record.
+    """
+    while True:
+        record = stream.read(TSH_RECORD_BYTES)
+        if not record:
+            return
+        if len(record) != TSH_RECORD_BYTES:
+            raise ValueError(
+                f"truncated TSH record: expected {TSH_RECORD_BYTES} bytes, "
+                f"got {len(record)}"
+            )
+        yield decode_record(record)
+
+
+def write_tsh_bytes(packets: Iterable[PacketRecord]) -> bytes:
+    """Serialize packets to a TSH byte string (for size measurements)."""
+    buffer = io.BytesIO()
+    write_tsh(packets, buffer)
+    return buffer.getvalue()
+
+
+def read_tsh_bytes(data: bytes) -> list[PacketRecord]:
+    """Parse a TSH byte string into a list of packets."""
+    return list(read_tsh(io.BytesIO(data)))
+
+
+def tsh_file_size(packet_count: int) -> int:
+    """On-disk size in bytes of a TSH trace with ``packet_count`` packets."""
+    if packet_count < 0:
+        raise ValueError("packet count cannot be negative")
+    return packet_count * TSH_RECORD_BYTES

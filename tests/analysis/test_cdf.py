@@ -1,0 +1,73 @@
+"""Tests for empirical CDFs and histograms."""
+
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf, histogram
+
+
+class TestEmpiricalCdf:
+    def test_evaluate(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        assert cdf.evaluate(0) == 0.0
+        assert cdf.evaluate(2) == 0.5
+        assert cdf.evaluate(4) == 1.0
+        assert cdf.evaluate(10) == 1.0
+
+    def test_evaluate_between_points(self):
+        cdf = EmpiricalCdf.from_samples([1, 3])
+        assert cdf.evaluate(2) == 0.5
+
+    def test_evaluate_many(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        assert cdf.evaluate_many([0, 2, 5]) == [0.0, 0.5, 1.0]
+
+    def test_quantile(self):
+        cdf = EmpiricalCdf.from_samples(range(1, 101))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 100
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf.from_samples([1])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_min_max_mean(self):
+        cdf = EmpiricalCdf.from_samples([3, 1, 2])
+        assert cdf.min() == 1
+        assert cdf.max() == 3
+        assert cdf.mean() == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf.from_samples([])
+
+    def test_monotone(self):
+        cdf = EmpiricalCdf.from_samples([5, 1, 9, 3, 3, 7])
+        values = [cdf.evaluate(x) for x in range(11)]
+        assert values == sorted(values)
+
+
+class TestHistogram:
+    def test_basic(self):
+        counts = histogram([1, 2, 2, 3, 9], [0, 2, 4, 10])
+        assert counts == [1, 3, 1]
+
+    def test_half_open_buckets(self):
+        counts = histogram([2.0], [0, 2, 4])
+        assert counts == [0, 1]
+
+    def test_out_of_range_dropped(self):
+        counts = histogram([-1, 100], [0, 10])
+        assert counts == [0]
+
+    def test_upper_edge_excluded(self):
+        counts = histogram([10], [0, 10])
+        assert counts == [0]
+
+    def test_bad_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1], [0])
+        with pytest.raises(ValueError):
+            histogram([1], [5, 5])

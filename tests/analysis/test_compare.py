@@ -1,0 +1,77 @@
+"""Tests for the distribution-similarity measures."""
+
+import random
+
+import pytest
+
+from repro.analysis.compare import (
+    earth_movers_distance,
+    kolmogorov_smirnov,
+    max_bucket_difference,
+)
+
+
+class TestKolmogorovSmirnov:
+    def test_identical_samples(self):
+        sample = [1, 2, 3, 4, 5]
+        assert kolmogorov_smirnov(sample, sample) == 0.0
+
+    def test_disjoint_samples(self):
+        assert kolmogorov_smirnov([1, 2, 3], [10, 11, 12]) == 1.0
+
+    def test_symmetric(self):
+        a = [1, 3, 5, 7]
+        b = [2, 4, 6, 8]
+        assert kolmogorov_smirnov(a, b) == kolmogorov_smirnov(b, a)
+
+    def test_range_bounds(self):
+        rng = random.Random(1)
+        a = [rng.gauss(0, 1) for _ in range(100)]
+        b = [rng.gauss(0.5, 1) for _ in range(100)]
+        distance = kolmogorov_smirnov(a, b)
+        assert 0.0 < distance < 1.0
+
+    def test_shifted_distribution_detected(self):
+        rng = random.Random(2)
+        base = [rng.gauss(0, 1) for _ in range(500)]
+        near = [rng.gauss(0.05, 1) for _ in range(500)]
+        far = [rng.gauss(2.0, 1) for _ in range(500)]
+        assert kolmogorov_smirnov(base, near) < kolmogorov_smirnov(base, far)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kolmogorov_smirnov([], [1])
+
+
+class TestEarthMovers:
+    def test_identical(self):
+        assert earth_movers_distance([1, 2], [1, 2]) == 0.0
+
+    def test_unit_shift(self):
+        # Shifting a distribution by c moves mass exactly c.
+        assert earth_movers_distance([0, 1], [2, 3]) == pytest.approx(2.0)
+
+    def test_scales_with_separation(self):
+        near = earth_movers_distance([0], [1])
+        far = earth_movers_distance([0], [10])
+        assert far == pytest.approx(10 * near)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            earth_movers_distance([1], [])
+
+
+class TestBucketDifference:
+    def test_identical(self):
+        assert max_bucket_difference([50, 30, 20], [50, 30, 20]) == 0.0
+
+    def test_max_selected(self):
+        assert max_bucket_difference([60, 30, 10], [40, 35, 25]) == 20.0
+
+    def test_mismatched_length_rejected(self):
+        with pytest.raises(ValueError):
+            max_bucket_difference([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_bucket_difference([], [])

@@ -1,0 +1,104 @@
+"""Tests for the TCP-flag-sequence analysis."""
+
+import pytest
+
+from repro.analysis.flagseq import (
+    distribution_distance,
+    flag_grammar_similarity,
+    flag_ngrams,
+    flow_flag_sequence,
+    ngram_distribution,
+)
+from repro.flows.assembler import assemble_flows
+from repro.synth import randomize_destinations
+
+from tests.conftest import make_web_flow
+
+
+class TestSequenceExtraction:
+    def test_web_flow_sequence(self, web_flow_packets):
+        (flow,) = assemble_flows(web_flow_packets)
+        # SYN, SYN+ACK, then ACK-class until the FIN.
+        sequence = flow_flag_sequence(flow)
+        assert sequence[0] == 0
+        assert sequence[1] == 1
+        assert sequence[-1] == 3
+        assert all(klass == 2 for klass in sequence[2:-1])
+
+
+class TestNgrams:
+    def test_window_count(self):
+        assert len(flag_ngrams((0, 1, 2, 3), 2)) == 3
+
+    def test_short_sequence(self):
+        assert flag_ngrams((0,), 3) == []
+
+    def test_unigrams(self):
+        assert flag_ngrams((0, 1), 1) == [(0,), (1,)]
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            flag_ngrams((0, 1), 0)
+
+
+class TestDistribution:
+    def test_normalized(self, multi_flow_trace):
+        distribution = ngram_distribution(multi_flow_trace.packets)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_identical_flows_one_grammar(self, multi_flow_trace):
+        distribution = ngram_distribution(multi_flow_trace.packets)
+        # 50 identical flows: few distinct trigrams.
+        assert len(distribution) < 10
+
+    def test_empty(self):
+        assert ngram_distribution([]) == {}
+
+
+class TestDistance:
+    def test_identical(self):
+        d = {(0, 1, 2): 0.5, (1, 2, 3): 0.5}
+        assert distribution_distance(d, d) == 0.0
+
+    def test_disjoint(self):
+        assert distribution_distance({(0,): 1.0}, {(1,): 1.0}) == 1.0
+
+    def test_symmetric(self):
+        a = {(0,): 0.7, (1,): 0.3}
+        b = {(0,): 0.2, (1,): 0.8}
+        assert distribution_distance(a, b) == distribution_distance(b, a)
+
+    def test_empty_both(self):
+        assert distribution_distance({}, {}) == 0.0
+
+
+class TestGrammarSimilarity:
+    def test_self_similarity(self, multi_flow_trace):
+        assert flag_grammar_similarity(
+            multi_flow_trace.packets, multi_flow_trace.packets
+        ) == pytest.approx(1.0)
+
+    def test_randomized_addresses_keep_grammar(self, multi_flow_trace):
+        # Randomization touches addresses, not flags.
+        randomized = randomize_destinations(multi_flow_trace)
+        assert flag_grammar_similarity(
+            multi_flow_trace.packets, randomized.packets
+        ) == pytest.approx(1.0)
+
+    def test_different_shapes_differ(self):
+        short = []
+        long_ = []
+        for index in range(10):
+            short.extend(
+                make_web_flow(start=index * 1.0, client_port=2000 + index,
+                              data_packets=1)
+            )
+            long_.extend(
+                make_web_flow(start=index * 1.0, client_port=2000 + index,
+                              data_packets=8)
+            )
+        similarity = flag_grammar_similarity(
+            sorted(short, key=lambda p: p.timestamp),
+            sorted(long_, key=lambda p: p.timestamp),
+        )
+        assert similarity < 0.95

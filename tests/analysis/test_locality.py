@@ -1,0 +1,81 @@
+"""Tests for the temporal-locality analysis."""
+
+import pytest
+
+from repro.analysis.locality import (
+    COLD,
+    profile_locality,
+    stack_distances,
+    working_set_sizes,
+)
+
+
+class TestStackDistances:
+    def test_all_cold(self):
+        assert stack_distances([1, 2, 3]) == [COLD, COLD, COLD]
+
+    def test_immediate_reuse_depth_zero(self):
+        assert stack_distances([1, 1]) == [COLD, 0]
+
+    def test_textbook_sequence(self):
+        # a b c b a: b at depth 1, a at depth 2.
+        assert stack_distances([1, 2, 3, 2, 1]) == [COLD, COLD, COLD, 1, 2]
+
+    def test_mru_refresh(self):
+        # a b a b: each re-reference at depth 1 after the first pair.
+        assert stack_distances([1, 2, 1, 2]) == [COLD, COLD, 1, 1]
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+    def test_distance_bounded_by_uniques(self):
+        stream = [1, 2, 3, 4, 1, 2, 3, 4] * 4
+        distances = [d for d in stack_distances(stream) if d != COLD]
+        assert max(distances) <= 3
+
+
+class TestProfile:
+    def test_local_stream_profiles_shallow(self):
+        local = [i % 4 for i in range(400)]
+        profile = profile_locality(local)
+        assert profile.unique_count == 4
+        assert profile.median_stack_distance <= 3
+        assert profile.hit_fraction_within[8] > 0.95
+
+    def test_scanning_stream_profiles_deep(self):
+        scanning = list(range(200)) * 3
+        profile = profile_locality(scanning)
+        assert profile.median_stack_distance == pytest.approx(199, abs=1)
+        assert profile.hit_fraction_within[8] < 0.05
+
+    def test_cold_fraction(self):
+        profile = profile_locality([1, 2, 3, 1, 2, 3])
+        assert profile.cold_fraction == pytest.approx(0.5)
+
+    def test_summary_lines(self):
+        lines = profile_locality([1, 1, 2]).summary_lines()
+        assert any("unique addresses" in line for line in lines)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_locality([])
+
+
+class TestWorkingSet:
+    def test_sizes(self):
+        refs = [1, 1, 2, 3, 3, 3]
+        assert working_set_sizes(refs, 3) == [2, 1]
+
+    def test_partial_tail_window(self):
+        assert working_set_sizes([1, 2, 3, 4, 5], 2) == [2, 2, 1]
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            working_set_sizes([1], 0)
+
+    def test_local_vs_scanning(self):
+        local = [i % 4 for i in range(100)]
+        scanning = list(range(100))
+        assert max(working_set_sizes(local, 20)) < max(
+            working_set_sizes(scanning, 20)
+        )

@@ -1,0 +1,64 @@
+"""Tests for the text-report helpers."""
+
+import pytest
+
+from repro.analysis.report import ascii_bar_chart, ascii_curve, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        # All separator dashes under the widest cell.
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = ascii_bar_chart(["a", "b"], [100.0, 50.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_values_rendered(self):
+        chart = ascii_bar_chart(["x"], [42.5])
+        assert "42.5%" in chart
+
+    def test_empty(self):
+        assert ascii_bar_chart([], []) == "(empty chart)"
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestCurve:
+    def test_series_markers_present(self):
+        plot = ascii_curve(
+            [0.0, 1.0, 2.0],
+            {"alpha": [0.0, 1.0, 2.0], "beta": [2.0, 1.0, 0.0]},
+        )
+        assert "A" in plot
+        assert "B" in plot
+        assert "A=alpha" in plot
+
+    def test_empty(self):
+        assert ascii_curve([], {}) == "(empty plot)"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_curve([1.0], {"s": [1.0, 2.0]})
+
+    def test_constant_series_no_crash(self):
+        plot = ascii_curve([0.0, 1.0], {"flat": [5.0, 5.0]})
+        assert "F" in plot

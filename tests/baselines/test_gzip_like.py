@@ -1,0 +1,31 @@
+"""Tests for the zlib-backed GZIP baseline."""
+
+import pytest
+
+from repro.baselines.gzip_like import GzipCodec, gzip_compressed_size
+from repro.trace.trace import Trace
+
+
+class TestGzipCodec:
+    def test_lossless_roundtrip(self, small_web_trace):
+        codec = GzipCodec()
+        restored = codec.decompress(codec.compress(small_web_trace))
+        assert restored.to_tsh_bytes() == small_web_trace.to_tsh_bytes()
+
+    def test_ratio_in_band(self, small_web_trace):
+        ratio = GzipCodec().ratio(small_web_trace)
+        # The paper reports ~50% on TSH traces; synthetic headers land
+        # in the 35-60% band.
+        assert 0.30 < ratio < 0.65
+
+    def test_empty_trace_ratio(self):
+        assert GzipCodec().ratio(Trace()) == 0.0
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            GzipCodec(level=10)
+
+    def test_higher_level_not_larger(self, small_web_trace):
+        fast = gzip_compressed_size(small_web_trace, level=1)
+        best = gzip_compressed_size(small_web_trace, level=9)
+        assert best <= fast

@@ -1,0 +1,110 @@
+"""Tests for canonical Huffman coding."""
+
+import random
+
+import pytest
+
+from repro.baselines.huffman import (
+    BitReader,
+    BitWriter,
+    build_huffman_code,
+    code_from_lengths,
+    huffman_decode,
+    huffman_encode,
+)
+
+
+class TestBitIo:
+    def test_roundtrip_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bits(0b1111, 4)
+        writer.write_bits(0, 1)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bits(4) == 0b1111
+        assert reader.read_bits(1) == 0
+
+    def test_bit_length(self):
+        writer = BitWriter()
+        assert writer.bit_length() == 0
+        writer.write_bits(1, 1)
+        assert writer.bit_length() == 1
+        writer.write_bits(0xFF, 8)
+        assert writer.bit_length() == 9
+
+    def test_write_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(4, 2)
+
+    def test_read_past_end(self):
+        reader = BitReader(b"")
+        with pytest.raises(ValueError, match="exhausted"):
+            reader.read_bit()
+
+
+class TestCodeConstruction:
+    def test_two_symbols_one_bit(self):
+        code = build_huffman_code({0: 5, 1: 3})
+        assert code.lengths == {0: 1, 1: 1}
+
+    def test_single_symbol(self):
+        code = build_huffman_code({42: 100})
+        assert code.lengths == {42: 1}
+
+    def test_empty_frequencies(self):
+        assert build_huffman_code({}).lengths == {}
+
+    def test_frequent_symbols_get_short_codes(self):
+        code = build_huffman_code({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert code.lengths[0] <= code.lengths[1]
+        assert code.lengths[1] <= code.lengths[3]
+
+    def test_kraft_inequality(self):
+        frequencies = {i: (i + 1) ** 2 for i in range(40)}
+        code = build_huffman_code(frequencies)
+        kraft = sum(2 ** -length for length in code.lengths.values())
+        assert kraft <= 1.0 + 1e-12
+
+    def test_length_limit_respected(self):
+        # Fibonacci-like frequencies force long codes; the limit flattens.
+        frequencies = {}
+        a, b = 1, 1
+        for symbol in range(25):
+            frequencies[symbol] = a
+            a, b = b, a + b
+        code = build_huffman_code(frequencies, limit=10)
+        assert max(code.lengths.values()) <= 10
+        kraft = sum(2 ** -length for length in code.lengths.values())
+        assert kraft <= 1.0 + 1e-12
+
+    def test_canonical_reconstruction(self):
+        code = build_huffman_code({i: i + 1 for i in range(16)})
+        rebuilt = code_from_lengths(code.lengths)
+        assert rebuilt.codes == code.codes
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        rng = random.Random(11)
+        symbols = [rng.randrange(8) for _ in range(2000)]
+        frequencies = {s: symbols.count(s) + 1 for s in range(8)}
+        code = build_huffman_code(frequencies)
+        encoded = huffman_encode(symbols, code)
+        assert huffman_decode(encoded, code, len(symbols)) == symbols
+
+    def test_compression_beats_fixed_width(self):
+        # A skewed distribution should beat the 8-bit baseline.
+        symbols = [0] * 900 + [1] * 50 + [2] * 30 + [3] * 20
+        code = build_huffman_code({0: 900, 1: 50, 2: 30, 3: 20})
+        encoded = huffman_encode(symbols, code)
+        assert len(encoded) < len(symbols)  # < 8 bits per symbol
+
+    def test_unknown_symbol_rejected(self):
+        code = build_huffman_code({1: 1, 2: 1})
+        with pytest.raises(ValueError, match="symbol"):
+            huffman_encode([3], code)
+
+    def test_decode_empty(self):
+        code = build_huffman_code({1: 1, 2: 1})
+        assert huffman_decode(b"", code, 0) == []

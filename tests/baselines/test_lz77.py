@@ -1,0 +1,96 @@
+"""Tests for the from-scratch LZ77."""
+
+import random
+
+import pytest
+
+from repro.baselines.lz77 import (
+    LZ77_MAX_MATCH,
+    LZ77_MIN_MATCH,
+    WINDOW_SIZE,
+    Token,
+    lz77_compress,
+    lz77_decompress,
+)
+
+
+class TestToken:
+    def test_literal(self):
+        token = Token.make_literal(65)
+        assert token.is_literal
+        assert token.literal == 65
+
+    def test_literal_range(self):
+        with pytest.raises(ValueError):
+            Token.make_literal(256)
+
+    def test_match(self):
+        token = Token.make_match(10, 100)
+        assert not token.is_literal
+
+    def test_match_length_bounds(self):
+        with pytest.raises(ValueError):
+            Token.make_match(LZ77_MIN_MATCH - 1, 1)
+        with pytest.raises(ValueError):
+            Token.make_match(LZ77_MAX_MATCH + 1, 1)
+
+    def test_match_distance_bounds(self):
+        with pytest.raises(ValueError):
+            Token.make_match(5, 0)
+        with pytest.raises(ValueError):
+            Token.make_match(5, WINDOW_SIZE + 1)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"ab",
+            b"aaa",
+            b"abcabcabcabcabc",
+            b"x" * 1000,
+            bytes(range(256)) * 5,
+        ],
+        ids=["empty", "one", "two", "aaa", "repeat", "run", "cycle"],
+    )
+    def test_structured(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_random_bytes(self):
+        data = random.Random(3).randbytes(8000)
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_compressible_mix(self):
+        rng = random.Random(4)
+        data = b"".join(
+            rng.choice([b"HEADERHEADER", b"PAYLOAD", rng.randbytes(5)])
+            for _ in range(500)
+        )
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_overlapping_copy(self):
+        # 'aaaa...' forces matches whose source overlaps the output cursor.
+        data = b"a" * 500
+        tokens = lz77_compress(data)
+        assert any(not t.is_literal for t in tokens)
+        assert lz77_decompress(tokens) == data
+
+
+class TestCompressionBehaviour:
+    def test_repetitive_data_uses_matches(self):
+        tokens = lz77_compress(b"0123456789" * 100)
+        matches = [t for t in tokens if not t.is_literal]
+        assert len(matches) > 0
+        assert len(tokens) < 200  # 1000 bytes collapse into few tokens
+
+    def test_incompressible_data_stays_literal(self):
+        data = bytes(random.Random(9).randbytes(300))
+        tokens = lz77_compress(data)
+        literals = sum(1 for t in tokens if t.is_literal)
+        assert literals > 250
+
+    def test_decompress_rejects_bad_distance(self):
+        with pytest.raises(ValueError, match="before stream start"):
+            lz77_decompress([Token.make_match(3, 5)])

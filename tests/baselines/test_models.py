@@ -1,0 +1,103 @@
+"""Tests for the analytic ratio models (equations 5-8)."""
+
+import pytest
+
+from repro.baselines.models import (
+    GZIP_RATIO_ESTIMATE,
+    PEUHKURI_RATIO_BOUND,
+    paper_reference_distribution,
+    proposed_model,
+    proposed_ratio_for_length,
+    vj_model,
+    vj_ratio_for_length,
+    weighted_ratio,
+)
+from repro.trace.stats import FlowLengthDistribution
+
+
+class TestEquation5:
+    def test_single_packet_flow_full_cost(self):
+        # n=1: one full 40-byte header over 40 bytes.
+        assert vj_ratio_for_length(1) == pytest.approx(1.0)
+
+    def test_formula(self):
+        # n=10: (40 + 6*9) / 400 = 94/400.
+        assert vj_ratio_for_length(10) == pytest.approx(94 / 400)
+
+    def test_asymptote_is_6_over_40(self):
+        assert vj_ratio_for_length(100000) == pytest.approx(6 / 40, abs=1e-3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            vj_ratio_for_length(0)
+
+
+class TestEquation7:
+    def test_formula(self):
+        # n=10: 8 / 400.
+        assert proposed_ratio_for_length(10) == pytest.approx(0.02)
+
+    def test_custom_record_size(self):
+        assert proposed_ratio_for_length(10, flow_record_bytes=16) == pytest.approx(0.04)
+
+    def test_decreases_with_length(self):
+        assert proposed_ratio_for_length(50) < proposed_ratio_for_length(5)
+
+
+class TestWeightedRatio:
+    def test_byte_weighting(self):
+        pmf = {2: 0.5, 10: 0.5}
+        # bytes weighting: sum p*n*r(n) / sum p*n.
+        expected = (0.5 * 2 * (8 / 80) + 0.5 * 10 * (8 / 400)) / (0.5 * 2 + 0.5 * 10)
+        assert weighted_ratio(pmf, proposed_ratio_for_length) == pytest.approx(expected)
+
+    def test_flow_weighting(self):
+        pmf = {2: 1.0}
+        assert weighted_ratio(
+            pmf, proposed_ratio_for_length, weight="flows"
+        ) == pytest.approx(8 / 80)
+
+    def test_accepts_distribution_object(self):
+        dist = FlowLengthDistribution.from_lengths([2, 2, 10, 10])
+        value = weighted_ratio(dist, vj_ratio_for_length)
+        assert 0.0 < value < 1.0
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(ValueError, match="weighting"):
+            weighted_ratio({2: 1.0}, vj_ratio_for_length, weight="magic")
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            weighted_ratio({}, vj_ratio_for_length)
+
+
+class TestPaperReproduction:
+    def test_reference_distribution_is_normalized(self):
+        pmf = paper_reference_distribution()
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_reference_matches_section3(self):
+        pmf = paper_reference_distribution()
+        short = sum(p for n, p in pmf.items() if n <= 50)
+        assert short == pytest.approx(0.98, abs=0.005)
+        mean = sum(n * p for n, p in pmf.items())
+        packets_short = sum(n * p for n, p in pmf.items() if n <= 50) / mean
+        assert packets_short == pytest.approx(0.75, abs=0.03)
+
+    def test_vj_reproduces_30_percent(self):
+        ratio = vj_model().trace_ratio(paper_reference_distribution())
+        assert ratio == pytest.approx(0.30, abs=0.02)
+
+    def test_proposed_reproduces_3_percent(self):
+        ratio = proposed_model().trace_ratio(paper_reference_distribution())
+        assert ratio == pytest.approx(0.03, abs=0.01)
+
+    def test_constants(self):
+        assert GZIP_RATIO_ESTIMATE == 0.50
+        assert PEUHKURI_RATIO_BOUND == 0.16
+
+    def test_method_ordering_on_reference(self):
+        pmf = paper_reference_distribution()
+        vj = vj_model().trace_ratio(pmf)
+        proposed = proposed_model().trace_ratio(pmf)
+        assert GZIP_RATIO_ESTIMATE > vj > PEUHKURI_RATIO_BOUND > proposed

@@ -1,0 +1,64 @@
+"""Tests for the Peuhkuri-style lossy codec."""
+
+import pytest
+
+from repro.baselines.peuhkuri import PeuhkuriCodec, PeuhkuriConfig
+from repro.trace.trace import Trace
+
+
+class TestRoundtrip:
+    def test_preserved_fields(self, small_web_trace):
+        codec = PeuhkuriCodec()
+        restored = codec.decompress(codec.compress(small_web_trace))
+        assert len(restored) == len(small_web_trace)
+        for original, rebuilt in zip(small_web_trace.packets, restored.packets):
+            assert rebuilt.src_ip == original.src_ip
+            assert rebuilt.dst_ip == original.dst_ip
+            assert rebuilt.src_port == original.src_port
+            assert rebuilt.dst_port == original.dst_port
+            assert rebuilt.flags == original.flags
+            assert rebuilt.payload_len == original.payload_len
+            assert rebuilt.timestamp == pytest.approx(
+                original.timestamp, abs=2e-4
+            )
+
+    def test_lossy_fields_zeroed(self, small_web_trace):
+        codec = PeuhkuriCodec()
+        restored = codec.decompress(codec.compress(small_web_trace))
+        assert all(p.seq == 0 for p in restored.packets[:10])
+
+    def test_empty_trace(self):
+        codec = PeuhkuriCodec()
+        assert len(codec.decompress(codec.compress(Trace()))) == 0
+
+
+class TestRatio:
+    def test_around_16_percent(self, small_web_trace):
+        ratio = PeuhkuriCodec().ratio(small_web_trace)
+        # "the compression ratio bounded by 16%"
+        assert 0.10 < ratio < 0.20
+
+    def test_empty_ratio(self):
+        assert PeuhkuriCodec().ratio(Trace()) == 0.0
+
+
+class TestAnonymization:
+    def test_anonymize_remaps_addresses(self, small_web_trace):
+        codec = PeuhkuriCodec(PeuhkuriConfig(anonymize=True))
+        restored = codec.decompress(codec.compress(small_web_trace))
+        original_addresses = {p.src_ip for p in small_web_trace.packets}
+        restored_addresses = {p.src_ip for p in restored.packets}
+        assert not original_addresses & restored_addresses
+
+    def test_anonymize_preserves_flow_structure(self, small_web_trace):
+        codec = PeuhkuriCodec(PeuhkuriConfig(anonymize=True))
+        restored = codec.decompress(codec.compress(small_web_trace))
+        original_flows = {
+            p.five_tuple().canonical() for p in small_web_trace.packets
+        }
+        restored_flows = {p.five_tuple().canonical() for p in restored.packets}
+        assert len(original_flows) == len(restored_flows)
+
+    def test_bad_container(self):
+        with pytest.raises(ValueError, match="container"):
+            PeuhkuriCodec().decompress(b"nope" + bytes(30))

@@ -1,0 +1,100 @@
+"""Edge-case tests for the VJ codec: wraps, gaps, flag churn."""
+
+import pytest
+
+from repro.baselines.vanjacobson import VanJacobsonCodec
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN
+from repro.trace.trace import Trace
+
+from tests.conftest import CLIENT_IP, SERVER_IP
+
+
+def codec_roundtrip(packets):
+    codec = VanJacobsonCodec()
+    return codec.decompress(codec.compress(Trace(packets)))
+
+
+class TestTimestampWrap:
+    def test_gap_beyond_16_bit_wrap_unwraps_monotonically(self):
+        # The 16-bit millisecond timestamp wraps every 65.536 s; the
+        # decoder unwraps per connection as long as per-packet gaps stay
+        # below one wrap period.
+        packets = [
+            PacketRecord(
+                float(i) * 30.0, CLIENT_IP, SERVER_IP, 2000, 80,
+                flags=TCP_ACK, seq=i,
+            )
+            for i in range(8)  # spans 210 s: several wraps
+        ]
+        restored = codec_roundtrip(packets)
+        times = [p.timestamp for p in restored.packets]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(210.0, abs=0.01)
+
+
+class TestSequenceWrap:
+    def test_seq_wraparound_delta(self):
+        packets = [
+            PacketRecord(
+                0.0, CLIENT_IP, SERVER_IP, 2000, 80,
+                flags=TCP_ACK, seq=0xFFFFFF00,
+            ),
+            PacketRecord(
+                0.1, CLIENT_IP, SERVER_IP, 2000, 80,
+                flags=TCP_ACK, seq=0x00000100,  # wrapped forward
+            ),
+        ]
+        restored = codec_roundtrip(packets)
+        seqs = sorted(p.seq for p in restored.packets)
+        assert seqs == [0x00000100, 0xFFFFFF00]
+
+
+class TestFlagChurn:
+    def test_every_packet_different_flags(self):
+        flag_cycle = [TCP_SYN, TCP_SYN | TCP_ACK, TCP_ACK, TCP_PSH | TCP_ACK,
+                      TCP_FIN | TCP_ACK]
+        packets = [
+            PacketRecord(
+                float(i) * 0.01, CLIENT_IP, SERVER_IP, 2000, 80,
+                flags=flag_cycle[i % len(flag_cycle)], seq=i,
+            )
+            for i in range(10)
+        ]
+        restored = codec_roundtrip(packets)
+        original_flags = sorted(p.flags for p in packets)
+        restored_flags = sorted(p.flags for p in restored.packets)
+        assert original_flags == restored_flags
+
+
+class TestManyConnections:
+    def test_thousand_connections_distinct_cids(self):
+        packets = [
+            PacketRecord(
+                float(i) * 0.001, CLIENT_IP + i, SERVER_IP, 2000 + (i % 60000),
+                80, flags=TCP_SYN,
+            )
+            for i in range(1000)
+        ]
+        restored = codec_roundtrip(packets)
+        original_sources = {p.src_ip for p in packets}
+        restored_sources = {p.src_ip for p in restored.packets}
+        assert original_sources == restored_sources
+
+    def test_first_packet_record_larger_than_delta(self):
+        # Two-packet connection: first record carries the full header.
+        codec = VanJacobsonCodec()
+        one = codec.compress(
+            Trace([
+                PacketRecord(0.0, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_SYN),
+            ])
+        )
+        two = codec.compress(
+            Trace([
+                PacketRecord(0.0, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_SYN),
+                PacketRecord(0.1, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_SYN),
+            ])
+        )
+        first_record = len(one) - 16  # minus container header
+        delta_record = len(two) - len(one)
+        assert delta_record < first_record

@@ -1,0 +1,87 @@
+"""Shared fixtures: small deterministic traces and handmade flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.synth import generate_web_trace
+from repro.trace.trace import Trace
+
+CLIENT_IP = 0x8D5A0101  # 141.90.1.1
+SERVER_IP = 0xC0A80050  # 192.168.0.80
+
+
+def make_web_flow(
+    start: float = 1000.0,
+    client_ip: int = CLIENT_IP,
+    server_ip: int = SERVER_IP,
+    client_port: int = 2000,
+    rtt: float = 0.05,
+    data_packets: int = 2,
+) -> list[PacketRecord]:
+    """A canonical short Web flow: handshake, request, data, acks, FIN."""
+    gap = 0.0002
+    packets = [
+        PacketRecord(start, client_ip, server_ip, client_port, 80, flags=TCP_SYN),
+        PacketRecord(
+            start + rtt, server_ip, client_ip, 80, client_port,
+            flags=TCP_SYN | TCP_ACK,
+        ),
+        PacketRecord(
+            start + 2 * rtt, client_ip, server_ip, client_port, 80, flags=TCP_ACK
+        ),
+        PacketRecord(
+            start + 2 * rtt + gap, client_ip, server_ip, client_port, 80,
+            flags=TCP_ACK, payload_len=300,
+        ),
+    ]
+    now = start + 3 * rtt
+    for index in range(data_packets):
+        packets.append(
+            PacketRecord(
+                now + index * gap, server_ip, client_ip, 80, client_port,
+                flags=TCP_ACK, payload_len=1460,
+            )
+        )
+    now += data_packets * gap + rtt
+    packets.append(
+        PacketRecord(now, client_ip, server_ip, client_port, 80, flags=TCP_ACK)
+    )
+    packets.append(
+        PacketRecord(
+            now + gap, client_ip, server_ip, client_port, 80,
+            flags=TCP_FIN | TCP_ACK,
+        )
+    )
+    return packets
+
+
+@pytest.fixture
+def web_flow_packets() -> list[PacketRecord]:
+    """One 8-packet Web flow."""
+    return make_web_flow()
+
+
+@pytest.fixture
+def multi_flow_trace() -> Trace:
+    """Fifty similar Web flows against three servers."""
+    packets: list[PacketRecord] = []
+    for index in range(50):
+        packets.extend(
+            make_web_flow(
+                start=1000.0 + index * 0.05,
+                client_ip=CLIENT_IP + index,
+                server_ip=SERVER_IP + (index % 3),
+                client_port=2000 + index,
+            )
+        )
+    packets.sort(key=lambda p: p.timestamp)
+    return Trace(packets, name="multi-flow")
+
+
+@pytest.fixture(scope="session")
+def small_web_trace() -> Trace:
+    """A 10-second generated Web trace (session-cached for speed)."""
+    return generate_web_trace(duration=10.0, flow_rate=30.0, seed=7)

@@ -1,0 +1,148 @@
+"""Tests for the binary container codec."""
+
+import pytest
+
+from repro.core.codec import (
+    LONG_PACKET_BYTES,
+    TIME_SEQ_RECORD_BYTES,
+    dataset_sizes,
+    deserialize_compressed,
+    serialize_compressed,
+)
+from repro.core.compressor import compress_trace
+from repro.core.datasets import (
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.errors import CodecError
+
+from tests.conftest import make_web_flow
+from repro.trace.trace import Trace
+
+
+def build_compressed() -> CompressedTrace:
+    compressed = CompressedTrace(name="codec-test", original_packet_count=64)
+    compressed.short_templates.append(ShortFlowTemplate((4, 16, 32, 52)))
+    compressed.short_templates.append(ShortFlowTemplate((4, 16, 52)))
+    compressed.long_templates.append(
+        LongFlowTemplate(tuple([32] * 60), tuple([0.01] * 59 + [0.0]))
+    )
+    compressed.addresses.intern(0xC0A80001)
+    compressed.addresses.intern(0x08080808)
+    compressed.time_seq.append(
+        TimeSeqRecord(0.0, DatasetId.SHORT, 0, 0, rtt=0.05)
+    )
+    compressed.time_seq.append(TimeSeqRecord(1.5, DatasetId.LONG, 0, 1))
+    compressed.time_seq.append(
+        TimeSeqRecord(2.25, DatasetId.SHORT, 1, 1, rtt=0.1)
+    )
+    return compressed
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self):
+        original = build_compressed()
+        restored = deserialize_compressed(serialize_compressed(original))
+        assert restored.name == original.name
+        assert restored.original_packet_count == 64
+        assert [t.values for t in restored.short_templates] == [
+            t.values for t in original.short_templates
+        ]
+        assert restored.long_templates[0].values == original.long_templates[0].values
+        assert list(restored.addresses) == list(original.addresses)
+        assert len(restored.time_seq) == 3
+
+    def test_time_seq_fields_roundtrip(self):
+        restored = deserialize_compressed(serialize_compressed(build_compressed()))
+        record = restored.time_seq[1]
+        assert record.dataset is DatasetId.LONG
+        assert record.template_index == 0
+        assert record.address_index == 1
+        assert record.timestamp == pytest.approx(1.5, abs=1e-4)
+
+    def test_rtt_precision(self):
+        restored = deserialize_compressed(serialize_compressed(build_compressed()))
+        assert restored.time_seq[0].rtt == pytest.approx(0.05, abs=1e-4)
+
+    def test_gap_precision_100us(self):
+        restored = deserialize_compressed(serialize_compressed(build_compressed()))
+        assert restored.long_templates[0].gaps[0] == pytest.approx(0.01, abs=1e-4)
+
+    def test_gap_saturation(self):
+        compressed = CompressedTrace(name="sat")
+        compressed.long_templates.append(
+            LongFlowTemplate(tuple([32] * 51), tuple([100.0] * 50 + [0.0]))
+        )
+        compressed.addresses.intern(1)
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.LONG, 0, 0))
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        # 100 s saturates the u16 gap at 6.5535 s.
+        assert restored.long_templates[0].gaps[0] == pytest.approx(6.5535)
+
+    def test_empty_container(self):
+        compressed = CompressedTrace(name="empty")
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert restored.flow_count() == 0
+
+    def test_real_compression_roundtrips(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert restored.flow_count() == compressed.flow_count()
+        assert restored.template_counts() == compressed.template_counts()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        data = serialize_compressed(build_compressed())
+        with pytest.raises(CodecError, match="magic"):
+            deserialize_compressed(b"XXXX" + data[4:])
+
+    def test_bad_version(self):
+        data = bytearray(serialize_compressed(build_compressed()))
+        data[4] = 99
+        with pytest.raises(CodecError, match="version"):
+            deserialize_compressed(bytes(data))
+
+    def test_truncated(self):
+        data = serialize_compressed(build_compressed())
+        with pytest.raises(CodecError, match="truncated"):
+            deserialize_compressed(data[:-3])
+
+    def test_trailing_garbage(self):
+        data = serialize_compressed(build_compressed())
+        with pytest.raises(CodecError, match="trailing"):
+            deserialize_compressed(data + b"\x00")
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            deserialize_compressed(b"")
+
+
+class TestSizes:
+    def test_dataset_sizes_match_serialized_length(self):
+        compressed = build_compressed()
+        sizes = dataset_sizes(compressed)
+        assert sizes["total"] == len(serialize_compressed(compressed))
+
+    def test_time_seq_is_10_bytes_per_flow(self):
+        compressed = build_compressed()
+        sizes = dataset_sizes(compressed)
+        assert TIME_SEQ_RECORD_BYTES == 10
+        assert sizes["time_seq"] == 10 * 3
+
+    def test_long_packet_cost(self):
+        assert LONG_PACKET_BYTES == 3
+        compressed = build_compressed()
+        sizes = dataset_sizes(compressed)
+        assert sizes["long_flows_template"] == 2 + 60 * 3
+
+    def test_short_template_cost(self):
+        sizes = dataset_sizes(build_compressed())
+        assert sizes["short_flows_template"] == (1 + 4) + (1 + 3)
+
+    def test_address_cost(self):
+        sizes = dataset_sizes(build_compressed())
+        assert sizes["address"] == 8

@@ -1,0 +1,72 @@
+"""Capacity-limit and quantization-edge tests for the container codec."""
+
+import pytest
+
+from repro.core.codec import (
+    MAX_ADDRESS_INDEX,
+    MAX_TEMPLATE_INDEX,
+    quantize_gap,
+    quantize_rtt,
+    quantize_timestamp,
+    serialize_compressed,
+)
+from repro.core.datasets import (
+    CompressedTrace,
+    DatasetId,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.errors import CodecError
+
+
+class TestQuantizers:
+    def test_timestamp_resolution(self):
+        assert quantize_timestamp(1.00004) == 10000  # rounds to 100 µs
+        assert quantize_timestamp(1.00006) == 10001
+
+    def test_timestamp_saturation(self):
+        assert quantize_timestamp(1e9) == 0xFFFFFFFF
+
+    def test_rtt_saturation(self):
+        assert quantize_rtt(100.0) == 0xFFFF
+        assert quantize_rtt(0.05) == 500
+
+    def test_gap_saturation(self):
+        assert quantize_gap(100.0) == 0xFFFF
+        assert quantize_gap(0.0) == 0
+
+    def test_zero_values(self):
+        assert quantize_timestamp(0.0) == 0
+        assert quantize_rtt(0.0) == 0
+
+
+class TestCapacityLimits:
+    def test_too_many_short_templates(self):
+        compressed = CompressedTrace(name="big")
+        compressed.short_templates = [
+            ShortFlowTemplate((i % 256,)) for i in range(MAX_TEMPLATE_INDEX + 2)
+        ]
+        with pytest.raises(CodecError, match="too many short templates"):
+            serialize_compressed(compressed)
+
+    def test_template_index_cap_is_15_bits(self):
+        assert MAX_TEMPLATE_INDEX == 0x7FFF
+
+    def test_address_cap_is_16_bits(self):
+        assert MAX_ADDRESS_INDEX == 0xFFFF
+
+    def test_short_template_max_255_values(self):
+        compressed = CompressedTrace(name="long-short")
+        # 256-packet "short" template cannot be encoded with a u8 length.
+        compressed.short_templates = [ShortFlowTemplate(tuple([1] * 256))]
+        compressed.addresses.intern(1)
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.SHORT, 0, 0))
+        with pytest.raises(CodecError, match="short template too long"):
+            serialize_compressed(compressed)
+
+    def test_at_the_255_boundary_works(self):
+        compressed = CompressedTrace(name="boundary")
+        compressed.short_templates = [ShortFlowTemplate(tuple([1] * 255))]
+        compressed.addresses.intern(1)
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.SHORT, 0, 0))
+        assert serialize_compressed(compressed)

@@ -1,0 +1,191 @@
+"""Tests for the online flow-clustering compressor (section 3)."""
+
+import pytest
+
+from repro.core.compressor import (
+    CompressorConfig,
+    FlowClusterCompressor,
+    compress_trace,
+)
+from repro.core.datasets import DatasetId
+from repro.core.errors import CompressionError
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_SYN
+from repro.trace.trace import Trace
+
+from tests.conftest import CLIENT_IP, SERVER_IP, make_web_flow
+
+
+def compress_packets(packets, config=None):
+    compressor = FlowClusterCompressor(config)
+    for packet in sorted(packets, key=lambda p: p.timestamp):
+        compressor.add_packet(packet)
+    return compressor, compressor.finish()
+
+
+class TestBasicCompression:
+    def test_single_flow_one_template(self, web_flow_packets):
+        compressor, compressed = compress_packets(web_flow_packets)
+        assert len(compressed.short_templates) == 1
+        assert len(compressed.time_seq) == 1
+        assert compressed.time_seq[0].dataset is DatasetId.SHORT
+        assert compressor.stats.flows_closed == 1
+
+    def test_identical_flows_share_template(self):
+        packets = []
+        for index in range(30):
+            packets.extend(
+                make_web_flow(start=index * 1.0, client_port=2000 + index)
+            )
+        compressor, compressed = compress_packets(packets)
+        assert len(compressed.short_templates) == 1
+        assert len(compressed.time_seq) == 30
+        assert compressor.stats.template_hits == 29
+        assert compressor.stats.hit_ratio() == pytest.approx(29 / 30)
+
+    def test_template_matches_characterization(self, web_flow_packets):
+        _, compressed = compress_packets(web_flow_packets)
+        assert compressed.short_templates[0].values == (
+            4, 16, 32, 37, 34, 38, 32, 52,
+        )
+
+    def test_address_dataset_unique_destinations(self):
+        packets = []
+        for index in range(10):
+            packets.extend(
+                make_web_flow(
+                    start=index * 1.0,
+                    client_port=2000 + index,
+                    server_ip=SERVER_IP + (index % 3),
+                )
+            )
+        _, compressed = compress_packets(packets)
+        assert len(compressed.addresses) == 3
+
+    def test_timestamps_relative_to_trace_start(self):
+        packets = make_web_flow(start=5000.0)
+        _, compressed = compress_packets(packets)
+        assert compressed.time_seq[0].timestamp == 0.0
+
+    def test_rtt_recorded_for_short_flow(self, web_flow_packets):
+        _, compressed = compress_packets(web_flow_packets)
+        assert compressed.time_seq[0].rtt == pytest.approx(0.05, abs=1e-9)
+
+    def test_original_packet_count(self, web_flow_packets):
+        _, compressed = compress_packets(web_flow_packets)
+        assert compressed.original_packet_count == len(web_flow_packets)
+
+
+class TestShortLongSplit:
+    def test_long_flow_goes_verbatim(self):
+        # 60 same-direction packets then a FIN: a long flow.
+        packets = [
+            PacketRecord(
+                float(i) * 0.01, CLIENT_IP, SERVER_IP, 2000, 80,
+                flags=TCP_ACK, payload_len=1460,
+            )
+            for i in range(60)
+        ]
+        packets.append(
+            PacketRecord(0.61, CLIENT_IP, SERVER_IP, 2000, 80, flags=0x11)
+        )
+        compressor, compressed = compress_packets(packets)
+        assert compressor.stats.long_flows == 1
+        assert len(compressed.long_templates) == 1
+        assert compressed.long_templates[0].n == 61
+        assert compressed.time_seq[0].dataset is DatasetId.LONG
+        assert compressed.time_seq[0].rtt == 0.0  # not filled for long flows
+
+    def test_long_template_keeps_inter_packet_times(self):
+        packets = [
+            PacketRecord(float(i) * 0.5, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_ACK)
+            for i in range(55)
+        ]
+        _, compressed = compress_packets(packets)
+        template = compressed.long_templates[0]
+        assert template.gaps[0] == pytest.approx(0.5)
+        assert template.gaps[-1] == 0.0
+
+    def test_cutoff_boundary(self):
+        # Exactly 50 packets stays short; 51 goes long.
+        def flow_of(n, port):
+            return [
+                PacketRecord(float(i) * 0.01, CLIENT_IP, SERVER_IP, port, 80, flags=TCP_ACK)
+                for i in range(n)
+            ]
+        compressor, _ = compress_packets(flow_of(50, 2000))
+        assert compressor.stats.short_flows == 1
+        compressor, _ = compress_packets(flow_of(51, 2001))
+        assert compressor.stats.long_flows == 1
+
+    def test_custom_cutoff(self):
+        packets = make_web_flow()  # 8 packets
+        config = CompressorConfig(short_flow_max=5)
+        compressor, _ = compress_packets(packets, config)
+        assert compressor.stats.long_flows == 1
+
+
+class TestSimilarityMerging:
+    def test_similar_vectors_merge(self):
+        # Two flows identical except one payload-class bit: distance 1 <
+        # d_max = 8.
+        a = make_web_flow(start=0.0, client_port=2000)
+        b = make_web_flow(start=10.0, client_port=2001)
+        _, compressed_exact = compress_packets(a + b)
+        assert len(compressed_exact.short_templates) == 1
+
+    def test_zero_percent_still_merges_exact(self):
+        a = make_web_flow(start=0.0, client_port=2000)
+        b = make_web_flow(start=10.0, client_port=2001)
+        config = CompressorConfig(similarity_percent=0.0)
+        _, compressed = compress_packets(a + b, config)
+        assert len(compressed.short_templates) == 1
+
+    def test_different_length_flows_never_merge(self):
+        a = make_web_flow(start=0.0, client_port=2000, data_packets=2)
+        b = make_web_flow(start=10.0, client_port=2001, data_packets=6)
+        _, compressed = compress_packets(a + b)
+        assert len(compressed.short_templates) == 2
+
+
+class TestLifecycle:
+    def test_add_after_finish_rejected(self, web_flow_packets):
+        compressor, _ = compress_packets(web_flow_packets)
+        with pytest.raises(CompressionError):
+            compressor.add_packet(web_flow_packets[0])
+
+    def test_finish_idempotent(self, web_flow_packets):
+        compressor, compressed = compress_packets(web_flow_packets)
+        assert compressor.finish() is compressed
+
+    def test_unterminated_flow_flushed(self):
+        packets = make_web_flow()[:-1]  # no FIN
+        compressor, compressed = compress_packets(packets)
+        assert compressor.stats.flows_closed == 1
+        assert len(compressed.time_seq) == 1
+
+    def test_idle_timeout_closes_flow(self):
+        config = CompressorConfig(idle_timeout=5.0)
+        compressor = FlowClusterCompressor(config)
+        compressor.add_packet(
+            PacketRecord(0.0, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_SYN)
+        )
+        compressor.add_packet(
+            PacketRecord(100.0, CLIENT_IP, SERVER_IP, 2001, 80, flags=TCP_SYN)
+        )
+        assert compressor.stats.flows_closed == 1
+
+    def test_compress_trace_wrapper(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        assert compressed.name == "multi-flow"
+        assert compressed.flow_count() == 50
+
+
+class TestConfigValidation:
+    def test_bad_short_flow_max(self):
+        with pytest.raises(ValueError):
+            CompressorConfig(short_flow_max=0)
+
+    def test_bad_idle_timeout(self):
+        with pytest.raises(ValueError):
+            CompressorConfig(idle_timeout=0.0)

@@ -1,0 +1,154 @@
+"""Tests for the decompression algorithm (section 4)."""
+
+import pytest
+
+from repro.core.compressor import compress_trace
+from repro.core.datasets import (
+    AddressTable,
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.decompressor import (
+    CLIENT_PORT_MAX,
+    CLIENT_PORT_MIN,
+    SERVER_PORT,
+    DecompressorConfig,
+    decompress_trace,
+)
+from repro.flows.assembler import assemble_flows
+from repro.flows.characterize import characterize_flow
+from repro.net.ip import address_class
+from repro.trace.trace import Trace
+
+from tests.conftest import make_web_flow
+
+
+def simple_compressed() -> CompressedTrace:
+    compressed = CompressedTrace(name="t")
+    # SYN, SYN+ACK, ACK, FIN — a canonical 4-packet template.
+    compressed.short_templates.append(ShortFlowTemplate((4, 16, 32, 53)))
+    compressed.addresses.intern(0xC0A80050)
+    compressed.time_seq.append(
+        TimeSeqRecord(0.0, DatasetId.SHORT, 0, 0, rtt=0.040)
+    )
+    return compressed
+
+
+class TestReconstruction:
+    def test_packet_count(self):
+        trace = decompress_trace(simple_compressed())
+        assert len(trace) == 4
+
+    def test_flags_follow_template(self):
+        trace = decompress_trace(simple_compressed())
+        classes = [p.flag_class() for p in trace.packets]
+        assert classes == [0, 1, 2, 3]
+
+    def test_server_address_from_dataset(self):
+        trace = decompress_trace(simple_compressed())
+        assert trace[0].dst_ip == 0xC0A80050  # client -> server
+
+    def test_source_is_class_b_or_c(self):
+        trace = decompress_trace(simple_compressed())
+        assert address_class(trace[0].src_ip) in {"B", "C"}
+
+    def test_ports_follow_paper_rules(self):
+        trace = decompress_trace(simple_compressed())
+        assert trace[0].dst_port == SERVER_PORT
+        assert CLIENT_PORT_MIN <= trace[0].src_port <= CLIENT_PORT_MAX
+
+    def test_rtt_drives_dependent_packet_timing(self):
+        trace = decompress_trace(simple_compressed())
+        # SYN at 0; SYN+ACK (dependent) at rtt; ACK (dependent) at 2*rtt.
+        assert trace[1].timestamp == pytest.approx(0.040, abs=1e-9)
+        assert trace[2].timestamp == pytest.approx(0.080, abs=1e-9)
+
+    def test_direction_alternates_on_dependence(self):
+        trace = decompress_trace(simple_compressed())
+        # SYN c2s, SYN+ACK s2c, ACK c2s, FIN (not dependent) stays c2s.
+        assert trace[0].dst_port == SERVER_PORT
+        assert trace[1].src_port == SERVER_PORT
+        assert trace[2].dst_port == SERVER_PORT
+        assert trace[3].dst_port == SERVER_PORT
+
+    def test_deterministic_with_seed(self):
+        a = decompress_trace(simple_compressed(), DecompressorConfig(seed=5))
+        b = decompress_trace(simple_compressed(), DecompressorConfig(seed=5))
+        assert [p.src_ip for p in a] == [p.src_ip for p in b]
+
+    def test_different_seed_different_identities(self):
+        a = decompress_trace(simple_compressed(), DecompressorConfig(seed=5))
+        b = decompress_trace(simple_compressed(), DecompressorConfig(seed=6))
+        assert [p.src_ip for p in a] != [p.src_ip for p in b]
+
+    def test_default_rtt_replaces_zero(self):
+        compressed = simple_compressed()
+        compressed.time_seq[0] = TimeSeqRecord(0.0, DatasetId.SHORT, 0, 0, rtt=0.0)
+        config = DecompressorConfig(default_rtt=0.2)
+        trace = decompress_trace(compressed, config)
+        assert trace[1].timestamp == pytest.approx(0.2, abs=1e-9)
+
+
+class TestLongFlowReplay:
+    def test_gaps_replayed_exactly(self):
+        compressed = CompressedTrace(name="t")
+        values = tuple([32] * 60)
+        gaps = tuple([0.25] * 59 + [0.0])
+        compressed.long_templates.append(LongFlowTemplate(values, gaps))
+        compressed.addresses.intern(0xC0A80050)
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.LONG, 0, 0))
+        trace = decompress_trace(compressed)
+        assert len(trace) == 60
+        assert trace[1].timestamp - trace[0].timestamp == pytest.approx(0.25)
+
+
+class TestSemanticInvariant:
+    def test_vf_vectors_survive_roundtrip(self, multi_flow_trace):
+        """The headline invariant: decompressed flows re-characterize to
+        exactly the template vectors the compressor stored."""
+        compressed = compress_trace(multi_flow_trace)
+        decompressed = decompress_trace(compressed)
+        original_flows = assemble_flows(multi_flow_trace.packets)
+        decompressed_flows = assemble_flows(decompressed.packets)
+        assert len(original_flows) == len(decompressed_flows)
+        original_vectors = sorted(
+            characterize_flow(f) for f in original_flows
+        )
+        decompressed_vectors = sorted(
+            characterize_flow(f) for f in decompressed_flows
+        )
+        assert original_vectors == decompressed_vectors
+
+    def test_destination_multiset_preserved(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        decompressed = decompress_trace(compressed)
+        original = sorted(
+            f.server_ip() for f in assemble_flows(multi_flow_trace.packets)
+        )
+        restored = sorted(
+            f.server_ip() for f in assemble_flows(decompressed.packets)
+        )
+        assert original == restored
+
+    def test_output_is_time_ordered(self, multi_flow_trace):
+        decompressed = decompress_trace(compress_trace(multi_flow_trace))
+        assert decompressed.is_time_ordered()
+
+
+class TestConfig:
+    def test_payload_classes(self):
+        config = DecompressorConfig()
+        assert config.payload_for_class(0) == 0
+        assert config.payload_for_class(1) == 300
+        assert config.payload_for_class(2) == 1460
+
+    def test_invalid_class(self):
+        with pytest.raises(ValueError):
+            DecompressorConfig().payload_for_class(3)
+
+    def test_empty_compressed_gives_empty_trace(self):
+        compressed = CompressedTrace(name="empty", addresses=AddressTable())
+        assert len(decompress_trace(compressed)) == 0

@@ -1,0 +1,102 @@
+"""Tests for the template-based trace generator (future work E9)."""
+
+import pytest
+
+from repro.core.compressor import compress_trace
+from repro.core.datasets import CompressedTrace, DatasetId
+from repro.core.generator import TraceModel
+from repro.trace.stats import compute_statistics
+
+
+@pytest.fixture(scope="module")
+def fitted_model(small_web_trace):
+    return TraceModel.fit(compress_trace(small_web_trace))
+
+
+class TestFit:
+    def test_usage_counts_sum_to_flows(self, small_web_trace, fitted_model):
+        compressed = compress_trace(small_web_trace)
+        total = sum(fitted_model.short_usage) + sum(fitted_model.long_usage)
+        assert total == compressed.flow_count()
+
+    def test_arrival_rate_positive(self, fitted_model):
+        assert fitted_model.arrival_rate > 0
+
+    def test_rtt_samples_collected(self, fitted_model):
+        assert fitted_model.rtt_samples
+        assert all(rtt > 0 for rtt in fitted_model.rtt_samples)
+
+    def test_long_fraction_in_range(self, fitted_model):
+        assert 0.0 <= fitted_model.long_fraction < 0.2
+
+    def test_expected_packets_matches_source(self, small_web_trace, fitted_model):
+        stats = compute_statistics(small_web_trace)
+        assert fitted_model.expected_packets_per_flow() == pytest.approx(
+            stats.length_distribution.mean_length(), rel=0.05
+        )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TraceModel.fit(CompressedTrace())
+
+
+class TestSynthesizeDatasets:
+    def test_flow_count(self, fitted_model):
+        datasets = fitted_model.synthesize_datasets(flow_count=123, seed=3)
+        assert datasets.flow_count() == 123
+        datasets.validate()
+
+    def test_zero_flows(self, fitted_model):
+        datasets = fitted_model.synthesize_datasets(flow_count=0)
+        assert datasets.flow_count() == 0
+
+    def test_negative_rejected(self, fitted_model):
+        with pytest.raises(ValueError):
+            fitted_model.synthesize_datasets(flow_count=-1)
+
+    def test_deterministic(self, fitted_model):
+        a = fitted_model.synthesize_datasets(50, seed=9)
+        b = fitted_model.synthesize_datasets(50, seed=9)
+        assert [r.template_index for r in a.time_seq] == [
+            r.template_index for r in b.time_seq
+        ]
+
+    def test_timestamps_increase(self, fitted_model):
+        datasets = fitted_model.synthesize_datasets(100, seed=4)
+        stamps = [r.timestamp for r in datasets.time_seq]
+        assert stamps == sorted(stamps)
+
+    def test_short_records_carry_rtt(self, fitted_model):
+        datasets = fitted_model.synthesize_datasets(200, seed=5)
+        short = [r for r in datasets.time_seq if r.dataset is DatasetId.SHORT]
+        assert short
+        assert all(r.rtt > 0 for r in short)
+
+
+class TestSynthesizeTrace:
+    def test_statistics_preserved(self, small_web_trace, fitted_model):
+        compressed = compress_trace(small_web_trace)
+        synthetic = fitted_model.synthesize(
+            flow_count=compressed.flow_count(), seed=11
+        )
+        original = compute_statistics(small_web_trace)
+        restored = compute_statistics(synthetic)
+        assert restored.length_distribution.mean_length() == pytest.approx(
+            original.length_distribution.mean_length(), rel=0.25
+        )
+        assert restored.short_flow_fraction == pytest.approx(
+            original.short_flow_fraction, abs=0.06
+        )
+
+    def test_scale_up(self, fitted_model):
+        small = fitted_model.synthesize(flow_count=50, seed=2)
+        large = fitted_model.synthesize(flow_count=200, seed=2)
+        assert len(large) > 3 * len(small)
+
+    def test_destinations_from_address_dataset(self, fitted_model):
+        synthetic = fitted_model.synthesize(flow_count=40, seed=6)
+        model_addresses = set(fitted_model.addresses)
+        trace_destinations = {p.dst_ip for p in synthetic.packets} | {
+            p.src_ip for p in synthetic.packets
+        }
+        assert model_addresses & trace_destinations

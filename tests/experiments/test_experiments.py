@@ -1,0 +1,102 @@
+"""Quick-mode runs of every experiment.
+
+These verify the harness machinery (structured rows, report text, pass
+flags) on a small workload; the full-scale reproduction numbers live in
+EXPERIMENTS.md and the benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_cutoff,
+    ablation_threshold,
+    ablation_weights,
+    figure1,
+    flowstats,
+    ratios,
+)
+from repro.experiments.common import ExperimentConfig, standard_trace, standard_traces
+
+
+@pytest.fixture(scope="module")
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig().quick()
+
+
+class TestCommon:
+    def test_quick_scales_workload(self):
+        config = ExperimentConfig().quick()
+        assert config.duration < ExperimentConfig().duration
+        assert config.tolerance_scale > 1.0
+
+    def test_standard_trace_deterministic(self, quick_config):
+        a = standard_trace(quick_config)
+        b = standard_trace(quick_config)
+        assert len(a) == len(b)
+
+    def test_four_traces_same_packet_count(self, quick_config):
+        quartet = standard_traces(quick_config)
+        assert len(quartet.decompressed) == len(quartet.original)
+        assert len(quartet.random) == len(quartet.original)
+        assert len(quartet.fracexp) == len(quartet.original)
+
+    def test_named_order(self, quick_config):
+        quartet = standard_traces(quick_config)
+        labels = [label for label, _ in quartet.named()]
+        assert labels == [
+            "RedIRIS (original)", "Decomp", "RedIRIS random", "fracexp",
+        ]
+
+
+class TestFlowstats:
+    def test_runs_and_passes(self, quick_config):
+        result = flowstats.run(quick_config)
+        assert result.name == "flowstats"
+        assert len(result.rows) == 3
+        assert result.passed
+
+    def test_row_dicts(self, quick_config):
+        result = flowstats.run(quick_config)
+        row = result.row_dicts()[0]
+        assert row["statistic"] == "flows <= 50 packets"
+
+
+class TestRatios:
+    def test_analytic_models_always_reproduce(self, quick_config):
+        result = ratios.run(quick_config)
+        assert any("reproduce paper: True" in note for note in result.notes)
+
+    def test_table_has_four_methods(self, quick_config):
+        result = ratios.run(quick_config)
+        methods = [row[0] for row in result.rows]
+        assert methods == ["gzip", "van-jacobson", "peuhkuri", "proposed"]
+
+
+class TestFigure1:
+    def test_sizes_monotone_in_time(self, quick_config):
+        result = figure1.run(quick_config, sample_count=4)
+        originals = [float(row[1]) for row in result.rows]
+        assert originals == sorted(originals)
+
+    def test_proposed_smallest(self, quick_config):
+        result = figure1.run(quick_config, sample_count=4)
+        final = result.rows[-1]
+        assert float(final[5]) < float(final[2])  # proposed < gzip
+        assert float(final[5]) < float(final[1])  # proposed < original
+
+
+class TestAblations:
+    def test_weights(self, quick_config):
+        result = ablation_weights.run(quick_config)
+        assert result.passed
+
+    def test_threshold_monotone(self, quick_config):
+        result = ablation_threshold.run(quick_config)
+        templates = [row[1] for row in result.rows]
+        assert templates == sorted(templates, reverse=True)
+
+    def test_cutoff(self, quick_config):
+        result = ablation_cutoff.run(quick_config)
+        assert result.passed
+        cutoffs = [row[0] for row in result.rows]
+        assert 50 in cutoffs

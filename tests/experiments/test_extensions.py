@@ -1,0 +1,52 @@
+"""Quick-mode runs of the extension experiments (E7-E9)."""
+
+import pytest
+
+from repro.experiments import anonymization, generator_study, p2p
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig().quick()
+
+
+class TestP2P:
+    def test_runs_and_passes(self, quick_config):
+        result = p2p.run(quick_config)
+        assert result.passed
+        workloads = [row[0] for row in result.rows]
+        assert workloads == ["web", "p2p"]
+
+    def test_p2p_short_fraction_lower(self, quick_config):
+        result = p2p.run(quick_config)
+        rows = result.row_dicts()
+        web_short = float(rows[0]["short_flows"].rstrip("%"))
+        p2p_short = float(rows[1]["short_flows"].rstrip("%"))
+        assert p2p_short < web_short
+
+
+class TestAnonymization:
+    def test_runs_and_passes(self, quick_config):
+        result = anonymization.run(quick_config)
+        assert result.passed
+
+    def test_prefix_preserving_closest(self, quick_config):
+        result = anonymization.run(quick_config)
+        rows = result.row_dicts()
+        ks = {row["trace"]: float(row["KS_vs_original"]) for row in rows}
+        assert ks["prefix-preserving"] < ks["naive random"]
+
+
+class TestGeneratorStudy:
+    def test_runs_and_passes(self, quick_config):
+        result = generator_study.run(quick_config)
+        assert result.passed
+
+    def test_scaled_flow_count(self, quick_config):
+        result = generator_study.run(quick_config)
+        rows = result.row_dicts()
+        flows = next(r for r in rows if r["statistic"] == "flows")
+        assert int(flows["synthetic (2x flows)"]) == pytest.approx(
+            2 * int(flows["original"]), rel=0.05
+        )

@@ -1,0 +1,58 @@
+"""Quick-mode runs of the figure 2/3 and apps experiments.
+
+These take ~15 s each in quick mode (four traces through the Route
+benchmark), so they live in their own module; they verify the full
+experiment machinery end to end, not the full-scale numbers.
+"""
+
+import pytest
+
+from repro.experiments import apps, figure2, figure3
+from repro.experiments.common import ExperimentConfig, standard_traces
+
+
+@pytest.fixture(scope="module")
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig().quick()
+
+
+class TestFigure2Quick:
+    def test_runs_and_passes(self, quick_config):
+        result = figure2.run(quick_config)
+        assert result.passed
+
+    def test_four_trace_columns(self, quick_config):
+        result = figure2.run(quick_config)
+        assert result.headers == [
+            "#mem_accs",
+            "RedIRIS (original)",
+            "Decomp",
+            "RedIRIS random",
+            "fracexp",
+        ]
+
+    def test_cumulative_shares_monotone(self, quick_config):
+        result = figure2.run(quick_config)
+        for column in range(1, 5):
+            shares = [float(row[column]) for row in result.rows]
+            assert shares == sorted(shares)
+            assert shares[-1] == pytest.approx(100.0)
+
+
+class TestFigure3Quick:
+    def test_runs_and_passes(self, quick_config):
+        result = figure3.run(quick_config)
+        assert result.passed
+
+    def test_bucket_shares_sum_to_100(self, quick_config):
+        result = figure3.run(quick_config)
+        for row in result.rows:
+            shares = [float(str(cell).rstrip("%")) for cell in row[1:5]]
+            assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+
+class TestAppsQuick:
+    def test_runs_and_passes(self, quick_config):
+        result = apps.run(quick_config)
+        assert result.passed
+        assert [row[0] for row in result.rows] == ["route", "nat", "rtr"]

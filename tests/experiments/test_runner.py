@@ -1,0 +1,39 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_known_experiments_registered(self):
+        expected = {
+            "figure1", "flowstats", "ratios", "figure2", "figure3", "apps",
+            "ablation_weights", "ablation_threshold", "ablation_cutoff",
+            "ablation_cache", "p2p", "anonymization", "generator_study",
+            "semantics",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["flowstats"])
+        assert args.names == ["flowstats"]
+        assert not args.quick
+        assert args.seed == 1
+
+
+class TestMain:
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_quick_run_single(self, capsys, tmp_path):
+        code = main(["flowstats", "--quick", "--out", str(tmp_path)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "flowstats" in output
+        assert (tmp_path / "flowstats.txt").exists()
+
+    def test_quick_run_ratios(self, capsys):
+        assert main(["ratios", "--quick"]) == 0
+        assert "equations 5-8" in capsys.readouterr().out

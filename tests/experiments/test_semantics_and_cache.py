@@ -1,0 +1,47 @@
+"""Quick-mode runs of the semantics scorecard and the cache ablation."""
+
+import pytest
+
+from repro.experiments import ablation_cache, semantics
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig().quick()
+
+
+class TestSemantics:
+    def test_runs_and_passes(self, quick_config):
+        result = semantics.run(quick_config)
+        assert result.passed
+
+    def test_three_properties_scored(self, quick_config):
+        result = semantics.run(quick_config)
+        properties = [row[0] for row in result.rows]
+        assert properties == [
+            "flag trigram similarity",
+            "dst locality (LRU depth<64)",
+            "mean neighbor prefix bits",
+        ]
+
+    def test_flag_similarity_high(self, quick_config):
+        result = semantics.run(quick_config)
+        similarity = float(result.rows[0][2])
+        assert similarity > 0.9
+
+
+class TestCacheAblation:
+    def test_runs_and_passes(self, quick_config):
+        result = ablation_cache.run(quick_config)
+        assert result.passed
+
+    def test_all_geometries_reported(self, quick_config):
+        result = ablation_cache.run(quick_config)
+        assert len(result.rows) == len(ablation_cache.GEOMETRIES)
+
+    def test_rows_carry_miss_rates(self, quick_config):
+        result = ablation_cache.run(quick_config)
+        for row in result.rows:
+            miss = float(str(row[1]).rstrip("%"))
+            assert 0.0 <= miss <= 100.0

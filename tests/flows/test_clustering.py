@@ -1,0 +1,108 @@
+"""Tests for the flow clustering (section 2.1)."""
+
+import pytest
+
+from repro.flows.assembler import assemble_flows
+from repro.flows.clustering import (
+    Cluster,
+    cluster_flows,
+    cluster_vectors,
+    nearest_cluster,
+)
+
+from tests.conftest import make_web_flow
+
+
+class TestCluster:
+    def test_admits_similar(self):
+        cluster = Cluster(center=(10, 10, 10))
+        assert cluster.admits((10, 10, 11))  # distance 1 < d_max 3
+
+    def test_rejects_far(self):
+        cluster = Cluster(center=(10, 10, 10))
+        assert not cluster.admits((20, 20, 20))
+
+    def test_rejects_different_length(self):
+        cluster = Cluster(center=(10, 10))
+        assert not cluster.admits((10, 10, 10))
+
+    def test_length_property(self):
+        assert Cluster(center=(1, 2, 3)).length == 3
+
+
+class TestClusterVectors:
+    def test_identical_vectors_one_cluster(self):
+        result = cluster_vectors([(4, 16, 32)] * 20)
+        assert result.cluster_count() == 1
+        assert result.vector_count == 20
+        assert result.largest_cluster().member_count == 20
+
+    def test_different_lengths_never_merge(self):
+        result = cluster_vectors([(1, 2), (1, 2, 3)])
+        assert result.cluster_count() == 2
+
+    def test_dissimilar_same_length_split(self):
+        result = cluster_vectors([(0, 0, 0), (50, 50, 50)])
+        assert result.cluster_count() == 2
+
+    def test_first_vector_becomes_center(self):
+        result = cluster_vectors([(5, 5, 5), (5, 5, 6)])
+        (group,) = result.clusters_by_length.values()
+        assert group[0].center == (5, 5, 5)
+        assert group[0].member_count == 2
+
+    def test_compression_opportunity(self):
+        result = cluster_vectors([(1, 1, 1)] * 9 + [(40, 40, 40)])
+        assert result.compression_opportunity() == pytest.approx(0.8)
+
+    def test_empty_input(self):
+        result = cluster_vectors([])
+        assert result.cluster_count() == 0
+        assert result.compression_opportunity() == 0.0
+        assert result.largest_cluster() is None
+
+    def test_cluster_sizes_descending(self):
+        result = cluster_vectors(
+            [(1, 1, 1)] * 3 + [(40, 40, 40)] * 5 + [(90, 90, 90)]
+        )
+        assert result.cluster_sizes() == [5, 3, 1]
+
+
+class TestClusterFlows:
+    def test_web_flows_cluster_tightly(self):
+        # Fifty identical-shape Web flows: the paper's observation that
+        # "we can group a high amount of them into few clusters".
+        packets = []
+        for index in range(50):
+            packets.extend(
+                make_web_flow(start=index * 1.0, client_port=2000 + index)
+            )
+        flows = assemble_flows(sorted(packets, key=lambda p: p.timestamp))
+        result = cluster_flows(flows)
+        assert result.vector_count == 50
+        assert result.cluster_count() == 1
+
+    def test_mixed_sizes_cluster_per_length(self):
+        packets = []
+        for index in range(10):
+            packets.extend(
+                make_web_flow(
+                    start=index * 1.0,
+                    client_port=2000 + index,
+                    data_packets=2 if index % 2 else 4,
+                )
+            )
+        flows = assemble_flows(sorted(packets, key=lambda p: p.timestamp))
+        result = cluster_flows(flows)
+        assert result.cluster_count() == 2
+
+
+class TestNearestCluster:
+    def test_nearest(self):
+        clusters = [Cluster((0, 0)), Cluster((10, 10)), Cluster((1, 2, 3))]
+        index, distance = nearest_cluster((9, 9), clusters)
+        assert index == 1
+        assert distance == 2
+
+    def test_no_matching_length(self):
+        assert nearest_cluster((1, 2, 3, 4), [Cluster((0, 0))]) is None

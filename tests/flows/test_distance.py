@@ -1,0 +1,76 @@
+"""Tests for the inter-flow distance rule (equation 4)."""
+
+import pytest
+
+from repro.flows.distance import (
+    MAX_PACKET_DISTANCE,
+    SIMILARITY_PERCENT,
+    max_inter_flow_distance,
+    similarity_threshold,
+    vector_distance,
+    vectors_similar,
+)
+
+
+class TestVectorDistance:
+    def test_identical_is_zero(self):
+        assert vector_distance((1, 2, 3), (1, 2, 3)) == 0
+
+    def test_l1(self):
+        assert vector_distance((0, 0), (3, 4)) == 7
+
+    def test_symmetric(self):
+        a, b = (4, 16, 32), (5, 20, 30)
+        assert vector_distance(a, b) == vector_distance(b, a)
+
+    def test_triangle_inequality(self):
+        a, b, c = (0, 0), (5, 5), (10, 0)
+        assert vector_distance(a, c) <= vector_distance(a, b) + vector_distance(b, c)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths"):
+            vector_distance((1,), (1, 2))
+
+    def test_empty_vectors(self):
+        assert vector_distance((), ()) == 0
+
+
+class TestPaperConstants:
+    def test_constants(self):
+        assert MAX_PACKET_DISTANCE == 50
+        assert SIMILARITY_PERCENT == 2.0
+
+    def test_max_inter_flow_distance(self):
+        # "for flows with n packets, the maximum inter flow distance is n*50"
+        assert max_inter_flow_distance(10) == 500
+
+    def test_threshold_equals_n_for_paper_constants(self):
+        # Equation 4 simplifies to d_max = n.
+        for n in (1, 7, 50):
+            assert similarity_threshold(n) == pytest.approx(float(n))
+
+    def test_threshold_custom_percent(self):
+        assert similarity_threshold(10, percent=10.0) == pytest.approx(50.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            max_inter_flow_distance(-1)
+        with pytest.raises(ValueError):
+            similarity_threshold(5, percent=-1.0)
+
+
+class TestSimilarity:
+    def test_identical_similar(self):
+        assert vectors_similar((4, 16, 32), (4, 16, 32))
+
+    def test_strictly_below_threshold(self):
+        # n=3 -> d_max=3; distance 2 passes, distance 3 does not ("lower
+        # than").
+        assert vectors_similar((0, 0, 0), (1, 1, 0))
+        assert not vectors_similar((0, 0, 0), (1, 1, 1))
+
+    def test_zero_percent_means_exact_only(self):
+        assert not vectors_similar((1, 2), (1, 3), percent=0.0)
+        # distance 0 is not < 0 either: exact match also fails the strict
+        # rule, which the compressor handles by checking distance < max(eps)
+        assert not vectors_similar((1, 2), (1, 2), percent=0.0)

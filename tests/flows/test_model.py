@@ -1,0 +1,119 @@
+"""Tests for the Flow data model."""
+
+import pytest
+
+from repro.flows.model import Direction, Flow, flow_from_packets
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+
+from tests.conftest import CLIENT_IP, SERVER_IP, make_web_flow
+
+
+def build_flow(packets=None) -> Flow:
+    packets = packets if packets is not None else make_web_flow()
+    return flow_from_packets(packets[0].five_tuple(), packets)
+
+
+class TestDirection:
+    def test_opposite(self):
+        assert Direction.CLIENT_TO_SERVER.opposite() is Direction.SERVER_TO_CLIENT
+        assert Direction.SERVER_TO_CLIENT.opposite() is Direction.CLIENT_TO_SERVER
+
+
+class TestFlowConstruction:
+    def test_directions_annotated(self):
+        flow = build_flow()
+        directions = [fp.direction for fp in flow]
+        assert directions[0] is Direction.CLIENT_TO_SERVER  # SYN
+        assert directions[1] is Direction.SERVER_TO_CLIENT  # SYN+ACK
+
+    def test_add_rejects_foreign_packet(self):
+        flow = build_flow()
+        stranger = PacketRecord(1.0, 0x01010101, 0x02020202, 5, 6)
+        with pytest.raises(ValueError, match="does not belong"):
+            flow.add(stranger)
+
+    def test_len_and_iter(self):
+        flow = build_flow()
+        assert len(flow) == len(list(flow)) == 8
+
+
+class TestTimes:
+    def test_start_end_duration(self):
+        flow = build_flow()
+        assert flow.start_time() == 1000.0
+        assert flow.duration() == pytest.approx(
+            flow.end_time() - flow.start_time()
+        )
+
+    def test_inter_packet_times_length(self):
+        flow = build_flow()
+        gaps = flow.inter_packet_times()
+        assert len(gaps) == len(flow) - 1
+        assert all(g >= 0 for g in gaps)
+
+    def test_empty_flow_raises(self):
+        empty = Flow(build_flow().key)
+        with pytest.raises(ValueError):
+            empty.start_time()
+
+
+class TestTcpSemantics:
+    def test_starts_with_syn(self):
+        assert build_flow().starts_with_syn()
+
+    def test_syn_ack_start_is_not_bare_syn(self):
+        packets = make_web_flow()[1:]  # drops the SYN
+        flow = flow_from_packets(packets[0].five_tuple(), packets)
+        assert not flow.starts_with_syn()
+
+    def test_is_terminated(self):
+        assert build_flow().is_terminated()
+
+    def test_unterminated(self):
+        packets = make_web_flow()[:-1]  # drops the FIN
+        flow = flow_from_packets(packets[0].five_tuple(), packets)
+        assert not flow.is_terminated()
+
+    def test_rst_terminates(self):
+        packets = make_web_flow()[:-1]
+        rst = PacketRecord(
+            packets[-1].timestamp + 1,
+            CLIENT_IP,
+            SERVER_IP,
+            2000,
+            80,
+            flags=TCP_RST,
+        )
+        flow = flow_from_packets(packets[0].five_tuple(), packets + [rst])
+        assert flow.is_terminated()
+
+    def test_estimate_rtt_is_handshake_gap(self):
+        flow = build_flow()
+        # make_web_flow uses rtt=0.05 between SYN and SYN+ACK.
+        assert flow.estimate_rtt() == pytest.approx(0.05, abs=1e-9)
+
+    def test_estimate_rtt_no_turnaround(self):
+        packets = [
+            PacketRecord(float(i), CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_ACK)
+            for i in range(3)
+        ]
+        flow = flow_from_packets(packets[0].five_tuple(), packets)
+        assert flow.estimate_rtt() == 0.0
+
+
+class TestAggregates:
+    def test_total_bytes_and_payload(self):
+        flow = build_flow()
+        assert flow.total_payload() == 300 + 2 * 1460
+        assert flow.total_bytes() == flow.total_payload() + 40 * len(flow)
+
+    def test_endpoints(self):
+        flow = build_flow()
+        assert flow.client_ip() == CLIENT_IP
+        assert flow.server_ip() == SERVER_IP
+
+    def test_raw_packets_order(self):
+        flow = build_flow()
+        raw = flow.raw_packets()
+        assert [p.timestamp for p in raw] == sorted(p.timestamp for p in raw)

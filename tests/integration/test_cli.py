@@ -1,0 +1,70 @@
+"""Integration: the repro-trace CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.tsh"
+    assert main(["generate", str(path), "--duration", "3", "--seed", "5"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_tsh(self, trace_file):
+        assert trace_file.exists()
+        trace = Trace.load_tsh(trace_file)
+        assert len(trace) > 100
+
+
+class TestCompressDecompress:
+    def test_full_cycle(self, tmp_path, trace_file, capsys):
+        compressed = tmp_path / "t.fctc"
+        assert main(["compress", str(trace_file), str(compressed)]) == 0
+        output = capsys.readouterr().out
+        assert "ratio" in output
+        assert compressed.stat().st_size < trace_file.stat().st_size / 10
+
+        restored = tmp_path / "t2.tsh"
+        assert main(["decompress", str(compressed), str(restored)]) == 0
+        assert len(Trace.load_tsh(restored)) == len(Trace.load_tsh(trace_file))
+
+    def test_inspect(self, tmp_path, trace_file, capsys):
+        compressed = tmp_path / "t.fctc"
+        main(["compress", str(trace_file), str(compressed)])
+        capsys.readouterr()
+        assert main(["inspect", str(compressed)]) == 0
+        output = capsys.readouterr().out
+        assert "short templates" in output
+        assert "time_seq" in output
+
+    def test_inspect_addresses(self, tmp_path, trace_file, capsys):
+        compressed = tmp_path / "t.fctc"
+        main(["compress", str(trace_file), str(compressed)])
+        capsys.readouterr()
+        assert main(["inspect", str(compressed), "--addresses"]) == 0
+        output = capsys.readouterr().out
+        assert "[0]" in output
+
+
+class TestStats:
+    def test_stats_output(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        output = capsys.readouterr().out
+        assert "flows" in output
+        assert "paper: 98%" in output
+
+
+class TestConvert:
+    def test_tsh_to_pcap_and_back(self, tmp_path, trace_file):
+        pcap = tmp_path / "t.pcap"
+        assert main(["convert", str(trace_file), str(pcap)]) == 0
+        back = tmp_path / "back.tsh"
+        assert main(["convert", str(pcap), str(back)]) == 0
+        original = Trace.load_tsh(trace_file)
+        restored = Trace.load_tsh(back)
+        assert len(original) == len(restored)
+        assert [p.dst_ip for p in original] == [p.dst_ip for p in restored]

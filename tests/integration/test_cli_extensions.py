@@ -1,0 +1,69 @@
+"""Integration: the synthesize/anonymize/compare CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "src.tsh"
+    assert main(["generate", str(path), "--duration", "4", "--seed", "21"]) == 0
+    return path
+
+
+class TestSynthesize:
+    def test_scale_two(self, tmp_path, trace_file, capsys):
+        out = tmp_path / "double.tsh"
+        assert main(
+            ["synthesize", str(trace_file), str(out), "--scale", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "templates" in output
+        source = Trace.load_tsh(trace_file)
+        synthetic = Trace.load_tsh(out)
+        assert len(synthetic) > 1.5 * len(source)
+
+    def test_absolute_flows(self, tmp_path, trace_file):
+        out = tmp_path / "fixed.tsh"
+        assert main(
+            ["synthesize", str(trace_file), str(out), "--flows", "10"]
+        ) == 0
+        assert len(Trace.load_tsh(out)) > 10  # >= 1 packet per flow
+
+
+class TestAnonymize:
+    def test_addresses_change_structure_survives(self, tmp_path, trace_file):
+        out = tmp_path / "anon.tsh"
+        assert main(["anonymize", str(trace_file), str(out)]) == 0
+        original = Trace.load_tsh(trace_file)
+        anonymized = Trace.load_tsh(out)
+        assert len(anonymized) == len(original)
+        assert {p.dst_ip for p in original}.isdisjoint(
+            {p.dst_ip for p in anonymized}
+        )
+
+    def test_key_changes_output(self, tmp_path, trace_file):
+        out_a = tmp_path / "a.tsh"
+        out_b = tmp_path / "b.tsh"
+        main(["anonymize", str(trace_file), str(out_a), "--key", "k1"])
+        main(["anonymize", str(trace_file), str(out_b), "--key", "k2"])
+        a = Trace.load_tsh(out_a)
+        b = Trace.load_tsh(out_b)
+        assert [p.dst_ip for p in a] != [p.dst_ip for p in b]
+
+
+class TestCompare:
+    def test_roundtrip_passes_compare(self, tmp_path, trace_file, capsys):
+        compressed = tmp_path / "t.fctc"
+        restored = tmp_path / "restored.tsh"
+        main(["compress", str(trace_file), str(compressed)])
+        main(["decompress", str(compressed), str(restored)])
+        capsys.readouterr()
+        assert main(["compare", str(trace_file), str(restored)]) == 0
+        output = capsys.readouterr().out
+        assert "statistically similar: True" in output
+
+    def test_self_compare_passes(self, trace_file, capsys):
+        assert main(["compare", str(trace_file), str(trace_file)]) == 0

@@ -1,0 +1,69 @@
+"""Tests for the checkpointed access recorder."""
+
+import pytest
+
+from repro.memsim.access import AccessRecorder
+
+
+class TestCheckpoints:
+    def test_per_packet_counts(self):
+        recorder = AccessRecorder()
+        for count in (3, 0, 5):
+            recorder.begin_packet()
+            for address in range(count):
+                recorder.record(0x1000 + address)
+            recorder.end_packet()
+        assert recorder.accesses_per_packet() == [3, 0, 5]
+        assert recorder.packet_count == 3
+        assert recorder.total_accesses == 8
+
+    def test_unbalanced_begin_rejected(self):
+        recorder = AccessRecorder()
+        recorder.begin_packet()
+        with pytest.raises(RuntimeError):
+            recorder.begin_packet()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            AccessRecorder().end_packet()
+
+    def test_record_many(self):
+        recorder = AccessRecorder()
+        recorder.begin_packet()
+        recorder.record_many([1, 2, 3])
+        recorder.end_packet()
+        assert recorder.accesses_per_packet() == [3]
+
+
+class TestTraces:
+    def test_packet_trace_slice(self):
+        recorder = AccessRecorder()
+        recorder.begin_packet()
+        recorder.record(10)
+        recorder.end_packet()
+        recorder.begin_packet()
+        recorder.record(20)
+        recorder.record(30)
+        recorder.end_packet()
+        trace = recorder.packet_trace(1)
+        assert list(trace.addresses) == [20, 30]
+        assert trace.access_count == 2
+
+    def test_iter_packets(self):
+        recorder = AccessRecorder()
+        for base in (100, 200):
+            recorder.begin_packet()
+            recorder.record(base)
+            recorder.end_packet()
+        slices = list(recorder.iter_packets())
+        assert [list(s.addresses) for s in slices] == [[100], [200]]
+
+    def test_flat_addresses(self):
+        recorder = AccessRecorder()
+        recorder.begin_packet()
+        recorder.record(1)
+        recorder.end_packet()
+        recorder.begin_packet()
+        recorder.record(2)
+        recorder.end_packet()
+        assert list(recorder.flat_addresses()) == [1, 2]

@@ -1,0 +1,108 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import pytest
+
+from repro.memsim.cache import CacheConfig, SetAssociativeCache
+
+
+class TestConfig:
+    def test_set_count(self):
+        config = CacheConfig(size_bytes=16 * 1024, line_bytes=32, associativity=2)
+        assert config.set_count == 256
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=48)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=32, associativity=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 32, 2))
+        assert cache.access(0x1000) is False  # cold miss
+        assert cache.access(0x1000) is True   # now resident
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 32, 2))
+        cache.access(0x1000)
+        assert cache.access(0x101F) is True  # same 32-byte line
+        assert cache.access(0x1020) is False  # next line
+
+    def test_stats(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 32, 2))
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+class TestLruReplacement:
+    def direct_mapped(self) -> SetAssociativeCache:
+        return SetAssociativeCache(CacheConfig(size_bytes=64, line_bytes=32, associativity=1))
+
+    def test_conflict_eviction(self):
+        cache = self.direct_mapped()  # 2 sets of 1 way
+        cache.access(0)      # set 0
+        cache.access(64)     # set 0, evicts line 0
+        assert cache.access(0) is False  # was evicted
+
+    def test_two_way_keeps_both(self):
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=128, line_bytes=32, associativity=2)
+        )  # 2 sets of 2 ways
+        cache.access(0)
+        cache.access(64)   # same set, second way
+        assert cache.access(0) is True
+        assert cache.access(64) is True
+
+    def test_lru_victim_selection(self):
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=64, line_bytes=32, associativity=2)
+        )  # 1 set, 2 ways
+        cache.access(0)
+        cache.access(32)
+        cache.access(0)      # refresh line 0: LRU is now line 32
+        cache.access(64)     # evicts line 32
+        assert cache.access(0) is True
+        assert cache.access(32) is False
+
+
+class TestReplayAndFlush:
+    def test_replay_reports_burst_stats(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 32, 2))
+        burst = cache.replay([0, 0, 32, 32])
+        assert burst.accesses == 4
+        assert burst.misses == 2
+
+    def test_replay_accumulates_global_stats(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 32, 2))
+        cache.replay([0, 32])
+        cache.replay([0])
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+
+    def test_flush_empties_but_keeps_stats(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 32, 2))
+        cache.access(0)
+        cache.flush()
+        assert cache.resident_lines() == 0
+        assert cache.stats.accesses == 1
+        assert cache.access(0) is False
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=256, line_bytes=32, associativity=1))
+        addresses = [i * 32 for i in range(16)]  # 512 B working set
+        cache.replay(addresses)
+        second_pass = cache.replay(addresses)
+        # Sequential sweep over 2x the cache: every access misses.
+        assert second_pass.misses == 16

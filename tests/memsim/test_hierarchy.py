@@ -1,0 +1,86 @@
+"""Tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.memsim.cache import CacheConfig
+from repro.memsim.hierarchy import CacheHierarchy, HierarchyConfig
+
+
+def small_hierarchy() -> CacheHierarchy:
+    return CacheHierarchy(
+        HierarchyConfig(
+            l1=CacheConfig(size_bytes=128, line_bytes=32, associativity=1),
+            l2=CacheConfig(size_bytes=512, line_bytes=32, associativity=2),
+        )
+    )
+
+
+class TestConfig:
+    def test_l2_must_dominate_l1(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(
+                l1=CacheConfig(size_bytes=1024, line_bytes=32, associativity=2),
+                l2=CacheConfig(size_bytes=512, line_bytes=32, associativity=2),
+            )
+
+
+class TestAccessPath:
+    def test_cold_goes_to_memory(self):
+        hierarchy = small_hierarchy()
+        assert hierarchy.access(0x1000) == "memory"
+
+    def test_warm_hits_l1(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0x1000)
+        assert hierarchy.access(0x1000) == "l1"
+
+    def test_l1_victim_still_in_l2(self):
+        hierarchy = small_hierarchy()  # L1: 4 sets x 1 way
+        hierarchy.access(0)      # L1 set 0
+        hierarchy.access(128)    # L1 set 0, evicts line 0 from L1
+        assert hierarchy.access(0) == "l2"  # gone from L1, kept by L2
+
+    def test_l2_only_sees_l1_misses(self):
+        hierarchy = small_hierarchy()
+        for _ in range(10):
+            hierarchy.access(0x2000)
+        stats = hierarchy.stats
+        assert stats.l1.accesses == 10
+        assert stats.l2.accesses == 1  # the single cold miss
+
+
+class TestStatistics:
+    def test_global_miss_rate(self):
+        hierarchy = small_hierarchy()
+        burst = hierarchy.replay([0, 0, 0, 4096])
+        assert burst.l1.accesses == 4
+        assert burst.l1.misses == 2
+        assert burst.l2.misses == 2
+        assert burst.global_miss_rate == pytest.approx(0.5)
+
+    def test_l2_local_miss_rate(self):
+        hierarchy = small_hierarchy()
+        burst = hierarchy.replay([0, 128, 0, 128])  # L1 ping-pong, L2 holds
+        assert burst.l2.accesses == 4
+        assert burst.l2.misses == 2
+        assert burst.l2_local_miss_rate == pytest.approx(0.5)
+
+    def test_empty_replay(self):
+        hierarchy = small_hierarchy()
+        burst = hierarchy.replay([])
+        assert burst.global_miss_rate == 0.0
+
+    def test_flush(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0)
+        hierarchy.flush()
+        assert hierarchy.access(0) == "memory"
+
+
+class TestInclusionBehaviour:
+    def test_l2_never_misses_more_than_l1(self):
+        hierarchy = small_hierarchy()
+        addresses = [(i * 32) % 2048 for i in range(500)]
+        burst = hierarchy.replay(addresses)
+        assert burst.l2.misses <= burst.l1.misses
+        assert burst.l2.accesses == burst.l1.misses

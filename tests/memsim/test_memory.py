@@ -1,0 +1,88 @@
+"""Tests for the simulated heap."""
+
+import pytest
+
+from repro.memsim.memory import SimulatedHeap
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_addresses(self):
+        heap = SimulatedHeap()
+        addresses = [heap.alloc(32) for _ in range(100)]
+        assert len(set(addresses)) == 100
+
+    def test_alignment(self):
+        heap = SimulatedHeap(alignment=8)
+        a = heap.alloc(5)
+        b = heap.alloc(5)
+        assert a % 8 == 0
+        assert b - a == 8
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            SimulatedHeap().alloc(0)
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            SimulatedHeap(alignment=3)
+
+    def test_live_accounting(self):
+        heap = SimulatedHeap()
+        address = heap.alloc(32, label="node")
+        assert heap.live_allocations() == 1
+        assert heap.live_bytes() == 32
+        heap.free(address)
+        assert heap.live_allocations() == 0
+        assert heap.live_bytes() == 0
+
+
+class TestFreeList:
+    def test_freed_block_reused(self):
+        heap = SimulatedHeap()
+        first = heap.alloc(48)
+        heap.free(first)
+        second = heap.alloc(48)
+        assert second == first
+        assert heap.reuse_count == 1
+
+    def test_lifo_reuse_order(self):
+        heap = SimulatedHeap()
+        a = heap.alloc(32)
+        b = heap.alloc(32)
+        heap.free(a)
+        heap.free(b)
+        assert heap.alloc(32) == b  # most recently freed first
+        assert heap.alloc(32) == a
+
+    def test_size_classes_separate(self):
+        heap = SimulatedHeap()
+        small = heap.alloc(16)
+        heap.free(small)
+        large = heap.alloc(64)
+        assert large != small
+
+    def test_double_free_rejected(self):
+        heap = SimulatedHeap()
+        address = heap.alloc(32)
+        heap.free(address)
+        with pytest.raises(ValueError, match="free"):
+            heap.free(address)
+
+    def test_footprint_is_high_water_mark(self):
+        heap = SimulatedHeap()
+        a = heap.alloc(32)
+        heap.free(a)
+        heap.alloc(32)  # reuses, no growth
+        assert heap.footprint_bytes() == 32
+
+
+class TestOwnerLookup:
+    def test_owner_of(self):
+        heap = SimulatedHeap()
+        address = heap.alloc(32, label="radix-node")
+        allocation = heap.owner_of(address + 8)
+        assert allocation is not None
+        assert allocation.label == "radix-node"
+
+    def test_owner_of_unknown(self):
+        assert SimulatedHeap().owner_of(0xDEAD) is None

@@ -1,0 +1,94 @@
+"""Tests for the Figure 2/3 metric aggregation."""
+
+import pytest
+
+from repro.memsim.access import AccessRecorder
+from repro.memsim.cache import CacheConfig
+from repro.memsim.metrics import (
+    MISS_RATE_BUCKETS,
+    PacketMemoryMetrics,
+    TraceMemoryProfile,
+    bucket_miss_rates,
+    profile_from_recorder,
+)
+
+
+def profile_of(metrics) -> TraceMemoryProfile:
+    return TraceMemoryProfile("test", list(metrics))
+
+
+class TestPacketMetrics:
+    def test_miss_rate(self):
+        assert PacketMemoryMetrics(0, 10, 2).miss_rate == pytest.approx(0.2)
+
+    def test_zero_accesses(self):
+        assert PacketMemoryMetrics(0, 0, 0).miss_rate == 0.0
+
+
+class TestBuckets:
+    def test_bucket_edges_match_figure3(self):
+        assert MISS_RATE_BUCKETS[0] == (0.00, 0.05)
+        assert MISS_RATE_BUCKETS[-1][0] == 0.20
+
+    def test_bucketing(self):
+        shares = bucket_miss_rates([0.0, 0.04, 0.07, 0.15, 0.5, 1.0])
+        assert shares == pytest.approx([2 / 6 * 100, 1 / 6 * 100, 1 / 6 * 100, 2 / 6 * 100])
+
+    def test_boundary_goes_up(self):
+        # 0.05 belongs to the 5-10% bucket (half-open intervals).
+        shares = bucket_miss_rates([0.05])
+        assert shares[1] == 100.0
+
+    def test_empty(self):
+        assert bucket_miss_rates([]) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_shares_sum_to_100(self):
+        shares = bucket_miss_rates([0.01 * i for i in range(100)])
+        assert sum(shares) == pytest.approx(100.0)
+
+
+class TestTraceProfile:
+    def test_aggregates(self):
+        profile = profile_of(
+            [
+                PacketMemoryMetrics(0, 10, 1),
+                PacketMemoryMetrics(1, 20, 4),
+            ]
+        )
+        assert profile.mean_accesses() == 15.0
+        assert profile.overall_miss_rate() == pytest.approx(5 / 30)
+        assert profile.access_counts() == [10, 20]
+
+    def test_cumulative_traffic(self):
+        profile = profile_of(
+            PacketMemoryMetrics(i, accesses, 0)
+            for i, accesses in enumerate([50, 60, 60, 100])
+        )
+        assert profile.cumulative_traffic_by_accesses([49, 50, 60, 100]) == [
+            0.0, 25.0, 75.0, 100.0,
+        ]
+
+    def test_empty_profile(self):
+        profile = profile_of([])
+        assert profile.mean_accesses() == 0.0
+        assert profile.overall_miss_rate() == 0.0
+        assert profile.cumulative_traffic_by_accesses([10]) == [0.0]
+
+
+class TestProfileFromRecorder:
+    def test_replay_assigns_misses_per_packet(self):
+        recorder = AccessRecorder()
+        # Packet 0 touches two lines (two cold misses).
+        recorder.begin_packet()
+        recorder.record_many([0, 64])
+        recorder.end_packet()
+        # Packet 1 touches the same lines (hits).
+        recorder.begin_packet()
+        recorder.record_many([0, 64])
+        recorder.end_packet()
+        profile = profile_from_recorder(
+            "t", recorder, CacheConfig(1024, 32, 2)
+        )
+        assert profile.packets[0].misses == 2
+        assert profile.packets[1].misses == 0
+        assert profile.name == "t"

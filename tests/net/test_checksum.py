@@ -1,0 +1,43 @@
+"""Tests for repro.net.checksum (RFC 1071)."""
+
+import struct
+
+import pytest
+
+from repro.net.checksum import internet_checksum, ipv4_header_checksum
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # RFC 1071 section 3 example words:
+        # 0x0001 + 0xF203 + 0xF4F5 + 0xF6F7 = 0x2DDF0
+        # fold: 0xDDF0 + 0x2 = 0xDDF2; complement: 0x220D.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_all_ones(self):
+        assert internet_checksum(b"\xff\xff") == 0
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+    def test_verification_property(self):
+        # Inserting the checksum makes the total sum verify to zero.
+        data = bytes(range(20))
+        checksum = internet_checksum(data)
+        stamped = data + struct.pack(">H", checksum)
+        assert internet_checksum(stamped) == 0
+
+
+class TestIpv4HeaderChecksum:
+    def test_known_header(self):
+        # Classic textbook example (Wikipedia IPv4 checksum article).
+        header = bytes.fromhex("45000073000040004011 0000 c0a80001c0a800c7".replace(" ", ""))
+        assert ipv4_header_checksum(header) == 0xB861
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            ipv4_header_checksum(bytes(19))

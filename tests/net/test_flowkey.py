@@ -1,0 +1,65 @@
+"""Tests for repro.net.flowkey."""
+
+from repro.net.flowkey import FiveTuple, flow_hash
+
+
+def key(src=0x0A000001, dst=0xC0A80001, sport=1234, dport=80) -> FiveTuple:
+    return FiveTuple(src, dst, 6, sport, dport)
+
+
+class TestFiveTuple:
+    def test_reversed(self):
+        forward = key()
+        backward = forward.reversed()
+        assert backward.src_ip == forward.dst_ip
+        assert backward.src_port == forward.dst_port
+        assert backward.reversed() == forward
+
+    def test_canonical_is_direction_insensitive(self):
+        forward = key()
+        assert forward.canonical() == forward.reversed().canonical()
+
+    def test_canonical_orders_endpoints(self):
+        canonical = key().canonical()
+        assert (canonical.src_ip, canonical.src_port) <= (
+            canonical.dst_ip,
+            canonical.dst_port,
+        )
+
+    def test_canonical_same_ips_orders_by_port(self):
+        same_host = FiveTuple(1, 1, 6, 9999, 80)
+        canonical = same_host.canonical()
+        assert canonical.src_port == 80
+
+    def test_hashable_and_equal(self):
+        assert key() == key()
+        assert len({key(), key(), key().reversed()}) == 2
+
+    def test_describe(self):
+        assert "10.0.0.1:1234" in key().describe()
+
+
+class TestFlowHash:
+    def test_deterministic(self):
+        assert flow_hash(key()) == flow_hash(key())
+
+    def test_direction_sensitive(self):
+        # The hash covers the raw tuple; canonicalize first for
+        # bidirectional identity.
+        assert flow_hash(key()) != flow_hash(key().reversed())
+
+    def test_canonical_hash_matches_both_directions(self):
+        assert flow_hash(key().canonical()) == flow_hash(
+            key().reversed().canonical()
+        )
+
+    def test_spread(self):
+        hashes = {
+            flow_hash(key(sport=port)) & 0xFFF for port in range(1024, 1424)
+        }
+        # 400 flows into 4096 buckets: expect wide spread, not clumps.
+        assert len(hashes) > 350
+
+    def test_64_bit_range(self):
+        value = flow_hash(key())
+        assert 0 <= value < 1 << 64

@@ -1,0 +1,40 @@
+"""Tests for repro.net.hostprops."""
+
+from repro.net.hostprops import (
+    COMMON_WINDOWS,
+    INITIAL_TTLS,
+    plausible_ttl,
+    plausible_window,
+)
+
+
+class TestPlausibleTtl:
+    def test_deterministic(self):
+        assert plausible_ttl(0x0A000001) == plausible_ttl(0x0A000001)
+
+    def test_below_some_initial_ttl(self):
+        for address in range(0x0A000000, 0x0A000100):
+            ttl = plausible_ttl(address)
+            assert any(initial - 24 <= ttl < initial for initial in INITIAL_TTLS)
+
+    def test_positive(self):
+        assert all(
+            plausible_ttl(a) > 0 for a in (0, 1, 0xFFFFFFFF, 0x12345678)
+        )
+
+    def test_varies_across_hosts(self):
+        values = {plausible_ttl(a) for a in range(0x0A000000, 0x0A000200)}
+        assert len(values) > 10
+
+
+class TestPlausibleWindow:
+    def test_deterministic(self):
+        assert plausible_window(12345) == plausible_window(12345)
+
+    def test_from_common_set(self):
+        for address in range(0xC0A80000, 0xC0A80080):
+            assert plausible_window(address) in COMMON_WINDOWS
+
+    def test_varies_across_hosts(self):
+        values = {plausible_window(a) for a in range(0x0A000000, 0x0A000400)}
+        assert len(values) >= 4

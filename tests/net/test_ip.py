@@ -1,0 +1,129 @@
+"""Tests for repro.net.ip."""
+
+import random
+
+import pytest
+
+from repro.net.ip import (
+    IPv4Prefix,
+    address_bit,
+    address_class,
+    format_ipv4,
+    parse_ipv4,
+    random_class_b_or_c,
+)
+
+
+class TestParseFormat:
+    def test_parse_dotted_quad(self):
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+
+    def test_parse_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_parse_broadcast(self):
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_format_roundtrip(self):
+        for text in ("1.2.3.4", "192.168.0.80", "223.255.254.1"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("10.0.0")
+
+    def test_parse_rejects_octet_overflow(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("10.0.0.256")
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+
+
+class TestAddressClass:
+    def test_class_a(self):
+        assert address_class(parse_ipv4("10.0.0.1")) == "A"
+
+    def test_class_b(self):
+        assert address_class(parse_ipv4("128.0.0.1")) == "B"
+        assert address_class(parse_ipv4("191.255.0.1")) == "B"
+
+    def test_class_c(self):
+        assert address_class(parse_ipv4("192.0.0.1")) == "C"
+        assert address_class(parse_ipv4("223.255.255.1")) == "C"
+
+    def test_class_d_multicast(self):
+        assert address_class(parse_ipv4("224.0.0.1")) == "D"
+
+    def test_class_e(self):
+        assert address_class(parse_ipv4("240.0.0.1")) == "E"
+
+
+class TestRandomClassBC:
+    def test_always_b_or_c(self):
+        rng = random.Random(5)
+        for _ in range(500):
+            assert address_class(random_class_b_or_c(rng)) in {"B", "C"}
+
+    def test_deterministic_with_seed(self):
+        a = [random_class_b_or_c(random.Random(9)) for _ in range(10)]
+        b = [random_class_b_or_c(random.Random(9)) for _ in range(10)]
+        assert a == b
+
+
+class TestPrefix:
+    def test_parse(self):
+        prefix = IPv4Prefix.parse("192.168.0.0/16")
+        assert prefix.length == 16
+        assert prefix.network == parse_ipv4("192.168.0.0")
+
+    def test_parse_requires_slash(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix.parse("192.168.0.0")
+
+    def test_network_normalized_to_mask(self):
+        prefix = IPv4Prefix(parse_ipv4("192.168.1.1"), 16)
+        assert prefix.network == parse_ipv4("192.168.0.0")
+
+    def test_contains(self):
+        prefix = IPv4Prefix.parse("10.1.0.0/16")
+        assert prefix.contains(parse_ipv4("10.1.200.3"))
+        assert not prefix.contains(parse_ipv4("10.2.0.1"))
+
+    def test_zero_length_contains_everything(self):
+        default = IPv4Prefix(0, 0)
+        assert default.contains(0)
+        assert default.contains(0xFFFFFFFF)
+
+    def test_mask(self):
+        assert IPv4Prefix(0, 0).mask() == 0
+        assert IPv4Prefix(0, 32).mask() == 0xFFFFFFFF
+        assert IPv4Prefix(0, 8).mask() == 0xFF000000
+
+    def test_bit(self):
+        prefix = IPv4Prefix.parse("128.0.0.0/1")
+        assert prefix.bit(0) == 1
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix(0, 0).bit(32)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix(0, 33)
+
+    def test_str(self):
+        assert str(IPv4Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+
+class TestAddressBit:
+    def test_msb(self):
+        assert address_bit(0x80000000, 0) == 1
+        assert address_bit(0x7FFFFFFF, 0) == 0
+
+    def test_lsb(self):
+        assert address_bit(1, 31) == 1
+        assert address_bit(0, 31) == 0

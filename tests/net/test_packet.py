@@ -1,0 +1,79 @@
+"""Tests for repro.net.packet."""
+
+import pytest
+
+from repro.net.packet import HEADER_BYTES, PacketRecord, validate_packet
+from repro.net.tcp import TCP_SYN
+
+
+def make_packet(**overrides) -> PacketRecord:
+    defaults = dict(
+        timestamp=1.5,
+        src_ip=0x0A000001,
+        dst_ip=0xC0A80001,
+        src_port=1234,
+        dst_port=80,
+    )
+    defaults.update(overrides)
+    return PacketRecord(**defaults)
+
+
+class TestPacketRecord:
+    def test_five_tuple(self):
+        packet = make_packet()
+        key = packet.five_tuple()
+        assert (key.src_ip, key.dst_ip) == (packet.src_ip, packet.dst_ip)
+        assert (key.src_port, key.dst_port) == (1234, 80)
+        assert key.protocol == 6
+
+    def test_total_length(self):
+        assert make_packet(payload_len=0).total_length() == HEADER_BYTES
+        assert make_packet(payload_len=1460).total_length() == HEADER_BYTES + 1460
+
+    def test_flag_class(self):
+        assert make_packet(flags=TCP_SYN).flag_class() == 0
+
+    def test_reversed_swaps_endpoints(self):
+        packet = make_packet()
+        flipped = packet.reversed()
+        assert flipped.src_ip == packet.dst_ip
+        assert flipped.dst_port == packet.src_port
+        assert flipped.timestamp == packet.timestamp
+
+    def test_describe_mentions_endpoints(self):
+        text = make_packet().describe()
+        assert "10.0.0.1:1234" in text
+        assert "192.168.0.1:80" in text
+
+
+class TestValidatePacket:
+    def test_valid_packet_passes(self):
+        validate_packet(make_packet())
+
+    def test_negative_timestamp(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            validate_packet(make_packet(timestamp=-1.0))
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("src_ip", 1 << 32),
+            ("dst_ip", -1),
+            ("src_port", 70000),
+            ("dst_port", -2),
+            ("protocol", 300),
+            ("flags", 256),
+            ("ttl", 256),
+            ("ip_id", 1 << 16),
+            ("window", 1 << 16),
+            ("seq", 1 << 32),
+            ("ack", -5),
+        ],
+    )
+    def test_field_out_of_range(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            validate_packet(make_packet(**{field: value}))
+
+    def test_payload_too_large_for_ip_total_length(self):
+        with pytest.raises(ValueError, match="payload_len"):
+            validate_packet(make_packet(payload_len=0xFFFF - HEADER_BYTES + 1))

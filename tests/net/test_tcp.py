@@ -1,0 +1,80 @@
+"""Tests for repro.net.tcp — the paper's g1 flag classification."""
+
+import pytest
+
+from repro.net.tcp import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    TCP_URG,
+    FlagClass,
+    classify_flags,
+    flags_to_str,
+    is_flow_terminator,
+)
+
+
+class TestClassifyFlags:
+    def test_syn(self):
+        assert classify_flags(TCP_SYN) is FlagClass.SYN
+
+    def test_syn_ack(self):
+        assert classify_flags(TCP_SYN | TCP_ACK) is FlagClass.SYN_ACK
+
+    def test_plain_ack(self):
+        assert classify_flags(TCP_ACK) is FlagClass.ACK
+
+    def test_push_ack_is_ack_class(self):
+        assert classify_flags(TCP_PSH | TCP_ACK) is FlagClass.ACK
+
+    def test_fin(self):
+        assert classify_flags(TCP_FIN) is FlagClass.FIN_RST
+
+    def test_fin_ack_still_closing(self):
+        assert classify_flags(TCP_FIN | TCP_ACK) is FlagClass.FIN_RST
+
+    def test_rst(self):
+        assert classify_flags(TCP_RST) is FlagClass.FIN_RST
+
+    def test_rst_ack(self):
+        assert classify_flags(TCP_RST | TCP_ACK) is FlagClass.FIN_RST
+
+    def test_no_flags_is_ack_class(self):
+        # Bare data segments fall into the most common class.
+        assert classify_flags(0) is FlagClass.ACK
+
+    def test_values_match_paper(self):
+        # Section 2 assigns 0..3 in this order.
+        assert int(FlagClass.SYN) == 0
+        assert int(FlagClass.SYN_ACK) == 1
+        assert int(FlagClass.ACK) == 2
+        assert int(FlagClass.FIN_RST) == 3
+
+
+class TestFlagsToStr:
+    def test_empty(self):
+        assert flags_to_str(0) == "-"
+
+    def test_single(self):
+        assert flags_to_str(TCP_SYN) == "SYN"
+
+    def test_combined(self):
+        assert flags_to_str(TCP_SYN | TCP_ACK) == "SYN|ACK"
+
+    def test_all(self):
+        rendered = flags_to_str(
+            TCP_FIN | TCP_SYN | TCP_RST | TCP_PSH | TCP_ACK | TCP_URG
+        )
+        assert rendered == "FIN|SYN|RST|PSH|ACK|URG"
+
+
+class TestFlowTerminator:
+    @pytest.mark.parametrize("flags", [TCP_FIN, TCP_RST, TCP_FIN | TCP_ACK])
+    def test_terminators(self, flags):
+        assert is_flow_terminator(flags)
+
+    @pytest.mark.parametrize("flags", [0, TCP_SYN, TCP_ACK, TCP_SYN | TCP_ACK])
+    def test_non_terminators(self, flags):
+        assert not is_flow_terminator(flags)

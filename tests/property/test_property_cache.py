@@ -1,0 +1,80 @@
+"""Property tests for the cache simulator and simulated heap."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.cache import CacheConfig, SetAssociativeCache
+from repro.memsim.memory import SimulatedHeap
+
+cache_configs = st.sampled_from(
+    [
+        CacheConfig(256, 32, 1),
+        CacheConfig(1024, 32, 2),
+        CacheConfig(4096, 64, 4),
+        CacheConfig(512, 16, 8),
+    ]
+)
+
+address_streams = st.lists(
+    st.integers(min_value=0, max_value=0xFFFFF), min_size=0, max_size=400
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cache_configs, address_streams)
+def test_misses_never_exceed_accesses(config, stream):
+    cache = SetAssociativeCache(config)
+    cache.replay(stream)
+    assert 0 <= cache.stats.misses <= cache.stats.accesses == len(stream)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cache_configs, address_streams)
+def test_misses_at_least_compulsory(config, stream):
+    # Every distinct line must miss at least once (cold misses).
+    cache = SetAssociativeCache(config)
+    cache.replay(stream)
+    distinct_lines = {a >> (config.line_bytes.bit_length() - 1) for a in stream}
+    assert cache.stats.misses >= len(distinct_lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cache_configs, address_streams)
+def test_capacity_respected(config, stream):
+    cache = SetAssociativeCache(config)
+    cache.replay(stream)
+    assert cache.resident_lines() <= config.set_count * config.associativity
+
+
+@settings(max_examples=40, deadline=None)
+@given(address_streams)
+def test_bigger_cache_never_more_misses(stream):
+    # LRU caches have the inclusion property: a larger cache with the
+    # same associativity-per-set growth (full associativity doubling)
+    # cannot miss more on the same trace.
+    small = SetAssociativeCache(CacheConfig(512, 32, 1))
+    large = SetAssociativeCache(CacheConfig(1024, 32, 2))
+    small.replay(stream)
+    large.replay(stream)
+    assert large.stats.misses <= small.stats.misses
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=256),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_heap_alloc_free_alloc_reuses(sizes):
+    heap = SimulatedHeap()
+    addresses = [heap.alloc(size) for size in sizes]
+    assert len(set(addresses)) == len(addresses)
+    for address in addresses:
+        heap.free(address)
+    assert heap.live_allocations() == 0
+    again = [heap.alloc(size) for size in sizes]
+    assert set(again) <= set(addresses)  # full reuse, no growth
+    assert heap.footprint_bytes() == sum(
+        (size + 7) & ~7 for size in sizes
+    )

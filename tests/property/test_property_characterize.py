@@ -1,0 +1,104 @@
+"""Property tests for the section 2 characterization and distance rule."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.flows.characterize import (
+    CharacterizationConfig,
+    Weights,
+    decode_packet_value,
+    payload_size_class,
+)
+from repro.flows.distance import (
+    similarity_threshold,
+    vector_distance,
+    vectors_similar,
+)
+
+triples = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=0, max_value=2),
+)
+
+place_value_weights = st.tuples(
+    st.integers(min_value=1, max_value=8),   # payload weight w3
+    st.integers(min_value=1, max_value=8),   # slack for w2
+    st.integers(min_value=1, max_value=8),   # slack for w1
+).map(
+    lambda t: Weights(
+        payload=t[0],
+        dependence=2 * t[0] + t[1],
+        flags=(2 * t[0] + t[1]) + 2 * t[0] + t[2],
+    )
+)
+
+
+@given(triples)
+def test_default_weights_encode_decode(triple):
+    g1, g2, g3 = triple
+    value = 16 * g1 + 4 * g2 + 1 * g3
+    assert decode_packet_value(value) == triple
+
+
+@settings(max_examples=100)
+@given(place_value_weights, triples)
+def test_any_place_value_weights_invertible(weights, triple):
+    g1, g2, g3 = triple
+    value = weights.flags * g1 + weights.dependence * g2 + weights.payload * g3
+    config = CharacterizationConfig(weights=weights)
+    assert decode_packet_value(value, config) == triple
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+def test_payload_class_total_and_ordered(payload):
+    klass = payload_size_class(payload)
+    assert klass in (0, 1, 2)
+    if payload == 0:
+        assert klass == 0
+    if payload > 500:
+        assert klass == 2
+
+
+vectors = st.lists(st.integers(min_value=0, max_value=54), min_size=1, max_size=50)
+
+
+@given(vectors)
+def test_distance_identity(vector):
+    assert vector_distance(vector, vector) == 0
+
+
+@given(vectors, st.data())
+def test_distance_symmetry(a, data):
+    b = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=54),
+            min_size=len(a),
+            max_size=len(a),
+        )
+    )
+    assert vector_distance(a, b) == vector_distance(b, a)
+
+
+@given(vectors, st.data())
+def test_triangle_inequality(a, data):
+    same_length = st.lists(
+        st.integers(min_value=0, max_value=54),
+        min_size=len(a),
+        max_size=len(a),
+    )
+    b = data.draw(same_length)
+    c = data.draw(same_length)
+    assert vector_distance(a, c) <= vector_distance(a, b) + vector_distance(b, c)
+
+
+@given(vectors, st.data())
+def test_similarity_consistent_with_threshold(a, data):
+    b = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=54),
+            min_size=len(a),
+            max_size=len(a),
+        )
+    )
+    similar = vectors_similar(a, b)
+    assert similar == (vector_distance(a, b) < similarity_threshold(len(a)))

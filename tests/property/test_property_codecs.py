@@ -1,0 +1,61 @@
+"""Property tests for the lossless byte codecs (LZ77, Huffman, deflate)."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.deflate import deflate_compress, deflate_decompress
+from repro.baselines.huffman import build_huffman_code, huffman_decode, huffman_encode
+from repro.baselines.lz77 import lz77_compress, lz77_decompress
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=4000))
+def test_lz77_roundtrip(data):
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.binary(max_size=400),
+    st.integers(min_value=2, max_value=20),
+)
+def test_lz77_roundtrip_repetitive(chunk, repeats):
+    data = chunk * repeats
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=500))
+def test_huffman_roundtrip(symbols):
+    frequencies = Counter(symbols)
+    code = build_huffman_code(frequencies)
+    encoded = huffman_encode(symbols, code)
+    assert huffman_decode(encoded, code, len(symbols)) == symbols
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(
+    st.integers(min_value=0, max_value=285),
+    st.integers(min_value=1, max_value=10_000),
+    min_size=1,
+    max_size=100,
+))
+def test_huffman_kraft_inequality(frequencies):
+    code = build_huffman_code(frequencies)
+    kraft = sum(2 ** -length for length in code.lengths.values())
+    assert kraft <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=3000))
+def test_deflate_roundtrip(data):
+    assert deflate_decompress(deflate_compress(data)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=1, max_size=2000))
+def test_deflate_bounded_expansion(data):
+    # Even adversarial input must not blow up beyond literals + tables.
+    compressed = deflate_compress(data)
+    assert len(compressed) <= int(len(data) * 1.3) + 250

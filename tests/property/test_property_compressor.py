@@ -1,0 +1,107 @@
+"""Property tests for the core compressor on synthesized flow mixes."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compressor import CompressorConfig, compress_trace
+from repro.core.decompressor import decompress_trace
+from repro.flows.assembler import assemble_flows
+from repro.flows.characterize import characterize_flow
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.trace.trace import Trace
+
+
+@st.composite
+def flow_mixes(draw):
+    """A small trace of well-formed TCP flows with varied shapes."""
+    flow_count = draw(st.integers(min_value=1, max_value=8))
+    packets = []
+    start = 0.0
+    for index in range(flow_count):
+        start += draw(
+            st.floats(min_value=0.001, max_value=0.5, allow_nan=False)
+        )
+        client = 0x80000000 + draw(st.integers(min_value=1, max_value=0xFFFF))
+        server = 0xC0000000 + draw(st.integers(min_value=1, max_value=0xFF))
+        port = 1024 + index
+        data_packets = draw(st.integers(min_value=0, max_value=12))
+        rtt = draw(st.floats(min_value=0.001, max_value=0.2, allow_nan=False))
+        now = start
+        packets.append(
+            PacketRecord(now, client, server, port, 80, flags=TCP_SYN)
+        )
+        now += rtt
+        packets.append(
+            PacketRecord(now, server, client, 80, port, flags=TCP_SYN | TCP_ACK)
+        )
+        now += rtt
+        packets.append(
+            PacketRecord(now, client, server, port, 80, flags=TCP_ACK)
+        )
+        for _ in range(data_packets):
+            now += 0.001
+            payload = draw(st.sampled_from((0, 200, 600, 1460)))
+            packets.append(
+                PacketRecord(
+                    now, server, client, 80, port,
+                    flags=TCP_ACK, payload_len=payload,
+                )
+            )
+        now += 0.001
+        packets.append(
+            PacketRecord(now, client, server, port, 80, flags=TCP_FIN | TCP_ACK)
+        )
+    packets.sort(key=lambda p: p.timestamp)
+    return Trace(packets, name="prop")
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_mixes())
+def test_every_flow_gets_a_time_seq_record(trace):
+    compressed = compress_trace(trace)
+    flows = assemble_flows(trace.packets)
+    assert compressed.flow_count() == len(flows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_mixes())
+def test_packet_count_preserved(trace):
+    compressed = compress_trace(trace)
+    decompressed = decompress_trace(compressed)
+    assert len(decompressed) == len(trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_mixes())
+def test_compressed_validates(trace):
+    compressed = compress_trace(trace)
+    compressed.validate()  # referential integrity always holds
+
+
+@settings(max_examples=30, deadline=None)
+@given(flow_mixes())
+def test_exact_clustering_preserves_vector_multiset(trace):
+    """With a 0% threshold (exact matching), decompression reproduces
+    the exact multiset of V_f vectors."""
+    config = CompressorConfig(similarity_percent=0.0)
+    compressed = compress_trace(trace, config)
+    decompressed = decompress_trace(compressed)
+    original = sorted(
+        characterize_flow(f) for f in assemble_flows(trace.packets)
+    )
+    restored = sorted(
+        characterize_flow(f) for f in assemble_flows(decompressed.packets)
+    )
+    assert original == restored
+
+
+@settings(max_examples=30, deadline=None)
+@given(flow_mixes(), st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+def test_wider_threshold_never_more_templates(trace, extra_percent):
+    tight = compress_trace(trace, CompressorConfig(similarity_percent=2.0))
+    loose = compress_trace(
+        trace, CompressorConfig(similarity_percent=2.0 + extra_percent)
+    )
+    assert len(loose.short_templates) <= len(tight.short_templates)

@@ -1,0 +1,134 @@
+"""Property tests for the compressed-container codec and TSH format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import deserialize_compressed, serialize_compressed
+from repro.core.datasets import (
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.net.packet import PacketRecord
+from repro.trace.tsh import decode_record, encode_record
+
+short_templates = st.lists(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=50).map(
+        lambda values: ShortFlowTemplate(tuple(values))
+    ),
+    max_size=8,
+)
+
+long_templates = st.lists(
+    st.integers(min_value=51, max_value=80).flatmap(
+        lambda n: st.tuples(
+            st.lists(
+                st.integers(min_value=0, max_value=255), min_size=n, max_size=n
+            ),
+            st.lists(
+                st.floats(min_value=0.0, max_value=6.0), min_size=n, max_size=n
+            ),
+        ).map(lambda vg: LongFlowTemplate(tuple(vg[0]), tuple(vg[1])))
+    ),
+    max_size=3,
+)
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=20, unique=True
+)
+
+
+@st.composite
+def containers(draw):
+    shorts = draw(short_templates)
+    longs = draw(long_templates)
+    addrs = draw(addresses)
+    compressed = CompressedTrace(name=draw(st.text(max_size=10)))
+    compressed.short_templates = shorts
+    compressed.long_templates = longs
+    for address in addrs:
+        compressed.addresses.intern(address)
+    flow_count = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(flow_count):
+        if longs and draw(st.booleans()):
+            dataset = DatasetId.LONG
+            template_index = draw(
+                st.integers(min_value=0, max_value=len(longs) - 1)
+            )
+            rtt = 0.0
+        elif shorts:
+            dataset = DatasetId.SHORT
+            template_index = draw(
+                st.integers(min_value=0, max_value=len(shorts) - 1)
+            )
+            rtt = draw(st.floats(min_value=0.0, max_value=6.0))
+        else:
+            continue
+        compressed.time_seq.append(
+            TimeSeqRecord(
+                timestamp=draw(st.floats(min_value=0.0, max_value=1000.0)),
+                dataset=dataset,
+                template_index=template_index,
+                address_index=draw(
+                    st.integers(min_value=0, max_value=len(addrs) - 1)
+                ),
+                rtt=rtt,
+            )
+        )
+    return compressed
+
+
+@settings(max_examples=50, deadline=None)
+@given(containers())
+def test_container_roundtrip_structure(compressed):
+    restored = deserialize_compressed(serialize_compressed(compressed))
+    assert restored.template_counts() == compressed.template_counts()
+    assert len(restored.addresses) == len(compressed.addresses)
+    assert restored.flow_count() == compressed.flow_count()
+    for original, rebuilt in zip(compressed.short_templates, restored.short_templates):
+        assert rebuilt.values == original.values
+    for original, rebuilt in zip(compressed.time_seq, restored.time_seq):
+        assert rebuilt.dataset == original.dataset
+        assert rebuilt.template_index == original.template_index
+        assert rebuilt.address_index == original.address_index
+        assert abs(rebuilt.timestamp - original.timestamp) <= 1e-4 + 1e-9
+        assert abs(rebuilt.rtt - original.rtt) <= 1e-4 + 1e-9
+
+
+packets = st.builds(
+    PacketRecord,
+    timestamp=st.floats(min_value=0.0, max_value=4e9, allow_nan=False),
+    src_ip=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    dst_ip=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    src_port=st.integers(min_value=0, max_value=0xFFFF),
+    dst_port=st.integers(min_value=0, max_value=0xFFFF),
+    protocol=st.integers(min_value=0, max_value=255),
+    flags=st.integers(min_value=0, max_value=0x3F),
+    payload_len=st.integers(min_value=0, max_value=0xFFFF - 40),
+    seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ack=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ttl=st.integers(min_value=0, max_value=255),
+    ip_id=st.integers(min_value=0, max_value=0xFFFF),
+    window=st.integers(min_value=0, max_value=0xFFFF),
+)
+
+
+@settings(max_examples=200)
+@given(packets)
+def test_tsh_record_roundtrip(packet):
+    decoded = decode_record(encode_record(packet))
+    assert decoded.src_ip == packet.src_ip
+    assert decoded.dst_ip == packet.dst_ip
+    assert decoded.src_port == packet.src_port
+    assert decoded.dst_port == packet.dst_port
+    assert decoded.protocol == packet.protocol
+    assert decoded.flags == packet.flags
+    assert decoded.payload_len == packet.payload_len
+    assert decoded.seq == packet.seq
+    assert decoded.ack == packet.ack
+    assert decoded.ttl == packet.ttl
+    assert decoded.window == packet.window
+    assert abs(decoded.timestamp - packet.timestamp) <= 1e-6 * max(
+        1.0, packet.timestamp
+    )

@@ -1,0 +1,121 @@
+"""Tests for the three benchmark applications (Route, NAT, RTR)."""
+
+import pytest
+
+from repro.memsim.cache import CacheConfig
+from repro.routing.nat import NatApp, NatConfig
+from repro.routing.route import RouteApp
+from repro.routing.rtr import RtrApp, RtrConfig
+from repro.trace.trace import Trace
+
+from tests.conftest import make_web_flow
+
+
+class TestRouteApp:
+    def test_forwards_every_packet(self, multi_flow_trace):
+        app = RouteApp()
+        result = app.run(multi_flow_trace)
+        assert result.packets_processed == len(multi_flow_trace)
+        assert app.forwarded == len(multi_flow_trace)
+        assert app.dropped == 0
+
+    def test_per_packet_accesses_recorded(self, multi_flow_trace):
+        result = RouteApp().run(multi_flow_trace)
+        counts = result.accesses_per_packet()
+        assert len(counts) == len(multi_flow_trace)
+        assert all(count > 0 for count in counts)
+
+    def test_access_counts_in_paper_range(self, multi_flow_trace):
+        result = RouteApp().run(multi_flow_trace)
+        counts = result.accesses_per_packet()
+        mean = sum(counts) / len(counts)
+        # Figure 2's X axis spans ~50-200.
+        assert 30 < mean < 200
+
+    def test_profile_has_miss_rates(self, multi_flow_trace):
+        result = RouteApp().run(multi_flow_trace)
+        profile = result.profile(CacheConfig())
+        assert len(profile) == len(multi_flow_trace)
+        assert 0.0 <= profile.overall_miss_rate() <= 1.0
+
+    def test_next_hop_histogram(self, multi_flow_trace):
+        app = RouteApp()
+        app.run(multi_flow_trace)
+        histogram = app.next_hop_histogram()
+        assert sum(histogram.values()) == len(multi_flow_trace)
+
+
+class TestNatApp:
+    def test_translations_per_flow(self, multi_flow_trace):
+        app = NatApp()
+        app.run(multi_flow_trace)
+        # One translation per flow; all flows FIN so all removed.
+        assert app.translations_created == 50
+        assert app.translations_removed == 50
+        assert app.live_translations() == 0
+
+    def test_hits_for_subsequent_packets(self, multi_flow_trace):
+        app = NatApp()
+        app.run(multi_flow_trace)
+        assert app.hits == len(multi_flow_trace) - 50
+
+    def test_heap_reuse_on_flow_churn(self, multi_flow_trace):
+        app = NatApp()
+        app.run(multi_flow_trace)
+        # Sequential flows free and re-allocate entries: the allocator's
+        # free-list reuse path must fire ("memory needs to be released").
+        assert app.heap.reuse_count > 0
+
+    def test_unterminated_flow_stays(self):
+        packets = make_web_flow()[:-1]  # no FIN
+        app = NatApp()
+        app.run(Trace(packets))
+        assert app.live_translations() == 1
+
+    def test_bucket_count_config(self, multi_flow_trace):
+        app = NatApp(NatConfig(bucket_count=16))
+        result = app.run(multi_flow_trace)
+        assert result.packets_processed == len(multi_flow_trace)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NatConfig(bucket_count=0)
+
+
+class TestRtrApp:
+    def test_forwarding_and_header_work(self, multi_flow_trace):
+        app = RtrApp()
+        result = app.run(multi_flow_trace)
+        assert app.forwarded == len(multi_flow_trace)
+        assert app.expired == 0
+        # RTR adds ring-buffer accesses on top of the trie walk.
+        route_counts = RouteApp().run(multi_flow_trace).accesses_per_packet()
+        rtr_counts = result.accesses_per_packet()
+        assert sum(rtr_counts) > sum(route_counts)
+
+    def test_ttl_expiry(self):
+        from dataclasses import replace
+
+        expired = [replace(p, ttl=1) for p in make_web_flow()]
+        app = RtrApp()
+        app.run(Trace(expired))
+        assert app.expired == len(expired)
+        assert app.forwarded == 0
+
+    def test_ring_wraps(self, multi_flow_trace):
+        app = RtrApp(RtrConfig(ring_slots=4))
+        result = app.run(multi_flow_trace)
+        assert result.packets_processed == len(multi_flow_trace)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RtrConfig(ring_slots=0)
+
+
+class TestResultApi:
+    def test_result_names(self, multi_flow_trace):
+        result = RouteApp().run(multi_flow_trace)
+        assert result.app_name == "route"
+        assert result.trace_name == "multi-flow"
+        profile = result.profile()
+        assert profile.name == "route:multi-flow"

@@ -1,0 +1,147 @@
+"""Tests for the instrumented radix tree."""
+
+import pytest
+
+from repro.memsim.access import AccessRecorder
+from repro.net.ip import IPv4Prefix, parse_ipv4
+from repro.routing.radix import RadixTree
+
+
+def prefix(text: str) -> IPv4Prefix:
+    return IPv4Prefix.parse(text)
+
+
+class TestLongestPrefixMatch:
+    def test_exact_prefix(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/8"), 1)
+        assert tree.lookup(parse_ipv4("10.1.2.3")) == 1
+
+    def test_no_route(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/8"), 1)
+        assert tree.lookup(parse_ipv4("11.0.0.1")) is None
+
+    def test_longest_wins(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/8"), 1)
+        tree.insert(prefix("10.1.0.0/16"), 2)
+        tree.insert(prefix("10.1.2.0/24"), 3)
+        assert tree.lookup(parse_ipv4("10.1.2.3")) == 3
+        assert tree.lookup(parse_ipv4("10.1.9.9")) == 2
+        assert tree.lookup(parse_ipv4("10.9.9.9")) == 1
+
+    def test_default_route(self):
+        tree = RadixTree()
+        tree.insert(prefix("0.0.0.0/0"), 99)
+        assert tree.lookup(parse_ipv4("200.1.2.3")) == 99
+
+    def test_host_route(self):
+        tree = RadixTree()
+        tree.insert(prefix("192.168.0.80/32"), 7)
+        assert tree.lookup(parse_ipv4("192.168.0.80")) == 7
+        assert tree.lookup(parse_ipv4("192.168.0.81")) is None
+
+    def test_replace_existing(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/8"), 1)
+        tree.insert(prefix("10.0.0.0/8"), 5)
+        assert tree.lookup(parse_ipv4("10.0.0.1")) == 5
+        assert tree.entry_count == 1
+
+    def test_sibling_prefixes(self):
+        tree = RadixTree()
+        tree.insert(prefix("128.0.0.0/1"), 1)
+        tree.insert(prefix("0.0.0.0/1"), 2)
+        assert tree.lookup(parse_ipv4("200.0.0.1")) == 1
+        assert tree.lookup(parse_ipv4("100.0.0.1")) == 2
+
+
+class TestIntrospection:
+    def test_entries_roundtrip(self):
+        tree = RadixTree()
+        routes = [
+            (prefix("10.0.0.0/8"), 1),
+            (prefix("10.1.0.0/16"), 2),
+            (prefix("192.168.0.0/24"), 3),
+            (prefix("0.0.0.0/0"), 0),
+        ]
+        for p, hop in routes:
+            tree.insert(p, hop)
+        assert sorted(tree.entries(), key=lambda e: (e[0].length, e[0].network)) == sorted(
+            routes, key=lambda e: (e[0].length, e[0].network)
+        )
+
+    def test_max_depth(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/24"), 1)
+        assert tree.max_depth() == 24
+
+    def test_lookup_depth(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/24"), 1)
+        # Matching address walks all 24 levels + root.
+        assert tree.lookup_depth(parse_ipv4("10.0.0.5")) == 25
+        # A first-bit mismatch (128.x vs 10.x) falls off at the root.
+        assert tree.lookup_depth(parse_ipv4("128.0.0.1")) == 1
+
+    def test_lookup_count(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/8"), 1)
+        tree.lookup(parse_ipv4("10.0.0.1"))
+        tree.lookup(parse_ipv4("10.0.0.2"))
+        assert tree.lookup_count == 2
+
+
+class TestInstrumentation:
+    def test_lookup_records_accesses(self):
+        recorder = AccessRecorder()
+        tree = RadixTree(recorder=recorder)
+        tree.insert(prefix("10.0.0.0/8"), 1)
+        recorder.begin_packet()
+        tree.lookup(parse_ipv4("10.0.0.1"))
+        recorder.end_packet()
+        counts = recorder.accesses_per_packet()
+        assert counts[0] > 0
+
+    def test_deeper_match_costs_more(self):
+        def cost_of(prefix_text, address_text):
+            recorder = AccessRecorder()
+            tree = RadixTree(recorder=recorder)
+            tree.insert(prefix(prefix_text), 1)
+            tree.recorder = recorder
+            recorder.begin_packet()
+            tree.lookup(parse_ipv4(address_text))
+            recorder.end_packet()
+            return recorder.accesses_per_packet()[0]
+
+        assert cost_of("10.0.0.0/24", "10.0.0.1") > cost_of("10.0.0.0/8", "10.0.0.1")
+
+    def test_backtrack_costs_accesses(self):
+        # An address that walks deep but only matches a shallow entry
+        # pays the walk back up.
+        recorder = AccessRecorder()
+        tree = RadixTree(recorder=recorder)
+        tree.insert(prefix("0.0.0.0/0"), 0)
+        tree.insert(prefix("10.0.0.0/24"), 1)  # deep path, no mid entries
+
+        recorder.begin_packet()
+        # Shares 23 bits with the /24 path, then diverges: falls off deep,
+        # backtracks to the default route.
+        assert tree.lookup(parse_ipv4("10.0.1.1")) == 0
+        recorder.end_packet()
+        deep_miss = recorder.accesses_per_packet()[0]
+
+        recorder.begin_packet()
+        # First bit diverges: immediate fall-off, backtrack to root only.
+        assert tree.lookup(parse_ipv4("128.0.0.1")) == 0
+        recorder.end_packet()
+        shallow_miss = recorder.accesses_per_packet()[-1]
+
+        assert deep_miss > shallow_miss
+
+    def test_nodes_live_on_heap(self):
+        tree = RadixTree()
+        tree.insert(prefix("10.0.0.0/8"), 1)
+        assert tree.heap.live_allocations() == tree.node_count
+        assert tree.node_count == 9  # root + 8 bit levels

@@ -1,0 +1,88 @@
+"""Tests for the synthetic routing tables."""
+
+import pytest
+
+from repro.routing.table import (
+    RoutingTableConfig,
+    build_routing_table,
+    covering_entries_for_trace,
+    generate_route_entries,
+    table_covering_trace,
+)
+
+
+class TestBackgroundRoutes:
+    def test_count_and_default(self):
+        config = RoutingTableConfig(background_routes=100)
+        entries = generate_route_entries(config)
+        assert len(entries) == 101  # + default
+        assert entries[0].prefix.length == 0
+
+    def test_no_default(self):
+        config = RoutingTableConfig(background_routes=50, include_default=False)
+        entries = generate_route_entries(config)
+        assert len(entries) == 50
+        assert all(e.prefix.length > 0 for e in entries)
+
+    def test_realistic_length_mix(self):
+        config = RoutingTableConfig(background_routes=2000)
+        entries = generate_route_entries(config)
+        lengths = [e.prefix.length for e in entries if e.prefix.length]
+        share_24 = sum(1 for l in lengths if l == 24) / len(lengths)
+        assert 0.3 < share_24 < 0.55  # /24 dominates real FIBs
+
+    def test_unique_prefixes(self):
+        entries = generate_route_entries(RoutingTableConfig(background_routes=500))
+        keys = {(e.prefix.network, e.prefix.length) for e in entries}
+        assert len(keys) == len(entries)
+
+    def test_deterministic(self):
+        a = generate_route_entries(RoutingTableConfig(seed=5))
+        b = generate_route_entries(RoutingTableConfig(seed=5))
+        assert a == b
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RoutingTableConfig(background_routes=-1)
+        with pytest.raises(ValueError):
+            RoutingTableConfig(host_route_fraction=2.0)
+
+
+class TestCoveringRoutes:
+    def test_every_destination_has_slash16(self, multi_flow_trace):
+        config = RoutingTableConfig()
+        entries = covering_entries_for_trace(multi_flow_trace, config)
+        slash16 = {
+            e.prefix.network for e in entries if e.prefix.length == 16
+        }
+        for packet in multi_flow_trace.packets:
+            assert packet.dst_ip & 0xFFFF0000 in slash16 or (
+                packet.src_ip & 0xFFFF0000 in slash16
+            )
+
+    def test_host_routes_cover_hottest(self, multi_flow_trace):
+        config = RoutingTableConfig(host_route_fraction=0.5)
+        entries = covering_entries_for_trace(multi_flow_trace, config)
+        hosts = [e for e in entries if e.prefix.length == 32]
+        assert hosts  # some host routes exist
+
+    def test_zero_fractions(self, multi_flow_trace):
+        config = RoutingTableConfig(host_route_fraction=0.0, slash24_fraction=0.0)
+        entries = covering_entries_for_trace(multi_flow_trace, config)
+        assert all(e.prefix.length == 16 for e in entries)
+
+
+class TestBuiltTrees:
+    def test_build_routing_table(self):
+        tree = build_routing_table(RoutingTableConfig(background_routes=200))
+        assert tree.entry_count == 201
+
+    def test_table_covering_trace_resolves_all(self, multi_flow_trace):
+        tree = table_covering_trace(multi_flow_trace)
+        for packet in multi_flow_trace.packets:
+            assert tree.lookup(packet.dst_ip) is not None
+
+    def test_same_destinations_same_table(self, multi_flow_trace):
+        a = table_covering_trace(multi_flow_trace)
+        b = table_covering_trace(multi_flow_trace)
+        assert a.entry_count == b.entry_count

@@ -1,0 +1,65 @@
+"""Tests for the address pools."""
+
+import random
+
+import pytest
+
+from repro.net.ip import address_class
+from repro.synth.addresses import AddressPool, AddressPoolConfig
+
+
+class TestPopulation:
+    def test_counts(self):
+        pool = AddressPool(AddressPoolConfig(server_count=50, client_count=100))
+        assert len(pool.servers) == 50
+        assert len(pool.clients) == 100
+
+    def test_unique_addresses(self):
+        pool = AddressPool()
+        assert len(set(pool.servers)) == len(pool.servers)
+        assert len(set(pool.clients)) == len(pool.clients)
+
+    def test_servers_class_c_space(self):
+        pool = AddressPool()
+        assert all(address_class(a) == "C" for a in pool.servers)
+
+    def test_clients_class_b_space(self):
+        pool = AddressPool()
+        assert all(address_class(a) == "B" for a in pool.clients)
+
+    def test_subnet_clustering(self):
+        config = AddressPoolConfig(server_count=200, server_subnets=10)
+        pool = AddressPool(config)
+        subnets = {a & 0xFFFFFF00 for a in pool.servers}
+        assert len(subnets) <= 10
+
+    def test_deterministic(self):
+        assert AddressPool(seed=3).servers == AddressPool(seed=3).servers
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AddressPoolConfig(server_count=0)
+        with pytest.raises(ValueError):
+            AddressPoolConfig(client_subnets=0)
+
+
+class TestPopularity:
+    def test_zipf_server_popularity(self):
+        pool = AddressPool(AddressPoolConfig(server_count=100))
+        rng = random.Random(5)
+        hits: dict[int, int] = {}
+        for _ in range(20000):
+            server = pool.pick_server(rng)
+            hits[server] = hits.get(server, 0) + 1
+        top = max(hits.values())
+        # The hottest server dominates uniform share (200) by far.
+        assert top > 1000
+
+    def test_clients_roughly_uniform(self):
+        pool = AddressPool(AddressPoolConfig(client_count=50))
+        rng = random.Random(5)
+        hits: dict[int, int] = {}
+        for _ in range(20000):
+            client = pool.pick_client(rng)
+            hits[client] = hits.get(client, 0) + 1
+        assert max(hits.values()) < 3 * (20000 / 50)

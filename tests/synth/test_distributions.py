@@ -1,0 +1,139 @@
+"""Tests for the traffic-model distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.synth.distributions import (
+    BoundedPareto,
+    DiscreteDistribution,
+    Exponential,
+    LogNormal,
+    Zipf,
+)
+
+
+class TestBoundedPareto:
+    def test_samples_in_bounds(self):
+        dist = BoundedPareto(alpha=1.2, xmin=1.0, xmax=100.0)
+        rng = random.Random(1)
+        for _ in range(2000):
+            assert 1.0 <= dist.sample(rng) <= 100.0
+
+    def test_sample_mean_tracks_analytic_mean(self):
+        dist = BoundedPareto(alpha=1.5, xmin=2.0, xmax=500.0)
+        rng = random.Random(2)
+        samples = [dist.sample(rng) for _ in range(40000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            dist.mean(), rel=0.05
+        )
+
+    def test_heavier_tail_bigger_mean(self):
+        light = BoundedPareto(alpha=2.5, xmin=1.0, xmax=1000.0)
+        heavy = BoundedPareto(alpha=1.1, xmin=1.0, xmax=1000.0)
+        assert heavy.mean() > light.mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=0.0, xmin=1.0, xmax=2.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=1.0, xmin=5.0, xmax=2.0)
+
+
+class TestLogNormal:
+    def test_from_median(self):
+        dist = LogNormal.from_median_sigma(0.06, 0.5)
+        rng = random.Random(3)
+        samples = sorted(dist.sample(rng) for _ in range(10001))
+        assert samples[5000] == pytest.approx(0.06, rel=0.1)
+
+    def test_mean_formula(self):
+        dist = LogNormal(mu=0.0, sigma=1.0)
+        assert dist.mean() == pytest.approx(math.exp(0.5))
+
+    def test_positive_samples(self):
+        dist = LogNormal.from_median_sigma(1.0, 2.0)
+        rng = random.Random(4)
+        assert all(dist.sample(rng) > 0 for _ in range(100))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, -1.0)
+        with pytest.raises(ValueError):
+            LogNormal.from_median_sigma(0.0, 1.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        dist = Exponential(rate=4.0)
+        rng = random.Random(5)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.25, rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=0.0)
+
+
+class TestZipf:
+    def test_rank_zero_most_popular(self):
+        dist = Zipf(100, 1.0)
+        rng = random.Random(6)
+        counts = [0] * 100
+        for _ in range(20000)            :
+            counts[dist.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[50]
+
+    def test_probability_matches_definition(self):
+        dist = Zipf(3, 1.0)
+        total = 1.0 + 0.5 + 1 / 3
+        assert dist.probability(0) == pytest.approx(1.0 / total)
+        assert dist.probability(2) == pytest.approx((1 / 3) / total)
+
+    def test_probabilities_sum_to_one(self):
+        dist = Zipf(50, 0.8)
+        assert sum(dist.probability(r) for r in range(50)) == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniform(self):
+        dist = Zipf(10, 0.0)
+        assert dist.probability(0) == pytest.approx(0.1)
+        assert dist.probability(9) == pytest.approx(0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Zipf(0)
+        with pytest.raises(ValueError):
+            Zipf(5, -1.0)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            Zipf(5).probability(5)
+
+
+class TestDiscreteDistribution:
+    def test_sampling_respects_pmf(self):
+        dist = DiscreteDistribution({1: 0.9, 100: 0.1})
+        rng = random.Random(7)
+        samples = [dist.sample(rng) for _ in range(10000)]
+        ones = samples.count(1) / len(samples)
+        assert ones == pytest.approx(0.9, abs=0.02)
+
+    def test_normalizes(self):
+        dist = DiscreteDistribution({1: 2.0, 2: 2.0})
+        assert dist.probability(1) == pytest.approx(0.5)
+
+    def test_mean(self):
+        dist = DiscreteDistribution({2: 0.5, 4: 0.5})
+        assert dist.mean() == pytest.approx(3.0)
+
+    def test_values_sorted(self):
+        dist = DiscreteDistribution({5: 0.1, 1: 0.9})
+        assert dist.values() == (1, 5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution({})
+        with pytest.raises(ValueError):
+            DiscreteDistribution({1: -0.5})

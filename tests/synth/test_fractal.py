@@ -1,0 +1,57 @@
+"""Tests for the multiplicative-cascade address generator."""
+
+import random
+
+import pytest
+
+from repro.synth.fractal import MultiplicativeCascade
+
+
+class TestCascade:
+    def test_addresses_32_bit(self):
+        cascade = MultiplicativeCascade()
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= cascade.sample(rng) <= 0xFFFFFFFF
+
+    def test_bias_concentrates_high_bits(self):
+        # p=0.9: the MSB should be 0 about 90% of the time.
+        cascade = MultiplicativeCascade(p=0.9, jitter=0.0)
+        rng = random.Random(2)
+        zeros = sum(
+            1 for _ in range(5000) if cascade.sample(rng) < 0x80000000
+        )
+        assert zeros / 5000 == pytest.approx(0.9, abs=0.03)
+
+    def test_nonuniform_distribution(self):
+        # The cascade clumps addresses: the top /8 octet histogram should
+        # be far from uniform.
+        cascade = MultiplicativeCascade(p=0.75)
+        rng = random.Random(3)
+        buckets = [0] * 256
+        for _ in range(10000):
+            buckets[cascade.sample(rng) >> 24] += 1
+        assert max(buckets) > 20 * (10000 / 256)
+
+    def test_sample_many(self):
+        cascade = MultiplicativeCascade()
+        rng = random.Random(4)
+        assert len(cascade.sample_many(rng, 17)) == 17
+
+    def test_sample_many_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MultiplicativeCascade().sample_many(random.Random(1), -1)
+
+    def test_deterministic_biases(self):
+        a = MultiplicativeCascade(seed=9)
+        b = MultiplicativeCascade(seed=9)
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        assert a.sample_many(rng_a, 50) == b.sample_many(rng_b, 50)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(p=0.0), dict(p=1.0), dict(jitter=0.5), dict(levels=0), dict(levels=33)],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            MultiplicativeCascade(**kwargs)

@@ -1,0 +1,66 @@
+"""Tests for the LRU-stack-model trace generator."""
+
+import random
+
+import pytest
+
+from repro.synth.lrustack import LruStackModel, generate_fracexp_trace
+
+
+class TestAddressStream:
+    def test_count(self):
+        model = LruStackModel()
+        stream = model.address_stream(random.Random(1), 500)
+        assert len(stream) == 500
+
+    def test_temporal_locality(self):
+        # Recently used addresses recur: distinct addresses << packets.
+        model = LruStackModel(new_address_prob=0.02)
+        stream = model.address_stream(random.Random(2), 5000)
+        assert len(set(stream)) < 1000
+
+    def test_high_new_prob_less_locality(self):
+        local = LruStackModel(new_address_prob=0.01)
+        fresh = LruStackModel(new_address_prob=0.8)
+        local_stream = local.address_stream(random.Random(3), 3000)
+        fresh_stream = fresh.address_stream(random.Random(3), 3000)
+        assert len(set(fresh_stream)) > len(set(local_stream))
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            LruStackModel().address_stream(random.Random(1), -1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LruStackModel(max_depth=0)
+        with pytest.raises(ValueError):
+            LruStackModel(new_address_prob=1.5)
+
+
+class TestFracexpTrace:
+    def test_packet_count(self):
+        trace = generate_fracexp_trace(300, seed=4)
+        assert len(trace) == 300
+        assert trace.name == "fracexp"
+
+    def test_time_ordered(self):
+        assert generate_fracexp_trace(300, seed=4).is_time_ordered()
+
+    def test_exponential_inter_packet_mean(self):
+        trace = generate_fracexp_trace(5000, mean_inter_packet=0.002, seed=5)
+        gaps = [
+            b.timestamp - a.timestamp
+            for a, b in zip(trace.packets, trace.packets[1:])
+        ]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.002, rel=0.1)
+
+    def test_deterministic(self):
+        a = generate_fracexp_trace(100, seed=6)
+        b = generate_fracexp_trace(100, seed=6)
+        assert [p.dst_ip for p in a] == [p.dst_ip for p in b]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_fracexp_trace(-1)
+        with pytest.raises(ValueError):
+            generate_fracexp_trace(10, mean_inter_packet=0.0)

@@ -1,0 +1,76 @@
+"""Tests for the P2P traffic generator."""
+
+import pytest
+
+from repro.flows.assembler import assemble_flows
+from repro.synth.p2pgen import (
+    P2PTrafficConfig,
+    P2PTrafficGenerator,
+    generate_p2p_trace,
+)
+from repro.trace.stats import compute_statistics
+
+
+@pytest.fixture(scope="module")
+def p2p_trace():
+    return generate_p2p_trace(duration=20.0, session_rate=6.0, seed=3)
+
+
+class TestShape:
+    def test_time_ordered(self, p2p_trace):
+        assert p2p_trace.is_time_ordered()
+
+    def test_deterministic(self):
+        a = generate_p2p_trace(duration=5, session_rate=5, seed=9)
+        b = generate_p2p_trace(duration=5, session_rate=5, seed=9)
+        assert [p.src_ip for p in a] == [p.src_ip for p in b]
+
+    def test_no_port_80_anchor(self, p2p_trace):
+        # P2P talks ephemeral-to-ephemeral.
+        assert all(
+            p.src_port > 1024 and p.dst_port > 1024 for p in p2p_trace.packets
+        )
+
+    def test_heavier_long_flow_population_than_web(self, p2p_trace):
+        stats = compute_statistics(p2p_trace)
+        # Web sits at ~97-98% short; P2P must be clearly below.
+        assert stats.short_flow_fraction < 0.93
+
+    def test_sessions_are_tcp_wellformed(self, p2p_trace):
+        flows = assemble_flows(p2p_trace.packets)
+        syn_starts = sum(1 for f in flows if f.starts_with_syn())
+        assert syn_starts > 0.9 * len(flows)
+
+    def test_bidirectional_payloads(self, p2p_trace):
+        flows = assemble_flows(p2p_trace.packets)
+        both_ways = 0
+        for flow in flows:
+            c2s = sum(
+                fp.payload_len for fp in flow if fp.direction.value == "c2s"
+            )
+            s2c = sum(
+                fp.payload_len for fp in flow if fp.direction.value == "s2c"
+            )
+            if c2s > 1000 and s2c > 1000:
+                both_ways += 1
+        # Symmetric exchange: a solid share of sessions upload both ways.
+        assert both_ways > 0.2 * len(flows)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(duration=0.0),
+            dict(session_rate=0.0),
+            dict(peer_count=1),
+            dict(swap_prob=1.5),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            P2PTrafficConfig(**kwargs)
+
+    def test_peer_pool_size(self):
+        generator = P2PTrafficGenerator(P2PTrafficConfig(peer_count=50))
+        assert len(generator._peers) == 50

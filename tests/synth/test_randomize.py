@@ -1,0 +1,48 @@
+"""Tests for the random-destination control trace."""
+
+from repro.synth.randomize import randomize_destinations
+from repro.trace.stats import group_flow_lengths
+
+
+class TestRandomize:
+    def test_timing_preserved(self, multi_flow_trace):
+        randomized = randomize_destinations(multi_flow_trace, seed=1)
+        assert [p.timestamp for p in randomized] == [
+            p.timestamp for p in multi_flow_trace
+        ]
+
+    def test_flags_sizes_ports_preserved(self, multi_flow_trace):
+        randomized = randomize_destinations(multi_flow_trace, seed=1)
+        for original, shuffled in zip(multi_flow_trace.packets, randomized.packets):
+            assert shuffled.flags == original.flags
+            assert shuffled.payload_len == original.payload_len
+            assert shuffled.src_port == original.src_port
+            assert shuffled.dst_port == original.dst_port
+
+    def test_addresses_changed(self, multi_flow_trace):
+        randomized = randomize_destinations(multi_flow_trace, seed=1)
+        original = {p.dst_ip for p in multi_flow_trace.packets}
+        shuffled = {p.dst_ip for p in randomized.packets}
+        assert len(original & shuffled) == 0
+
+    def test_per_flow_mapping_keeps_flow_count(self, multi_flow_trace):
+        randomized = randomize_destinations(multi_flow_trace, seed=1)
+        assert len(group_flow_lengths(randomized.packets)) == len(
+            group_flow_lengths(multi_flow_trace.packets)
+        )
+
+    def test_per_packet_mode_destroys_flows(self, multi_flow_trace):
+        randomized = randomize_destinations(
+            multi_flow_trace, seed=1, per_flow=False
+        )
+        assert len(group_flow_lengths(randomized.packets)) > len(
+            group_flow_lengths(multi_flow_trace.packets)
+        )
+
+    def test_deterministic(self, multi_flow_trace):
+        a = randomize_destinations(multi_flow_trace, seed=2)
+        b = randomize_destinations(multi_flow_trace, seed=2)
+        assert [p.dst_ip for p in a] == [p.dst_ip for p in b]
+
+    def test_name_suffix(self, multi_flow_trace):
+        assert randomize_destinations(multi_flow_trace).name.endswith("-random")

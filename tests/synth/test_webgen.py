@@ -1,0 +1,108 @@
+"""Tests for the synthetic Web traffic generator."""
+
+import pytest
+
+from repro.flows.assembler import assemble_flows
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN, classify_flags, FlagClass
+from repro.synth.webgen import (
+    WebTrafficConfig,
+    WebTrafficGenerator,
+    generate_web_trace,
+)
+from repro.trace.filters import is_web_packet
+from repro.trace.stats import compute_statistics
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_web_trace(duration=3, flow_rate=20, seed=5)
+        b = generate_web_trace(duration=3, flow_rate=20, seed=5)
+        assert len(a) == len(b)
+        assert [p.src_ip for p in a] == [p.src_ip for p in b]
+        assert [p.timestamp for p in a] == [p.timestamp for p in b]
+
+    def test_different_seed_different_trace(self):
+        a = generate_web_trace(duration=3, flow_rate=20, seed=5)
+        b = generate_web_trace(duration=3, flow_rate=20, seed=6)
+        assert [p.src_ip for p in a] != [p.src_ip for p in b]
+
+
+class TestTraceShape:
+    def test_time_ordered(self, small_web_trace):
+        assert small_web_trace.is_time_ordered()
+
+    def test_all_web_packets(self, small_web_trace):
+        assert all(is_web_packet(p) for p in small_web_trace.packets)
+
+    def test_flow_rate_respected(self):
+        trace = generate_web_trace(duration=20, flow_rate=10, seed=8)
+        stats = compute_statistics(trace)
+        # ~200 flows expected; Poisson noise allows a wide band.
+        assert 140 < stats.flow_count < 260
+
+    def test_flows_well_formed_tcp(self, small_web_trace):
+        flows = assemble_flows(small_web_trace.packets)
+        for flow in flows[:50]:
+            first = flow.packets[0].packet
+            assert classify_flags(first.flags) is FlagClass.SYN
+            assert flow.is_terminated()
+
+    def test_section3_statistics(self):
+        trace = generate_web_trace(duration=60, flow_rate=40, seed=11)
+        stats = compute_statistics(trace)
+        assert stats.short_flow_fraction == pytest.approx(0.98, abs=0.03)
+        assert stats.short_packet_fraction == pytest.approx(0.75, abs=0.08)
+        assert stats.short_byte_fraction == pytest.approx(0.80, abs=0.08)
+
+
+class TestSessionKinds:
+    def test_aborted_sessions_have_rst(self):
+        config = WebTrafficConfig(
+            duration=20, flow_rate=20, seed=9, aborted_prob=1.0
+        )
+        trace = WebTrafficGenerator(config).generate()
+        flows = assemble_flows(trace.packets)
+        assert all(len(flow) == 3 for flow in flows)
+        assert all(
+            flow.packets[-1].flags & TCP_RST for flow in flows
+        )
+
+    def test_persistent_sessions_are_long(self):
+        config = WebTrafficConfig(
+            duration=5, flow_rate=10, seed=9,
+            aborted_prob=0.0, persistent_prob=1.0,
+        )
+        trace = WebTrafficGenerator(config).generate()
+        flows = assemble_flows(trace.packets)
+        assert all(len(flow) > 50 for flow in flows)
+
+    def test_simple_sessions_end_with_fin(self):
+        config = WebTrafficConfig(
+            duration=5, flow_rate=10, seed=9,
+            aborted_prob=0.0, persistent_prob=0.0,
+        )
+        trace = WebTrafficGenerator(config).generate()
+        for flow in assemble_flows(trace.packets):
+            assert flow.packets[-1].flags & TCP_FIN
+
+    def test_expected_packet_formulas(self):
+        generator = WebTrafficGenerator()
+        assert generator.expected_packets_simple(1) == 7
+        assert generator.expected_packets_persistent(10) == 34
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(duration=0.0),
+            dict(flow_rate=0.0),
+            dict(ack_every=0),
+            dict(persistent_prob=1.5),
+            dict(aborted_prob=-0.1),
+            dict(persistent_rounds_min=10, persistent_rounds_max=5),
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            WebTrafficConfig(**kwargs)

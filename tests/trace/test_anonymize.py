@@ -1,0 +1,97 @@
+"""Tests for prefix-preserving anonymization."""
+
+import pytest
+
+from repro.net.ip import parse_ipv4
+from repro.trace.anonymize import (
+    PrefixPreservingAnonymizer,
+    anonymize_prefix_preserving,
+    shared_prefix_length,
+)
+
+
+class TestSharedPrefixLength:
+    def test_identical(self):
+        assert shared_prefix_length(0x0A000001, 0x0A000001) == 32
+
+    def test_first_bit_differs(self):
+        assert shared_prefix_length(0x00000000, 0x80000000) == 0
+
+    def test_slash_24(self):
+        a = parse_ipv4("10.1.2.3")
+        b = parse_ipv4("10.1.2.200")
+        assert shared_prefix_length(a, b) >= 24
+
+
+class TestAnonymizer:
+    def test_deterministic(self):
+        anonymizer = PrefixPreservingAnonymizer(key=b"k1")
+        assert anonymizer.anonymize(0x0A000001) == anonymizer.anonymize(0x0A000001)
+
+    def test_key_changes_mapping(self):
+        a = PrefixPreservingAnonymizer(key=b"k1").anonymize(0x0A000001)
+        b = PrefixPreservingAnonymizer(key=b"k2").anonymize(0x0A000001)
+        assert a != b
+
+    def test_injective_on_sample(self):
+        anonymizer = PrefixPreservingAnonymizer()
+        inputs = list(range(0x0A000000, 0x0A000400))
+        outputs = {anonymizer.anonymize(a) for a in inputs}
+        assert len(outputs) == len(inputs)
+
+    def test_prefix_preservation_property(self):
+        """The defining property: shared input prefix length equals
+        shared output prefix length."""
+        anonymizer = PrefixPreservingAnonymizer()
+        pairs = [
+            ("10.1.2.3", "10.1.2.77"),     # /24 siblings
+            ("10.1.2.3", "10.1.9.9"),      # /16 siblings
+            ("10.1.2.3", "10.200.0.1"),    # /8 siblings
+            ("10.1.2.3", "192.168.0.1"),   # unrelated
+        ]
+        for text_a, text_b in pairs:
+            a, b = parse_ipv4(text_a), parse_ipv4(text_b)
+            mapped_a = anonymizer.anonymize(a)
+            mapped_b = anonymizer.anonymize(b)
+            assert shared_prefix_length(a, b) == shared_prefix_length(
+                mapped_a, mapped_b
+            )
+
+    def test_addresses_actually_change(self):
+        anonymizer = PrefixPreservingAnonymizer()
+        changed = sum(
+            1
+            for a in range(0x0A000000, 0x0A000100)
+            if anonymizer.anonymize(a) != a
+        )
+        assert changed > 250  # essentially all
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer().anonymize(1 << 32)
+
+    def test_string_key_accepted(self):
+        assert PrefixPreservingAnonymizer("text-key").anonymize(1) >= 0
+
+
+class TestTraceAnonymization:
+    def test_trace_fields_untouched_except_addresses(self, multi_flow_trace):
+        anonymized = anonymize_prefix_preserving(multi_flow_trace)
+        assert len(anonymized) == len(multi_flow_trace)
+        for original, mapped in zip(multi_flow_trace.packets, anonymized.packets):
+            assert mapped.timestamp == original.timestamp
+            assert mapped.flags == original.flags
+            assert mapped.payload_len == original.payload_len
+            assert mapped.src_port == original.src_port
+            assert mapped.src_ip != original.src_ip or original.src_ip == 0
+
+    def test_flow_structure_preserved(self, multi_flow_trace):
+        from repro.trace.stats import group_flow_lengths
+
+        anonymized = anonymize_prefix_preserving(multi_flow_trace)
+        assert len(group_flow_lengths(anonymized.packets)) == len(
+            group_flow_lengths(multi_flow_trace.packets)
+        )
+
+    def test_name_suffix(self, multi_flow_trace):
+        assert anonymize_prefix_preserving(multi_flow_trace).name.endswith("-anon")

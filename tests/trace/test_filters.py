@@ -1,0 +1,90 @@
+"""Tests for trace filters and slicers."""
+
+import pytest
+
+from repro.net.packet import PacketRecord
+from repro.trace.filters import (
+    is_web_packet,
+    select_elapsed,
+    select_time_window,
+    select_web_traffic,
+    split_by_seconds,
+)
+from repro.trace.trace import Trace
+
+
+def packet(ts: float, sport=1234, dport=80, proto=6) -> PacketRecord:
+    return PacketRecord(ts, 0x0A000001, 0xC0A80001, sport, dport, protocol=proto)
+
+
+class TestWebFilter:
+    def test_port_80_either_side(self):
+        assert is_web_packet(packet(1.0, dport=80))
+        assert is_web_packet(packet(1.0, sport=80, dport=5555))
+
+    def test_https_and_alt(self):
+        assert is_web_packet(packet(1.0, dport=443))
+        assert is_web_packet(packet(1.0, dport=8080))
+
+    def test_non_web_port(self):
+        assert not is_web_packet(packet(1.0, dport=25))
+
+    def test_udp_not_web(self):
+        assert not is_web_packet(packet(1.0, dport=80, proto=17))
+
+    def test_select_web_traffic(self):
+        trace = Trace([packet(1.0), packet(2.0, dport=25)], name="mix")
+        web = select_web_traffic(trace)
+        assert len(web) == 1
+        assert web.name == "mix-web"
+
+
+class TestTimeWindow:
+    def test_half_open_window(self):
+        trace = Trace([packet(t) for t in (1.0, 2.0, 3.0)])
+        subset = select_time_window(trace, 1.0, 3.0)
+        assert [p.timestamp for p in subset] == [1.0, 2.0]
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            select_time_window(Trace(), 5.0, 1.0)
+
+
+class TestElapsed:
+    def test_prefix_relative_to_start(self):
+        trace = Trace([packet(t) for t in (100.0, 105.0, 111.0)])
+        prefix = select_elapsed(trace, 10.0)
+        assert [p.timestamp for p in prefix] == [100.0, 105.0]
+
+    def test_zero_elapsed_keeps_first_instant(self):
+        trace = Trace([packet(100.0), packet(100.0), packet(101.0)])
+        assert len(select_elapsed(trace, 0.0)) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            select_elapsed(Trace(), -1.0)
+
+
+class TestSplit:
+    def test_split_even(self):
+        trace = Trace([packet(float(t)) for t in range(10)])
+        slices = split_by_seconds(trace, 2.0)
+        assert [len(s) for s in slices] == [2, 2, 2, 2, 2]
+
+    def test_split_with_gap(self):
+        trace = Trace([packet(0.0), packet(5.5)])
+        slices = split_by_seconds(trace, 1.0)
+        assert len(slices) == 6
+        assert [len(s) for s in slices] == [1, 0, 0, 0, 0, 1]
+
+    def test_split_empty(self):
+        assert split_by_seconds(Trace(), 1.0) == []
+
+    def test_rejects_nonpositive_bucket(self):
+        with pytest.raises(ValueError):
+            split_by_seconds(Trace(), 0.0)
+
+    def test_slices_cover_all_packets(self):
+        trace = Trace([packet(t * 0.7) for t in range(20)])
+        slices = split_by_seconds(trace, 3.0)
+        assert sum(len(s) for s in slices) == 20

@@ -1,0 +1,79 @@
+"""Tests for the minimal pcap codec."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_SYN
+from repro.trace.pcaplite import PCAP_MAGIC, read_pcap, write_pcap
+
+
+def sample_packets(count=5):
+    return [
+        PacketRecord(
+            timestamp=10.0 + i * 0.25,
+            src_ip=0x0A000001 + i,
+            dst_ip=0xC0A80001,
+            src_port=1024 + i,
+            dst_port=80,
+            flags=TCP_SYN,
+            payload_len=100 * i,
+            seq=i,
+            ack=2 * i,
+            ttl=60,
+            ip_id=i,
+            window=4096,
+        )
+        for i in range(count)
+    ]
+
+
+class TestPcapRoundtrip:
+    def test_roundtrip_fields(self):
+        packets = sample_packets()
+        buffer = io.BytesIO()
+        assert write_pcap(packets, buffer) == len(packets)
+        buffer.seek(0)
+        decoded = list(read_pcap(buffer))
+        assert len(decoded) == len(packets)
+        for original, restored in zip(packets, decoded):
+            assert restored.src_ip == original.src_ip
+            assert restored.dst_port == original.dst_port
+            assert restored.payload_len == original.payload_len
+            assert restored.flags == original.flags
+            assert restored.seq == original.seq
+            assert restored.window == original.window
+            assert restored.timestamp == pytest.approx(
+                original.timestamp, abs=1e-6
+            )
+
+    def test_empty_file(self):
+        buffer = io.BytesIO()
+        write_pcap([], buffer)
+        buffer.seek(0)
+        assert list(read_pcap(buffer)) == []
+
+    def test_global_header_magic(self):
+        buffer = io.BytesIO()
+        write_pcap([], buffer)
+        (magic,) = struct.unpack("<I", buffer.getvalue()[:4])
+        assert magic == PCAP_MAGIC
+
+
+class TestPcapErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            list(read_pcap(io.BytesIO(b"\x00" * 24)))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(ValueError, match="global header"):
+            list(read_pcap(io.BytesIO(b"\x00" * 10)))
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO()
+        write_pcap(sample_packets(1), buffer)
+        data = buffer.getvalue()[:-5]
+        with pytest.raises(ValueError, match="truncated"):
+            list(read_pcap(io.BytesIO(data)))

@@ -1,0 +1,95 @@
+"""Tests for flow statistics (the section 3 machinery)."""
+
+import pytest
+
+from repro.trace.stats import (
+    FlowLengthDistribution,
+    compute_statistics,
+    group_flow_lengths,
+)
+from repro.trace.trace import Trace
+
+from tests.conftest import make_web_flow
+
+
+class TestFlowLengthDistribution:
+    def test_from_lengths(self):
+        dist = FlowLengthDistribution.from_lengths([2, 2, 3, 10])
+        assert dist.total_flows() == 4
+        assert dist.total_packets() == 17
+
+    def test_probability(self):
+        dist = FlowLengthDistribution.from_lengths([2, 2, 3, 3])
+        assert dist.probability(2) == 0.5
+        assert dist.probability(99) == 0.0
+
+    def test_probabilities_sum_to_one(self):
+        dist = FlowLengthDistribution.from_lengths([1, 2, 3, 4, 5])
+        assert sum(dist.probabilities().values()) == pytest.approx(1.0)
+
+    def test_mean_length(self):
+        dist = FlowLengthDistribution.from_lengths([2, 4])
+        assert dist.mean_length() == 3.0
+
+    def test_fraction_flows_at_most(self):
+        dist = FlowLengthDistribution.from_lengths([2, 50, 51, 100])
+        assert dist.fraction_flows_at_most(50) == 0.5
+
+    def test_fraction_packets_at_most(self):
+        dist = FlowLengthDistribution.from_lengths([10, 90])
+        assert dist.fraction_packets_at_most(10) == pytest.approx(0.1)
+
+    def test_percentile_length(self):
+        dist = FlowLengthDistribution.from_lengths([1] * 98 + [100] * 2)
+        assert dist.percentile_length(0.98) == 1
+        assert dist.percentile_length(1.0) == 100
+
+    def test_percentile_rejects_bad_fraction(self):
+        dist = FlowLengthDistribution.from_lengths([1])
+        with pytest.raises(ValueError):
+            dist.percentile_length(0.0)
+
+    def test_empty_distribution(self):
+        dist = FlowLengthDistribution.from_lengths([])
+        assert dist.total_flows() == 0
+        assert dist.mean_length() == 0.0
+        assert dist.fraction_flows_at_most(10) == 0.0
+
+
+class TestGrouping:
+    def test_bidirectional_grouping(self, web_flow_packets):
+        flows = group_flow_lengths(web_flow_packets)
+        # Both directions of the conversation are one flow.
+        assert len(flows) == 1
+        (packets,) = flows.values()
+        assert len(packets) == len(web_flow_packets)
+
+    def test_separate_flows_by_port(self):
+        packets = make_web_flow(client_port=2000) + make_web_flow(client_port=2001)
+        assert len(group_flow_lengths(packets)) == 2
+
+
+class TestComputeStatistics:
+    def test_multi_flow(self, multi_flow_trace):
+        stats = compute_statistics(multi_flow_trace)
+        assert stats.flow_count == 50
+        assert stats.packet_count == len(multi_flow_trace)
+        assert stats.short_flow_fraction == 1.0
+        assert stats.short_packet_fraction == 1.0
+        assert stats.short_byte_fraction == 1.0
+
+    def test_generated_trace_matches_paper_shape(self, small_web_trace):
+        stats = compute_statistics(small_web_trace)
+        # The calibrated generator reproduces section 3's aggregates.
+        assert stats.short_flow_fraction > 0.90
+        assert 0.50 < stats.short_packet_fraction < 0.95
+        assert 0.55 < stats.short_byte_fraction < 0.95
+
+    def test_summary_lines_mention_paper(self, multi_flow_trace):
+        lines = compute_statistics(multi_flow_trace).summary_lines()
+        assert any("paper: 98%" in line for line in lines)
+
+    def test_empty_trace(self):
+        stats = compute_statistics(Trace())
+        assert stats.flow_count == 0
+        assert stats.short_byte_fraction == 0.0

@@ -1,0 +1,113 @@
+"""Tests for the Trace container."""
+
+import pytest
+
+from repro.net.packet import PacketRecord
+from repro.trace.trace import Trace, merge_traces
+
+
+def packet(ts: float, src=0x0A000001) -> PacketRecord:
+    return PacketRecord(ts, src, 0xC0A80001, 1234, 80, payload_len=10)
+
+
+class TestBasics:
+    def test_len_iter_getitem(self):
+        trace = Trace([packet(1.0), packet(2.0)])
+        assert len(trace) == 2
+        assert [p.timestamp for p in trace] == [1.0, 2.0]
+        assert trace[1].timestamp == 2.0
+
+    def test_append_extend(self):
+        trace = Trace()
+        trace.append(packet(1.0))
+        trace.extend([packet(2.0), packet(3.0)])
+        assert len(trace) == 3
+
+    def test_duration(self):
+        assert Trace().duration() == 0.0
+        assert Trace([packet(5.0)]).duration() == 0.0
+        assert Trace([packet(5.0), packet(9.5)]).duration() == 4.5
+
+    def test_start_end_time(self):
+        trace = Trace([packet(2.0), packet(7.0)])
+        assert trace.start_time() == 2.0
+        assert trace.end_time() == 7.0
+        assert Trace().start_time() == 0.0
+
+    def test_time_ordering(self):
+        assert Trace([packet(1.0), packet(2.0)]).is_time_ordered()
+        assert not Trace([packet(2.0), packet(1.0)]).is_time_ordered()
+        assert Trace([packet(2.0), packet(1.0)]).sorted_by_time().is_time_ordered()
+
+
+class TestSizes:
+    def test_stored_size_is_44_per_packet(self):
+        assert Trace([packet(1.0)] * 10).stored_size_bytes() == 440
+
+    def test_header_bytes_is_40_per_packet(self):
+        assert Trace([packet(1.0)] * 10).header_bytes() == 400
+
+    def test_wire_bytes_includes_payload(self):
+        assert Trace([packet(1.0)]).wire_bytes() == 50
+
+
+class TestTransforms:
+    def test_filter(self):
+        trace = Trace([packet(1.0), packet(2.0), packet(3.0)])
+        subset = trace.filter(lambda p: p.timestamp >= 2.0)
+        assert len(subset) == 2
+        assert len(trace) == 3  # original untouched
+
+    def test_map_packets(self):
+        trace = Trace([packet(1.0)])
+        shifted = trace.map_packets(
+            lambda p: PacketRecord(
+                p.timestamp + 10, p.src_ip, p.dst_ip, p.src_port, p.dst_port
+            )
+        )
+        assert shifted[0].timestamp == 11.0
+
+    def test_head(self):
+        trace = Trace([packet(float(i)) for i in range(10)])
+        assert len(trace.head(3)) == 3
+
+    def test_renamed_shares_packets(self):
+        trace = Trace([packet(1.0)], name="a")
+        renamed = trace.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.packets is trace.packets
+
+
+class TestIo:
+    def test_tsh_bytes_roundtrip(self):
+        trace = Trace([packet(1.0), packet(2.0)], name="io")
+        restored = Trace.from_tsh_bytes(trace.to_tsh_bytes())
+        assert len(restored) == 2
+        assert restored[0].src_ip == trace[0].src_ip
+
+    def test_save_load_tsh(self, tmp_path):
+        trace = Trace([packet(1.0)], name="disk")
+        path = tmp_path / "x.tsh"
+        written = trace.save_tsh(path)
+        assert path.stat().st_size == written == 44
+        loaded = Trace.load_tsh(path)
+        assert loaded.name == "x"
+        assert len(loaded) == 1
+
+    def test_save_load_pcap(self, tmp_path):
+        trace = Trace([packet(1.0), packet(2.0)])
+        path = tmp_path / "x.pcap"
+        assert trace.save_pcap(path) == 2
+        loaded = Trace.load_pcap(path)
+        assert len(loaded) == 2
+
+
+class TestMerge:
+    def test_merge_sorts_by_time(self):
+        a = Trace([packet(1.0), packet(5.0)])
+        b = Trace([packet(3.0)])
+        merged = merge_traces([a, b])
+        assert [p.timestamp for p in merged] == [1.0, 3.0, 5.0]
+
+    def test_merge_empty(self):
+        assert len(merge_traces([])) == 0

@@ -1,0 +1,113 @@
+"""Tests for the TSH binary format."""
+
+import io
+
+import pytest
+
+from repro.net.checksum import internet_checksum
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_SYN
+from repro.trace.tsh import (
+    TSH_RECORD_BYTES,
+    decode_record,
+    encode_record,
+    read_tsh,
+    read_tsh_bytes,
+    tsh_file_size,
+    write_tsh,
+    write_tsh_bytes,
+)
+
+
+def sample_packet(**overrides) -> PacketRecord:
+    defaults = dict(
+        timestamp=1234.567890,
+        src_ip=0x0A000001,
+        dst_ip=0xC0A80050,
+        src_port=43210,
+        dst_port=80,
+        flags=TCP_SYN | TCP_ACK,
+        payload_len=777,
+        seq=0xDEADBEEF,
+        ack=0x01020304,
+        ttl=57,
+        ip_id=0x4242,
+        window=8760,
+    )
+    defaults.update(overrides)
+    return PacketRecord(**defaults)
+
+
+class TestRecordCodec:
+    def test_record_is_44_bytes(self):
+        assert len(encode_record(sample_packet())) == TSH_RECORD_BYTES == 44
+
+    def test_roundtrip_all_fields(self):
+        packet = sample_packet()
+        decoded = decode_record(encode_record(packet))
+        assert decoded.src_ip == packet.src_ip
+        assert decoded.dst_ip == packet.dst_ip
+        assert decoded.src_port == packet.src_port
+        assert decoded.dst_port == packet.dst_port
+        assert decoded.protocol == packet.protocol
+        assert decoded.flags == packet.flags
+        assert decoded.payload_len == packet.payload_len
+        assert decoded.seq == packet.seq
+        assert decoded.ack == packet.ack
+        assert decoded.ttl == packet.ttl
+        assert decoded.ip_id == packet.ip_id
+        assert decoded.window == packet.window
+
+    def test_timestamp_microsecond_precision(self):
+        packet = sample_packet(timestamp=99.123456)
+        decoded = decode_record(encode_record(packet))
+        assert decoded.timestamp == pytest.approx(99.123456, abs=1e-6)
+
+    def test_timestamp_rounding_carry(self):
+        # 0.9999996 rounds to the next full second.
+        packet = sample_packet(timestamp=10.9999996)
+        decoded = decode_record(encode_record(packet))
+        assert decoded.timestamp == pytest.approx(11.0, abs=1e-6)
+
+    def test_ip_checksum_is_valid(self):
+        record = encode_record(sample_packet())
+        ip_header = record[8:28]
+        # A correct IPv4 checksum makes the header sum verify to zero.
+        assert internet_checksum(ip_header) == 0
+
+    def test_decode_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            decode_record(bytes(43))
+
+    def test_encode_validates_packet(self):
+        with pytest.raises(ValueError):
+            encode_record(sample_packet(src_port=70000))
+
+
+class TestStreamIo:
+    def test_write_read_many(self):
+        packets = [sample_packet(timestamp=float(i)) for i in range(25)]
+        data = write_tsh_bytes(packets)
+        assert len(data) == 25 * TSH_RECORD_BYTES
+        decoded = read_tsh_bytes(data)
+        assert [p.timestamp for p in decoded] == [float(i) for i in range(25)]
+
+    def test_write_returns_count(self):
+        buffer = io.BytesIO()
+        assert write_tsh([sample_packet()] * 3, buffer) == 3
+
+    def test_read_empty(self):
+        assert read_tsh_bytes(b"") == []
+
+    def test_read_truncated_raises(self):
+        data = write_tsh_bytes([sample_packet()])[:-1]
+        with pytest.raises(ValueError, match="truncated"):
+            list(read_tsh(io.BytesIO(data)))
+
+    def test_file_size_formula(self):
+        assert tsh_file_size(0) == 0
+        assert tsh_file_size(100) == 4400
+
+    def test_file_size_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tsh_file_size(-1)
