@@ -1,13 +1,16 @@
 """``repro-trace`` — the command-line face of the library.
 
-Subcommands::
+Subcommands (full reference in ``docs/CLI.md``)::
 
     repro-trace generate out.tsh --duration 100 --rate 40 --seed 1
-    repro-trace compress in.tsh out.fctc
+    repro-trace compress in.tsh out.fctc [--stream] [--workers N]
     repro-trace decompress in.fctc out.tsh
     repro-trace stats in.tsh
-    repro-trace inspect in.fctc
+    repro-trace inspect in.fctc [--addresses]
     repro-trace convert in.tsh out.pcap
+    repro-trace synthesize in.tsh out.tsh --scale 2
+    repro-trace anonymize in.tsh out.tsh --key secret
+    repro-trace compare a.tsh b.tsh
 """
 
 from __future__ import annotations
@@ -17,12 +20,17 @@ import sys
 from pathlib import Path
 
 from repro.core import (
+    compress_stream_to_bytes,
     compress_to_bytes,
+    compress_tsh_file_parallel,
     decompress_from_bytes,
     deserialize_compressed,
+    report_for_stream,
+    serialize_compressed,
 )
 from repro.core.codec import dataset_sizes
 from repro.core.pipeline import report_for
+from repro.trace.reader import DEFAULT_CHUNK_PACKETS, iter_tsh_packets
 from repro.net.ip import format_ipv4
 from repro.synth import generate_web_trace
 from repro.trace.stats import compute_statistics
@@ -39,10 +47,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    trace = Trace.load_tsh(args.input)
-    data, compressed = compress_to_bytes(trace)
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(
+            f"error: --chunk-size must be >= 1, got {args.chunk_size}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.stream and args.workers is not None and args.workers > 1:
+        print(
+            "error: --stream promises byte-identical output, which the "
+            "parallel merge cannot; drop one of --stream/--workers",
+            file=sys.stderr,
+        )
+        return 2
+    name = Path(args.input).stem
+    chunk_size = args.chunk_size or DEFAULT_CHUNK_PACKETS
+    workers = args.workers or 1
+    if workers > 1:
+        compressed = compress_tsh_file_parallel(
+            args.input, workers, name=name, chunk_size=chunk_size
+        )
+        data = serialize_compressed(compressed)
+        report = report_for_stream(compressed, data)
+    elif args.stream or args.workers is not None or args.chunk_size is not None:
+        # Any streaming-family flag (--stream, explicit --workers, or
+        # --chunk-size) selects chunked reads; the output is
+        # byte-identical to batch, so honoring them is always safe.
+        data, compressed = compress_stream_to_bytes(
+            iter_tsh_packets(args.input, chunk_size), name=name
+        )
+        report = report_for_stream(compressed, data)
+    else:
+        trace = Trace.load_tsh(args.input)
+        data, compressed = compress_to_bytes(trace)
+        report = report_for(trace, compressed, data)
     Path(args.output).write_bytes(data)
-    report = report_for(trace, compressed, data)
     for line in report.summary_lines():
         print(line)
     return 0
@@ -156,6 +198,26 @@ def build_parser() -> argparse.ArgumentParser:
     compress = subparsers.add_parser("compress", help="compress a TSH trace")
     compress.add_argument("input", help="input .tsh path")
     compress.add_argument("output", help="output .fctc path")
+    compress.add_argument(
+        "--stream",
+        action="store_true",
+        help="read the input in chunks instead of loading it whole "
+        "(bounded memory, byte-identical output)",
+    )
+    compress.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard flows across N processes and merge (implies streaming "
+        "reads; --workers 1 streams without a process pool)",
+    )
+    compress.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="packets decoded per read (implies --stream; "
+        f"default {DEFAULT_CHUNK_PACKETS})",
+    )
     compress.set_defaults(handler=_cmd_compress)
 
     decompress = subparsers.add_parser("decompress", help="rebuild a trace")

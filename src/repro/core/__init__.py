@@ -15,13 +15,28 @@ from repro.core.datasets import (
     ShortFlowTemplate,
     TimeSeqRecord,
 )
-from repro.core.compressor import CompressorConfig, FlowClusterCompressor, compress_trace
+from repro.core.compressor import (
+    CompressorConfig,
+    FlowClusterCompressor,
+    TemplateMatcher,
+    compress_trace,
+)
 from repro.core.decompressor import DecompressorConfig, decompress_trace
 from repro.core.codec import deserialize_compressed, serialize_compressed
+from repro.core.streaming import (
+    StreamingCompressor,
+    StreamingStats,
+    compress_stream,
+    compress_tsh_file,
+    compress_tsh_file_parallel,
+    merge_compressed,
+)
 from repro.core.pipeline import (
     CompressionReport,
+    compress_stream_to_bytes,
     compress_to_bytes,
     decompress_from_bytes,
+    report_for_stream,
     roundtrip,
 )
 from repro.core.generator import TraceModel
@@ -36,14 +51,23 @@ __all__ = [
     "TimeSeqRecord",
     "CompressorConfig",
     "FlowClusterCompressor",
+    "TemplateMatcher",
     "compress_trace",
     "DecompressorConfig",
     "decompress_trace",
     "deserialize_compressed",
     "serialize_compressed",
+    "StreamingCompressor",
+    "StreamingStats",
+    "compress_stream",
+    "compress_tsh_file",
+    "compress_tsh_file_parallel",
+    "merge_compressed",
     "CompressionReport",
+    "compress_stream_to_bytes",
     "compress_to_bytes",
     "decompress_from_bytes",
+    "report_for_stream",
     "roundtrip",
     "TraceModel",
     "CodecError",

@@ -86,23 +86,76 @@ class CompressorStats:
         return self.template_hits / total if total else 0.0
 
 
+class TemplateMatcher:
+    """Equation-4 similarity search over a short-template dataset.
+
+    Buckets template indices by vector length — distance is only defined
+    for equal-length vectors — and scans a bucket in insertion order, so
+    search results (and therefore template numbering) are deterministic.
+    Shared by the compressor's close path and the parallel shard merge.
+    """
+
+    def __init__(
+        self, templates: list[ShortFlowTemplate], config: CompressorConfig
+    ) -> None:
+        self._templates = templates
+        self._config = config
+        self._by_length: dict[int, list[int]] = defaultdict(list)
+        for index, template in enumerate(templates):
+            self._by_length[template.n].append(index)
+
+    def find(self, vector: tuple[int, ...]) -> int | None:
+        """First template of the same length within d_max (eq. 4).
+
+        Exact duplicates always merge, even at a 0% threshold where the
+        strict "lower than" rule would otherwise reject them.
+        """
+        threshold = similarity_threshold(
+            len(vector), self._config.similarity_percent, self._config.per_packet_max
+        )
+        for index in self._by_length.get(len(vector), ()):
+            center = self._templates[index].values
+            distance = vector_distance(center, vector)
+            if distance == 0 or distance < threshold:
+                return index
+        return None
+
+    def add(self, vector: tuple[int, ...]) -> int:
+        """Append ``vector`` as a new template; returns its index."""
+        index = len(self._templates)
+        self._templates.append(ShortFlowTemplate(vector))
+        self._by_length[len(vector)].append(index)
+        return index
+
+
 class FlowClusterCompressor:
     """Streaming compressor; feed packets, then :meth:`finish`."""
 
-    def __init__(self, config: CompressorConfig | None = None, name: str = "compressed") -> None:
+    def __init__(
+        self,
+        config: CompressorConfig | None = None,
+        name: str = "compressed",
+        base_time: float | None = None,
+    ) -> None:
         self.config = config or CompressorConfig()
         self.stats = CompressorStats()
         self._active = ActiveFlowList()
         self._last_seen: dict = {}
         self._output = CompressedTrace(name=name)
-        self._templates_by_length: dict[int, list[int]] = defaultdict(list)
-        self._base_time: float | None = None
+        self._matcher = TemplateMatcher(self._output.short_templates, self.config)
+        self._base_time = base_time
+        self._earliest_seen: float | None = None
         self._finished = False
 
     @property
     def output(self) -> CompressedTrace:
         """The datasets built so far (complete only after :meth:`finish`)."""
         return self._output
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently open — the streaming working-set size."""
+        return len(self._active)
 
     def add_packet(self, packet: PacketRecord) -> None:
         """Process one packet of the input trace (timestamp order)."""
@@ -129,6 +182,8 @@ class FlowClusterCompressor:
         )
         node.append_packet(packet.timestamp, value, direction)
         self._last_seen[node.key] = packet.timestamp
+        if self._earliest_seen is None or packet.timestamp < self._earliest_seen:
+            self._earliest_seen = packet.timestamp
 
         if is_flow_terminator(packet.flags):
             self._active.remove(node)
@@ -147,7 +202,13 @@ class FlowClusterCompressor:
     # -- internals -------------------------------------------------------
 
     def _expire_idle(self, now: float) -> None:
+        # ``_earliest_seen`` is a lower bound on every live flow's last
+        # activity (updates only raise values), so when even the bound is
+        # fresh no flow can be stale and the O(active-flows) scan is
+        # skipped — the common case on dense traces.
         timeout = self.config.idle_timeout
+        if self._earliest_seen is None or now - self._earliest_seen <= timeout:
+            return
         stale = [
             key for key, last in self._last_seen.items() if now - last > timeout
         ]
@@ -157,6 +218,7 @@ class FlowClusterCompressor:
                 self._active.remove(node)
                 self._close_flow(node)
             del self._last_seen[key]
+        self._earliest_seen = min(self._last_seen.values(), default=None)
 
     def _close_flow(self, node: FlowNode) -> None:
         """Route a finished flow to the short or long dataset."""
@@ -171,11 +233,9 @@ class FlowClusterCompressor:
     def _close_short(self, node: FlowNode) -> None:
         self.stats.short_flows += 1
         vector = node.vector()
-        index = self._find_similar_template(vector)
+        index = self._matcher.find(vector)
         if index is None:
-            index = len(self._output.short_templates)
-            self._output.short_templates.append(ShortFlowTemplate(vector))
-            self._templates_by_length[len(vector)].append(index)
+            index = self._matcher.add(vector)
             self.stats.template_misses += 1
         else:
             self.stats.template_hits += 1
@@ -189,22 +249,6 @@ class FlowClusterCompressor:
         index = len(self._output.long_templates)
         self._output.long_templates.append(template)
         self._append_time_seq(node, DatasetId.LONG, index, rtt=0.0)
-
-    def _find_similar_template(self, vector: tuple[int, ...]) -> int | None:
-        """First template of the same length within d_max (eq. 4).
-
-        Exact duplicates always merge, even at a 0% threshold where the
-        strict "lower than" rule would otherwise reject them.
-        """
-        threshold = similarity_threshold(
-            len(vector), self.config.similarity_percent, self.config.per_packet_max
-        )
-        for index in self._templates_by_length.get(len(vector), ()):
-            center = self._output.short_templates[index].values
-            distance = vector_distance(center, vector)
-            if distance == 0 or distance < threshold:
-                return index
-        return None
 
     def _append_time_seq(
         self, node: FlowNode, dataset: DatasetId, template_index: int, rtt: float

@@ -8,12 +8,16 @@ compressed file sizes against the original TSH file size).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.codec import dataset_sizes, deserialize_compressed, serialize_compressed
 from repro.core.compressor import CompressorConfig, compress_trace
 from repro.core.datasets import CompressedTrace
 from repro.core.decompressor import DecompressorConfig, decompress_trace
+from repro.core.streaming import compress_stream
+from repro.net.packet import PacketRecord
 from repro.trace.trace import Trace
+from repro.trace.tsh import tsh_file_size
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,20 @@ def compress_to_bytes(
     return serialize_compressed(compressed), compressed
 
 
+def compress_stream_to_bytes(
+    packets: Iterable[PacketRecord],
+    config: CompressorConfig | None = None,
+    name: str = "compressed",
+) -> tuple[bytes, CompressedTrace]:
+    """Compress a packet iterable and serialize, without materializing it.
+
+    Byte-identical to :func:`compress_to_bytes` on the same packet
+    sequence and name — both paths run the same compressor.
+    """
+    compressed = compress_stream(packets, config, name=name)
+    return serialize_compressed(compressed), compressed
+
+
 def decompress_from_bytes(
     data: bytes, config: DecompressorConfig | None = None
 ) -> Trace:
@@ -78,6 +96,25 @@ def report_for(trace: Trace, compressed: CompressedTrace, data: bytes) -> Compre
         original_bytes=trace.stored_size_bytes(),
         compressed_bytes=len(data),
         packet_count=len(trace),
+        flow_count=compressed.flow_count(),
+        short_templates=len(compressed.short_templates),
+        long_templates=len(compressed.long_templates),
+        dataset_bytes=dataset_sizes(compressed),
+    )
+
+
+def report_for_stream(compressed: CompressedTrace, data: bytes) -> CompressionReport:
+    """The size report when no in-memory :class:`Trace` exists.
+
+    Streaming and parallel compression never hold the input trace, but
+    every sizing input survives in the datasets: the original TSH size is
+    44 bytes per packet and ``original_packet_count`` counts every packet
+    routed into a flow.  Matches :func:`report_for` field for field.
+    """
+    return CompressionReport(
+        original_bytes=tsh_file_size(compressed.original_packet_count),
+        compressed_bytes=len(data),
+        packet_count=compressed.original_packet_count,
         flow_count=compressed.flow_count(),
         short_templates=len(compressed.short_templates),
         long_templates=len(compressed.long_templates),

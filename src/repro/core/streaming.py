@@ -1,0 +1,288 @@
+"""Streaming and parallel front-ends for the flow-clustering compressor.
+
+The paper's algorithm is online — packets stream in, flows close on
+FIN/RST or idle timeout, templates grow incrementally — but the original
+entry points (:func:`~repro.core.compressor.compress_trace`,
+:func:`~repro.core.pipeline.compress_to_bytes`) materialize the whole
+trace first.  This module keeps the algorithm and removes the
+materialization:
+
+:class:`StreamingCompressor`
+    Accepts packets incrementally (single packets, chunks, or any
+    iterable) and never holds more state than the active-flow list plus
+    the compressed datasets.  Byte-for-byte identical output to the
+    batch path: both run the same :class:`FlowClusterCompressor`.
+
+:func:`compress_tsh_file`
+    Chunked-read a ``.tsh`` file through the streaming compressor —
+    peak memory is bounded by the active-flow population and the
+    compressed output (a few percent of the trace), not the trace.
+
+:func:`compress_tsh_file_parallel`
+    Shard a trace by flow hash across ``multiprocessing`` workers, each
+    compressing its shard with a common time base, then merge the
+    per-shard datasets with the same equation-4 similarity search the
+    compressor uses — so cross-shard duplicate templates still collapse.
+    Flows are never split (a flow's packets all hash to one shard), so
+    the merged output is a valid compression of the full trace; template
+    *numbering* differs from the batch path, which is why only
+    ``--stream`` promises byte-identical files.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+from zlib import crc32
+
+from repro.core.compressor import (
+    CompressorConfig,
+    CompressorStats,
+    FlowClusterCompressor,
+    TemplateMatcher,
+)
+from repro.core.datasets import CompressedTrace, DatasetId, TimeSeqRecord
+from repro.net.packet import PacketRecord
+from repro.trace.reader import (
+    DEFAULT_CHUNK_PACKETS,
+    first_tsh_timestamp,
+    iter_tsh_chunks,
+    iter_tsh_records,
+)
+from repro.trace.tsh import decode_record
+
+
+@dataclass
+class StreamingStats:
+    """Feed-side counters; compression counters live in ``stats``."""
+
+    packets_fed: int = 0
+    chunks_fed: int = 0
+    peak_active_flows: int = 0
+
+
+class StreamingCompressor:
+    """Incremental compression facade over :class:`FlowClusterCompressor`.
+
+    Feed packets with :meth:`add_packet` or whole iterables with
+    :meth:`feed`, then call :meth:`finish`.  Output is byte-identical to
+    :func:`~repro.core.compressor.compress_trace` on the same packet
+    sequence regardless of how the feed is chunked.
+    """
+
+    def __init__(
+        self,
+        config: CompressorConfig | None = None,
+        name: str = "compressed",
+        base_time: float | None = None,
+    ) -> None:
+        self._engine = FlowClusterCompressor(config, name=name, base_time=base_time)
+        self.streaming_stats = StreamingStats()
+
+    @property
+    def config(self) -> CompressorConfig:
+        return self._engine.config
+
+    @property
+    def stats(self) -> CompressorStats:
+        return self._engine.stats
+
+    @property
+    def output(self) -> CompressedTrace:
+        """The datasets built so far (complete only after :meth:`finish`)."""
+        return self._engine.output
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently open — the streaming working-set size."""
+        return self._engine.active_flows
+
+    def add_packet(self, packet: PacketRecord) -> None:
+        """Process one packet (timestamp order across all feeds)."""
+        self._engine.add_packet(packet)
+        stats = self.streaming_stats
+        stats.packets_fed += 1
+        if self._engine.active_flows > stats.peak_active_flows:
+            stats.peak_active_flows = self._engine.active_flows
+
+    def feed(self, packets: Iterable[PacketRecord]) -> int:
+        """Process one chunk of packets; returns how many were fed."""
+        before = self.streaming_stats.packets_fed
+        for packet in packets:
+            self.add_packet(packet)
+        self.streaming_stats.chunks_fed += 1
+        return self.streaming_stats.packets_fed - before
+
+    def finish(self) -> CompressedTrace:
+        """Flush open flows and return the completed datasets."""
+        return self._engine.finish()
+
+
+def compress_stream(
+    packets: Iterable[PacketRecord],
+    config: CompressorConfig | None = None,
+    name: str = "compressed",
+) -> CompressedTrace:
+    """Compress any packet iterable without materializing it."""
+    compressor = StreamingCompressor(config, name=name)
+    compressor.feed(packets)
+    return compressor.finish()
+
+
+def compress_tsh_file(
+    path: str | Path,
+    config: CompressorConfig | None = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_PACKETS,
+    name: str | None = None,
+) -> StreamingCompressor:
+    """Stream-compress a ``.tsh`` file in bounded memory.
+
+    Returns the finished :class:`StreamingCompressor` so callers can read
+    ``output`` alongside ``stats`` / ``streaming_stats``.
+    """
+    compressor = StreamingCompressor(config, name=name or Path(path).stem)
+    for chunk in iter_tsh_chunks(path, chunk_size):
+        compressor.feed(chunk)
+    compressor.finish()
+    return compressor
+
+
+# -- parallel sharding ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One worker's slice of the input: path + hash residue class."""
+
+    path: str
+    shard: int
+    workers: int
+    config: CompressorConfig | None
+    base_time: float | None
+    chunk_size: int = DEFAULT_CHUNK_PACKETS
+
+
+def record_shard(record: bytes, workers: int) -> int:
+    """Shard index of a raw 44-byte TSH record, without decoding it.
+
+    Reads the 5-tuple straight out of the record (protocol at byte 17,
+    addresses at 20, ports at 28), orders the two (ip, port) endpoints —
+    the big-endian byte comparison matches
+    :meth:`~repro.net.flowkey.FiveTuple.canonical`'s numeric one — and
+    CRC-hashes at C speed, so both directions of a conversation land in
+    the same shard and the filter stays far cheaper than a decode.
+    Sharding only needs this internal consistency; the value is not
+    meant to match :func:`~repro.net.flowkey.flow_hash`.
+    """
+    forward = record[20:24] + record[28:30]  # src ip + src port
+    backward = record[24:28] + record[30:32]  # dst ip + dst port
+    if forward <= backward:
+        key = forward + backward
+    else:
+        key = backward + forward
+    return crc32(key + record[17:18]) % workers
+
+
+def _compress_shard(task: _ShardTask) -> CompressedTrace:
+    """Worker body: compress the packets whose flow hashes to ``shard``.
+
+    Each worker reads the file itself (no packet pickling between
+    processes), shard-tests the raw record bytes, and decodes only its
+    own residue class — decode cost stays ~1/workers per process.
+    ``base_time`` anchors every shard to the trace start — shard-local
+    first packets would otherwise skew the time-seq clocks.
+    """
+    engine = FlowClusterCompressor(
+        task.config, name=f"shard-{task.shard}", base_time=task.base_time
+    )
+    workers = task.workers
+    shard = task.shard
+    for record in iter_tsh_records(task.path, task.chunk_size):
+        if record_shard(record, workers) == shard:
+            engine.add_packet(decode_record(record))
+    return engine.finish()
+
+
+def merge_compressed(
+    shards: Iterable[CompressedTrace],
+    name: str = "merged",
+    config: CompressorConfig | None = None,
+) -> CompressedTrace:
+    """Merge per-shard datasets into one compressed trace.
+
+    Short templates are re-clustered across shards with the same
+    equation-4 search the compressor uses, so templates that would have
+    merged in a single-process run still merge here.  Long templates and
+    addresses are re-indexed; time-seq records are remapped and sorted by
+    timestamp (the dataset's documented order).
+
+    Fidelity caveat: the merge clusters shard-template *centers*, not
+    the original flow vectors, so a flow can end up to 2x the eq-4
+    threshold from its final template (its shard-local distance plus the
+    center-to-center distance).  Single-process compression keeps every
+    flow within 1x.
+    """
+    merged = CompressedTrace(name=name)
+    matcher = TemplateMatcher(merged.short_templates, config or CompressorConfig())
+    for shard in shards:
+        short_map: list[int] = []
+        for template in shard.short_templates:
+            index = matcher.find(template.values)
+            if index is None:
+                index = matcher.add(template.values)
+            short_map.append(index)
+        long_base = len(merged.long_templates)
+        merged.long_templates.extend(shard.long_templates)
+        address_map = [merged.addresses.intern(a) for a in shard.addresses]
+        for record in shard.time_seq:
+            if record.dataset is DatasetId.SHORT:
+                template_index = short_map[record.template_index]
+            else:
+                template_index = long_base + record.template_index
+            merged.time_seq.append(
+                TimeSeqRecord(
+                    timestamp=record.timestamp,
+                    dataset=record.dataset,
+                    template_index=template_index,
+                    address_index=address_map[record.address_index],
+                    rtt=record.rtt,
+                )
+            )
+        merged.original_packet_count += shard.original_packet_count
+    merged.time_seq.sort(key=lambda record: record.timestamp)
+    return merged
+
+
+def compress_tsh_file_parallel(
+    path: str | Path,
+    workers: int,
+    config: CompressorConfig | None = None,
+    *,
+    name: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_PACKETS,
+) -> CompressedTrace:
+    """Compress a ``.tsh`` file across ``workers`` processes.
+
+    Shards by flow hash so each conversation lands wholly in one worker;
+    merges shard outputs with :func:`merge_compressed`.  ``workers == 1``
+    degenerates to the streaming path (no process pool).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    trace_name = name or Path(path).stem
+    if workers == 1:
+        compressor = compress_tsh_file(
+            path, config, chunk_size=chunk_size, name=trace_name
+        )
+        return compressor.output
+    base_time = first_tsh_timestamp(path)
+    tasks = [
+        _ShardTask(str(path), shard, workers, config, base_time, chunk_size)
+        for shard in range(workers)
+    ]
+    with multiprocessing.Pool(workers) as pool:
+        shards = pool.map(_compress_shard, tasks)
+    return merge_compressed(shards, name=trace_name, config=config)

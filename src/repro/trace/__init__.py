@@ -16,6 +16,14 @@ from repro.trace.tsh import (
     write_tsh,
     write_tsh_bytes,
 )
+from repro.trace.reader import (
+    DEFAULT_CHUNK_PACKETS,
+    count_tsh_packets,
+    first_tsh_timestamp,
+    iter_tsh_chunks,
+    iter_tsh_packets,
+    iter_tsh_records,
+)
 from repro.trace.pcaplite import read_pcap, write_pcap
 from repro.trace.stats import FlowLengthDistribution, TraceStatistics, compute_statistics
 from repro.trace.filters import select_time_window, select_web_traffic, split_by_seconds
@@ -28,6 +36,12 @@ __all__ = [
     "read_tsh_bytes",
     "write_tsh",
     "write_tsh_bytes",
+    "DEFAULT_CHUNK_PACKETS",
+    "count_tsh_packets",
+    "first_tsh_timestamp",
+    "iter_tsh_chunks",
+    "iter_tsh_packets",
+    "iter_tsh_records",
     "read_pcap",
     "write_pcap",
     "FlowLengthDistribution",

@@ -1,0 +1,123 @@
+"""Chunked TSH file reading for the streaming engine.
+
+:meth:`~repro.trace.trace.Trace.load_tsh` materializes a whole trace in
+memory before any processing starts — fine for the paper's 90-second
+RedIRIS captures, a non-starter for the multi-hour NLANR traces the
+evaluation also covers.  This module reads a ``.tsh`` file in fixed-size
+packet chunks so the streaming compressor can bound its working set by
+the *active-flow* population instead of the trace length.
+
+The readers decode the same 44-byte records as :mod:`repro.trace.tsh`
+and raise ``ValueError`` on a truncated trailing record, matching
+:func:`repro.trace.tsh.read_tsh`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.net.packet import PacketRecord
+from repro.trace.tsh import TSH_RECORD_BYTES, decode_record
+
+DEFAULT_CHUNK_PACKETS = 8192
+"""Packets decoded per read; ~360 KiB of file per chunk."""
+
+
+def _iter_record_blocks(path: str | Path, chunk_size: int) -> Iterator[bytes]:
+    """Yield byte blocks of up to ``chunk_size`` whole 44-byte records.
+
+    One file read per block; a read can straddle a record boundary, so a
+    sub-record tail is carried into the next block.  Raises
+    ``ValueError`` for a non-positive ``chunk_size`` or a truncated
+    trailing record.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+    read_bytes = chunk_size * TSH_RECORD_BYTES
+    with open(path, "rb") as stream:
+        pending = b""
+        while True:
+            data = stream.read(read_bytes)
+            if not data:
+                if pending:
+                    raise ValueError(
+                        f"truncated TSH record: expected {TSH_RECORD_BYTES} "
+                        f"bytes, got {len(pending)}"
+                    )
+                return
+            buffer = pending + data
+            usable = len(buffer) - len(buffer) % TSH_RECORD_BYTES
+            pending = buffer[usable:]
+            if usable:
+                yield buffer[:usable]
+
+
+def iter_tsh_records(
+    path: str | Path, chunk_size: int = DEFAULT_CHUNK_PACKETS
+) -> Iterator[bytes]:
+    """Yield raw 44-byte records with chunked reads, without decoding.
+
+    Lets callers filter records cheaply (the parallel compressor's shard
+    test needs only the 5-tuple bytes) and decode just the survivors.
+    """
+    for block in _iter_record_blocks(path, chunk_size):
+        for offset in range(0, len(block), TSH_RECORD_BYTES):
+            yield block[offset : offset + TSH_RECORD_BYTES]
+
+
+def iter_tsh_chunks(
+    path: str | Path, chunk_size: int = DEFAULT_CHUNK_PACKETS
+) -> Iterator[list[PacketRecord]]:
+    """Yield lists of up to ``chunk_size`` packets from a ``.tsh`` file.
+
+    Memory use is bounded by one chunk regardless of file size.  Raises
+    ``ValueError`` for a non-positive ``chunk_size`` or a file whose size
+    is not a multiple of the 44-byte record length.
+    """
+    for block in _iter_record_blocks(path, chunk_size):
+        yield [
+            decode_record(block[offset : offset + TSH_RECORD_BYTES])
+            for offset in range(0, len(block), TSH_RECORD_BYTES)
+        ]
+
+
+def iter_tsh_packets(
+    path: str | Path, chunk_size: int = DEFAULT_CHUNK_PACKETS
+) -> Iterator[PacketRecord]:
+    """Yield packets from a ``.tsh`` file without loading it whole.
+
+    The streaming counterpart of :meth:`Trace.load_tsh`: decodes
+    ``chunk_size`` records per file read and yields them one at a time.
+    """
+    for chunk in iter_tsh_chunks(path, chunk_size):
+        yield from chunk
+
+
+def count_tsh_packets(path: str | Path) -> int:
+    """Packet count of a ``.tsh`` file from its size, without reading it."""
+    size = os.stat(path).st_size
+    if size % TSH_RECORD_BYTES:
+        raise ValueError(
+            f"{path}: size {size} is not a multiple of {TSH_RECORD_BYTES}"
+        )
+    return size // TSH_RECORD_BYTES
+
+
+def first_tsh_timestamp(path: str | Path) -> float | None:
+    """Timestamp of the first packet, or None for an empty file.
+
+    The parallel compressor anchors every shard's relative clock to the
+    trace start; reading one record is enough to find it.
+    """
+    with open(path, "rb") as stream:
+        record = stream.read(TSH_RECORD_BYTES)
+    if not record:
+        return None
+    if len(record) != TSH_RECORD_BYTES:
+        raise ValueError(
+            f"truncated TSH record: expected {TSH_RECORD_BYTES} bytes, "
+            f"got {len(record)}"
+        )
+    return decode_record(record).timestamp
