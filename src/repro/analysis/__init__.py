@@ -1,5 +1,6 @@
 """Analysis utilities: CDFs, trace comparisons and text reports."""
 
+from repro.analysis.archive import archive_overview_lines, segment_table
 from repro.analysis.cdf import EmpiricalCdf, histogram
 from repro.analysis.compare import (
     earth_movers_distance,
@@ -21,6 +22,8 @@ from repro.analysis.flagseq import (
 )
 
 __all__ = [
+    "archive_overview_lines",
+    "segment_table",
     "EmpiricalCdf",
     "histogram",
     "earth_movers_distance",

@@ -1,0 +1,73 @@
+"""Reports over segmented archives — rendered from the index, not the data.
+
+Everything here reads only the archive footer (via an open
+:class:`~repro.archive.reader.ArchiveReader`), so reporting on a
+multi-gigabyte archive costs two seeks.  The per-segment table reuses
+the evaluation harness's :func:`~repro.analysis.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.archive.reader import ArchiveReader
+from repro.net.ip import format_ipv4
+
+
+def archive_overview_lines(reader: ArchiveReader) -> list[str]:
+    """Headline numbers for one archive, from the footer index alone."""
+    bounds = reader.time_bounds()
+    span = f"{bounds[0]:.4f} .. {bounds[1]:.4f} s" if bounds else "(empty)"
+    segment_bytes = sum(entry.length for entry in reader.entries)
+    return [
+        f"archive              : {reader.path.name}",
+        f"epoch                : {reader.epoch:.6f} s",
+        f"segments             : {reader.segment_count}",
+        f"flows                : {reader.flow_count()}",
+        f"original packets     : {reader.packet_count()}",
+        f"flow time span       : {span}",
+        f"segment bytes        : {segment_bytes} B",
+    ]
+
+
+def segment_table(reader: ArchiveReader) -> str:
+    """One row per segment: byte range, time bounds, flow mix, addresses."""
+    rows = []
+    for index, entry in enumerate(reader.entries):
+        if entry.summary.addresses:
+            addresses = (
+                f"{entry.address_count} "
+                f"({format_ipv4(entry.summary.addresses[0])}"
+                + (" ..." if entry.address_count > 1 else "")
+                + ")"
+            )
+        else:
+            addresses = f"{entry.address_count} (bloom)"
+        rows.append(
+            [
+                index,
+                entry.offset,
+                entry.length,
+                f"{entry.time_min:.4f}",
+                f"{entry.time_max:.4f}",
+                entry.flow_count,
+                entry.short_flow_count,
+                entry.long_flow_count,
+                entry.packet_count,
+                addresses,
+            ]
+        )
+    return format_table(
+        [
+            "seg",
+            "offset",
+            "bytes",
+            "t_min",
+            "t_max",
+            "flows",
+            "short",
+            "long",
+            "packets",
+            "destinations",
+        ],
+        rows,
+    )

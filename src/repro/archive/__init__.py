@@ -1,0 +1,38 @@
+"""Segmented ``.fctca`` trace archives: rolling captures, indexed reads.
+
+The archive layer sits on top of the streaming compressor: the writer
+rotates compressed segments by packet count / time span into a single
+container whose footer indexes every segment (byte range, time bounds,
+flow counts, destination summary); the reader seeks to and decodes only
+the segments a caller asks for.  The query engine in :mod:`repro.query`
+plans against the index.
+"""
+
+from repro.archive.format import (
+    AddressSummary,
+    SegmentIndexEntry,
+    index_entry_for,
+    pack_footer,
+    unpack_footer,
+)
+from repro.archive.reader import ArchiveReader, parse_archive_tail
+from repro.archive.writer import (
+    DEFAULT_SEGMENT_PACKETS,
+    DEFAULT_SEGMENT_SPAN,
+    ArchiveWriter,
+    build_archive,
+)
+
+__all__ = [
+    "AddressSummary",
+    "SegmentIndexEntry",
+    "index_entry_for",
+    "pack_footer",
+    "unpack_footer",
+    "ArchiveReader",
+    "parse_archive_tail",
+    "DEFAULT_SEGMENT_PACKETS",
+    "DEFAULT_SEGMENT_SPAN",
+    "ArchiveWriter",
+    "build_archive",
+]

@@ -1,0 +1,167 @@
+"""Segment reader: seek-and-decode access into a ``.fctca`` archive.
+
+:class:`ArchiveReader` memory-maps the archive (falling back to plain
+seeks where mmap is unavailable), parses the fixed trailer and footer
+index once, and then serves individual segments on demand —
+:meth:`load_segment` decodes exactly one segment's bytes through the
+ordinary ``.fctc`` codec and nothing else.  The index entries are public
+so query planners can decide *which* segments to decode; the reader
+counts what was actually decoded (``segments_decoded`` /
+``bytes_decoded``) so callers can assert they touched less than the
+whole file.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.archive.format import (
+    ARCHIVE_MAGIC,
+    ARCHIVE_VERSION,
+    HEADER,
+    TRAILER,
+    TRAILER_MAGIC,
+    SegmentIndexEntry,
+    unpack_footer,
+)
+from repro.core.codec import read_compressed
+from repro.core.datasets import CompressedTrace
+from repro.core.errors import ArchiveError, CodecError
+
+
+def parse_archive_tail(
+    stream: BinaryIO,
+) -> tuple[float, list[SegmentIndexEntry], int]:
+    """Validate an archive stream; returns (epoch, entries, footer offset).
+
+    Shared by the reader and the append path (which truncates the footer
+    and writes new segments over it).
+    """
+    stream.seek(0, io.SEEK_END)
+    size = stream.tell()
+    if size < HEADER.size + TRAILER.size:
+        raise ArchiveError(f"archive too small to be valid: {size} bytes")
+    stream.seek(0)
+    magic, version, epoch = HEADER.unpack(stream.read(HEADER.size))
+    if magic != ARCHIVE_MAGIC:
+        raise ArchiveError(f"bad archive magic: {magic!r}")
+    if version != ARCHIVE_VERSION:
+        raise ArchiveError(f"unsupported archive version: {version}")
+    stream.seek(size - TRAILER.size)
+    footer_offset, footer_length, trailer_magic = TRAILER.unpack(
+        stream.read(TRAILER.size)
+    )
+    if trailer_magic != TRAILER_MAGIC:
+        raise ArchiveError(f"bad archive trailer magic: {trailer_magic!r}")
+    if (
+        footer_offset < HEADER.size
+        or footer_offset + footer_length + TRAILER.size != size
+    ):
+        raise ArchiveError(
+            f"archive footer range [{footer_offset}, +{footer_length}] "
+            f"inconsistent with file size {size}"
+        )
+    stream.seek(footer_offset)
+    entries = unpack_footer(stream.read(footer_length))
+    for index, entry in enumerate(entries):
+        if entry.offset < HEADER.size or entry.offset + entry.length > footer_offset:
+            raise ArchiveError(
+                f"segment {index} byte range [{entry.offset}, +{entry.length}] "
+                f"escapes the segment region"
+            )
+    return epoch, entries, footer_offset
+
+
+class ArchiveReader:
+    """Open a ``.fctca`` file for segment-granular reads."""
+
+    def __init__(self, path: str | Path, *, use_mmap: bool = True) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        self._mmap: mmap.mmap | None = None
+        try:
+            self.epoch, self.entries, self._footer_offset = parse_archive_tail(
+                self._file
+            )
+            if use_mmap:
+                try:
+                    self._mmap = mmap.mmap(
+                        self._file.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+                except (OSError, ValueError):
+                    self._mmap = None  # fall back to seek+read
+        except Exception:
+            self._file.close()
+            raise
+        self.segments_decoded = 0
+        self.bytes_decoded = 0
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.entries)
+
+    def flow_count(self) -> int:
+        """Total flows across every segment (from the index alone)."""
+        return sum(entry.flow_count for entry in self.entries)
+
+    def packet_count(self) -> int:
+        """Total original packets across every segment (index only)."""
+        return sum(entry.packet_count for entry in self.entries)
+
+    def time_bounds(self) -> tuple[float, float] | None:
+        """(earliest, latest) flow timestamp across segments (index only)."""
+        if not self.entries:
+            return None
+        return (
+            min(entry.time_min for entry in self.entries),
+            max(entry.time_max for entry in self.entries),
+        )
+
+    def read_segment_bytes(self, index: int) -> bytes:
+        """The raw ``.fctc`` bytes of segment ``index``."""
+        entry = self._entry(index)
+        if self._mmap is not None:
+            return self._mmap[entry.offset : entry.offset + entry.length]
+        self._file.seek(entry.offset)
+        data = self._file.read(entry.length)
+        if len(data) != entry.length:
+            raise ArchiveError(f"segment {index}: short read")
+        return data
+
+    def load_segment(self, index: int) -> CompressedTrace:
+        """Decode one segment; counts toward the decode statistics."""
+        entry = self._entry(index)
+        try:
+            compressed = read_compressed(io.BytesIO(self.read_segment_bytes(index)))
+        except CodecError as exc:
+            raise ArchiveError(f"segment {index}: {exc}") from exc
+        self.segments_decoded += 1
+        self.bytes_decoded += entry.length
+        return compressed
+
+    def iter_segments(self) -> Iterator[tuple[int, CompressedTrace]]:
+        """Decode every segment in file order."""
+        for index in range(len(self.entries)):
+            yield index, self.load_segment(index)
+
+    def _entry(self, index: int) -> SegmentIndexEntry:
+        if not 0 <= index < len(self.entries):
+            raise ArchiveError(
+                f"segment index {index} out of range ({len(self.entries)})"
+            )
+        return self.entries[index]
+
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        self._file.close()
+
+    def __enter__(self) -> "ArchiveReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

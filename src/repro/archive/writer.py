@@ -1,0 +1,291 @@
+"""Segment writer: rolling captures into one indexed ``.fctca`` file.
+
+:class:`ArchiveWriter` couples the streaming compressor to the archive
+container.  Packets are fed one at a time (or via :meth:`feed`); the
+writer rotates to a fresh segment whenever the current one reaches
+``segment_packets`` packets or spans ``segment_span`` seconds of trace
+time, closes the segment's compressor, serializes it as a standalone
+``.fctc`` blob, and records its :class:`~repro.archive.format.SegmentIndexEntry`.
+Closing the writer lands the footer index and trailer.
+
+Every segment's compressor is anchored to the shared archive ``epoch``
+(the first packet's timestamp unless given), so time-seq timestamps are
+comparable across segments — the property the time index relies on.
+
+A flow still open at a rotation boundary is flushed into the closing
+segment, exactly as a rolling capture that restarts its collector would
+split it.  Queries therefore see one flow record per segment the flow
+touches.
+
+Appending re-opens an existing archive, parses its footer, truncates it,
+and continues writing segments in its place; the epoch is taken from the
+archive header so appended captures must share the original time base.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO, Iterable
+
+from repro.archive.format import (
+    ARCHIVE_MAGIC,
+    ARCHIVE_VERSION,
+    HEADER,
+    TRAILER,
+    TRAILER_MAGIC,
+    SegmentIndexEntry,
+    index_entry_for,
+    pack_footer,
+)
+from repro.core.codec import write_compressed
+from repro.core.compressor import CompressorConfig
+from repro.core.datasets import CompressedTrace
+from repro.core.errors import ArchiveError
+from repro.core.streaming import StreamingCompressor
+from repro.net.packet import PacketRecord
+
+DEFAULT_SEGMENT_PACKETS = 65536
+DEFAULT_SEGMENT_SPAN = 60.0
+
+
+class ArchiveWriter:
+    """Write (or extend) a segmented archive; use as a context manager."""
+
+    def __init__(
+        self,
+        stream: BinaryIO,
+        *,
+        entries: list[SegmentIndexEntry],
+        epoch: float | None,
+        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+        segment_span: float | None = DEFAULT_SEGMENT_SPAN,
+        config: CompressorConfig | None = None,
+        name: str = "archive",
+    ) -> None:
+        if segment_packets < 1:
+            raise ValueError(f"segment_packets must be >= 1: {segment_packets}")
+        if segment_span is not None and segment_span <= 0:
+            raise ValueError(f"segment_span must be positive: {segment_span}")
+        self._stream = stream
+        self._entries = entries
+        self._epoch = epoch
+        self._segment_packets = segment_packets
+        self._segment_span = segment_span
+        self._config = config
+        self._name = name
+        self._compressor: StreamingCompressor | None = None
+        self._segment_first_ts: float = 0.0
+        self._segment_fed = 0
+        self._closed = False
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        *,
+        epoch: float | None = None,
+        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+        segment_span: float | None = DEFAULT_SEGMENT_SPAN,
+        config: CompressorConfig | None = None,
+        name: str | None = None,
+    ) -> "ArchiveWriter":
+        """Start a new archive at ``path`` (truncating any existing file).
+
+        ``epoch`` defaults to the first fed packet's timestamp; the
+        header is (re)written with the final value on :meth:`close`.
+        """
+        stream = open(path, "w+b")
+        stream.write(HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, epoch or 0.0))
+        return cls(
+            stream,
+            entries=[],
+            epoch=epoch,
+            segment_packets=segment_packets,
+            segment_span=segment_span,
+            config=config,
+            name=name or Path(path).stem,
+        )
+
+    @classmethod
+    def append(
+        cls,
+        path: str | Path,
+        *,
+        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+        segment_span: float | None = DEFAULT_SEGMENT_SPAN,
+        config: CompressorConfig | None = None,
+        name: str | None = None,
+    ) -> "ArchiveWriter":
+        """Extend an existing archive in place.
+
+        The old footer is truncated and new segments take its place; the
+        epoch is fixed by the archive header, so appended packets must
+        carry timestamps on the same clock as the original capture.
+        """
+        stream = open(path, "r+b")
+        try:
+            epoch, entries, footer_offset = _read_tail(stream)
+        except Exception:
+            stream.close()
+            raise
+        stream.seek(footer_offset)
+        stream.truncate()
+        return cls(
+            stream,
+            entries=entries,
+            epoch=epoch,
+            segment_packets=segment_packets,
+            segment_span=segment_span,
+            config=config,
+            name=name or Path(path).stem,
+        )
+
+    # -- feeding ----------------------------------------------------------
+
+    @property
+    def epoch(self) -> float | None:
+        return self._epoch
+
+    @property
+    def segment_count(self) -> int:
+        """Segments landed so far (the open segment is not counted)."""
+        return len(self._entries)
+
+    def add_packet(self, packet: PacketRecord) -> None:
+        """Feed one packet, rotating segments at the configured bounds."""
+        if self._closed:
+            raise ArchiveError("archive writer already closed")
+        if self._epoch is None:
+            self._epoch = packet.timestamp
+        if self._compressor is not None and (
+            self._segment_fed >= self._segment_packets
+            or (
+                self._segment_span is not None
+                and packet.timestamp - self._segment_first_ts >= self._segment_span
+            )
+        ):
+            self._rotate()
+        if self._compressor is None:
+            self._compressor = StreamingCompressor(
+                self._config,
+                name=f"{self._name}/seg-{len(self._entries):05d}",
+                base_time=self._epoch,
+            )
+            self._segment_first_ts = packet.timestamp
+            self._segment_fed = 0
+        self._compressor.add_packet(packet)
+        self._segment_fed += 1
+
+    def feed(self, packets: Iterable[PacketRecord]) -> int:
+        """Feed a packet iterable; returns how many packets were added."""
+        count = 0
+        for packet in packets:
+            self.add_packet(packet)
+            count += 1
+        return count
+
+    def write_segment(self, compressed: CompressedTrace) -> SegmentIndexEntry:
+        """Land a pre-built compressed trace as one segment.
+
+        The low-level hook behind both packet-driven rotation and archive
+        filtering (which re-packs record subsets).  The segment's
+        time-seq timestamps must already be relative to the archive
+        epoch.  Empty traces are rejected — an empty segment indexes
+        nothing and would only cost seeks.
+        """
+        if self._closed:
+            raise ArchiveError("archive writer already closed")
+        if not compressed.time_seq:
+            raise ArchiveError("refusing to write an empty segment")
+        offset = self._stream.tell()
+        length = write_compressed(self._stream, compressed)
+        entry = index_entry_for(compressed, offset, length)
+        self._entries.append(entry)
+        return entry
+
+    # -- closing ----------------------------------------------------------
+
+    def close(self) -> list[SegmentIndexEntry]:
+        """Flush the open segment, write footer + trailer, close the file."""
+        if self._closed:
+            return self._entries
+        self._rotate()
+        self._seal()
+        return self._entries
+
+    def _seal(self) -> None:
+        """Write footer + trailer + final header and close the stream.
+
+        Also the error-path salvage: whatever segments fully landed are
+        sealed into a valid archive.  The stream position may sit after
+        partial bytes of a failed segment write — the footer simply
+        starts there and no index entry references the dead space.
+        """
+        footer_offset = self._stream.tell()
+        footer = pack_footer(self._entries)
+        self._stream.write(footer)
+        self._stream.write(TRAILER.pack(footer_offset, len(footer), TRAILER_MAGIC))
+        self._stream.seek(0)
+        self._stream.write(
+            HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, self._epoch or 0.0)
+        )
+        self._stream.close()
+        self._closed = True
+
+    def _rotate(self) -> None:
+        if self._compressor is None:
+            return
+        compressed = self._compressor.finish()
+        self._compressor = None
+        if compressed.time_seq:
+            self.write_segment(compressed)
+
+    def __enter__(self) -> "ArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif not self._closed:
+            # A failed feed must not destroy the file: append has already
+            # truncated the old footer and build has claimed the path, so
+            # seal the fully-landed segments back into a valid archive
+            # (the open segment's packets are discarded).  Best effort —
+            # if even sealing fails (dead disk), just drop the handle.
+            try:
+                self._seal()
+            except OSError:
+                self._stream.close()
+                self._closed = True
+
+
+def _read_tail(stream: BinaryIO) -> tuple[float, list[SegmentIndexEntry], int]:
+    """Parse header + trailer + footer of an existing archive stream."""
+    from repro.archive.reader import parse_archive_tail  # local: avoid cycle
+
+    return parse_archive_tail(stream)
+
+
+def build_archive(
+    path: str | Path,
+    packets: Iterable[PacketRecord],
+    *,
+    epoch: float | None = None,
+    segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+    segment_span: float | None = DEFAULT_SEGMENT_SPAN,
+    config: CompressorConfig | None = None,
+    name: str | None = None,
+) -> list[SegmentIndexEntry]:
+    """Compress ``packets`` into a new archive at ``path`` in one call."""
+    with ArchiveWriter.create(
+        path,
+        epoch=epoch,
+        segment_packets=segment_packets,
+        segment_span=segment_span,
+        config=config,
+        name=name,
+    ) as writer:
+        writer.feed(packets)
+        return writer.close()

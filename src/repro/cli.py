@@ -11,6 +11,13 @@ Subcommands (full reference in ``docs/CLI.md``)::
     repro-trace synthesize in.tsh out.tsh --scale 2
     repro-trace anonymize in.tsh out.tsh --key secret
     repro-trace compare a.tsh b.tsh
+    repro-trace archive build day.fctca in1.tsh in2.tsh --segment-span 60
+    repro-trace archive append day.fctca in3.tsh
+    repro-trace archive info day.fctca
+    repro-trace query day.fctca --since 10 --until 60 --dst 192.168.0.80
+
+Errors a user can cause (missing files, malformed containers, capacity
+overflows) exit 2 with a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ import sys
 from pathlib import Path
 
 from repro.core import (
+    CodecError,
+    CompressionError,
     compress_stream_to_bytes,
     compress_to_bytes,
     compress_tsh_file_parallel,
@@ -28,6 +37,7 @@ from repro.core import (
     report_for_stream,
     serialize_compressed,
 )
+from repro.archive.writer import DEFAULT_SEGMENT_PACKETS, DEFAULT_SEGMENT_SPAN
 from repro.core.codec import dataset_sizes
 from repro.core.pipeline import report_for
 from repro.trace.reader import DEFAULT_CHUNK_PACKETS, iter_tsh_packets
@@ -116,8 +126,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"short templates      : {short_count}")
     print(f"long templates       : {long_count}")
     print(f"unique destinations  : {len(compressed.addresses)}")
+    total = sizes["total"] or 1
     for dataset, size in sizes.items():
-        print(f"  {dataset:<22}: {size} B")
+        if dataset == "total":
+            print(f"  {dataset:<22}: {size} B")
+        else:
+            print(f"  {dataset:<22}: {size} B ({100.0 * size / total:.1f}%)")
     if args.addresses:
         for index, address in enumerate(compressed.addresses):
             print(f"  [{index}] {format_ipv4(address)}")
@@ -164,6 +178,126 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print()
     print(f"statistically similar: {verdict}")
     return 0 if verdict else 1
+
+
+def _cmd_archive_build(args: argparse.Namespace) -> int:
+    from repro.archive import ArchiveWriter
+
+    writer = ArchiveWriter.create(
+        args.output,
+        segment_packets=args.segment_packets,
+        segment_span=args.segment_span,
+    )
+    with writer:
+        fed = 0
+        for source in args.inputs:
+            fed += writer.feed(iter_tsh_packets(source))
+        entries = writer.close()
+    print(
+        f"wrote {len(entries)} segments / {fed} packets to {args.output}"
+    )
+    return 0
+
+
+def _cmd_archive_append(args: argparse.Namespace) -> int:
+    from repro.archive import ArchiveWriter
+
+    writer = ArchiveWriter.append(
+        args.archive,
+        segment_packets=args.segment_packets,
+        segment_span=args.segment_span,
+    )
+    with writer:
+        before = writer.segment_count
+        fed = 0
+        for source in args.inputs:
+            fed += writer.feed(iter_tsh_packets(source))
+        entries = writer.close()
+    print(
+        f"appended {len(entries) - before} segments / {fed} packets "
+        f"to {args.archive} ({len(entries)} total)"
+    )
+    return 0
+
+
+def _cmd_archive_info(args: argparse.Namespace) -> int:
+    from repro.analysis.archive import archive_overview_lines, segment_table
+    from repro.archive import ArchiveReader
+
+    with ArchiveReader(args.archive) as reader:
+        for line in archive_overview_lines(reader):
+            print(line)
+        if reader.entries:
+            print()
+            print(segment_table(reader))
+    return 0
+
+
+def _build_predicate(args: argparse.Namespace):
+    from repro.query import (
+        DestinationAddress,
+        DestinationPrefix,
+        FlowKind,
+        MatchAll,
+        PacketCountRange,
+        RttRange,
+        TimeRange,
+    )
+
+    predicate = None
+
+    def conjoin(term) -> None:
+        nonlocal predicate
+        predicate = term if predicate is None else predicate & term
+
+    if args.since is not None or args.until is not None:
+        conjoin(
+            TimeRange(
+                args.since or 0.0,
+                args.until if args.until is not None else float("inf"),
+            )
+        )
+    if args.dst is not None:
+        conjoin(DestinationAddress(args.dst))
+    if args.dst_prefix is not None:
+        conjoin(DestinationPrefix(args.dst_prefix))
+    if args.kind is not None:
+        conjoin(FlowKind(args.kind))
+    if args.min_packets is not None or args.max_packets is not None:
+        conjoin(PacketCountRange(args.min_packets or 1, args.max_packets))
+    if args.min_rtt is not None or args.max_rtt is not None:
+        conjoin(RttRange(args.min_rtt or 0.0, args.max_rtt))
+    return predicate if predicate is not None else MatchAll()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.archive import ArchiveReader
+    from repro.query import QueryEngine
+
+    predicate = _build_predicate(args)
+    with ArchiveReader(args.archive) as reader:
+        engine = QueryEngine(reader)
+        if args.output is not None:
+            written, stats = engine.filter_to(
+                args.output, predicate, limit=args.limit
+            )
+            print(
+                f"wrote {written} segments / {stats.flows_matched} flows "
+                f"to {args.output}"
+            )
+        else:
+            result = engine.run(predicate, limit=args.limit)
+            for flow in result.flows:
+                print(
+                    f"seg={flow.segment:<4d} t={flow.timestamp:<12.4f} "
+                    f"kind={flow.kind.name.lower():<5s} packets={flow.packet_count:<6d} "
+                    f"dst={format_ipv4(flow.destination):<15s} "
+                    f"rtt={flow.rtt:.4f}"
+                )
+            stats = result.stats
+        for line in stats.summary_lines():
+            print(line)
+    return 0
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
@@ -270,12 +404,99 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("second", help="second .tsh path")
     compare.set_defaults(handler=_cmd_compare)
 
+    archive = subparsers.add_parser(
+        "archive", help="build and inspect segmented .fctca archives"
+    )
+    archive_sub = archive.add_subparsers(dest="archive_command", required=True)
+
+    def _segment_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--segment-packets",
+            type=int,
+            default=DEFAULT_SEGMENT_PACKETS,
+            help=f"rotate after this many packets (default {DEFAULT_SEGMENT_PACKETS})",
+        )
+        sub.add_argument(
+            "--segment-span",
+            type=float,
+            default=DEFAULT_SEGMENT_SPAN,
+            help="rotate after this many seconds of trace time "
+            f"(default {DEFAULT_SEGMENT_SPAN:g})",
+        )
+
+    archive_build = archive_sub.add_parser(
+        "build", help="compress one or more .tsh captures into a new archive"
+    )
+    archive_build.add_argument("output", help="output .fctca path")
+    archive_build.add_argument("inputs", nargs="+", help="input .tsh paths, in time order")
+    _segment_flags(archive_build)
+    archive_build.set_defaults(handler=_cmd_archive_build)
+
+    archive_append = archive_sub.add_parser(
+        "append", help="append captures to an existing archive in place"
+    )
+    archive_append.add_argument("archive", help="existing .fctca path")
+    archive_append.add_argument("inputs", nargs="+", help="input .tsh paths")
+    _segment_flags(archive_append)
+    archive_append.set_defaults(handler=_cmd_archive_append)
+
+    archive_info = archive_sub.add_parser(
+        "info", help="print the archive overview and per-segment index"
+    )
+    archive_info.add_argument("archive", help=".fctca path")
+    archive_info.set_defaults(handler=_cmd_archive_info)
+
+    query = subparsers.add_parser(
+        "query",
+        help="query flows in an archive without decoding unrelated segments",
+    )
+    query.add_argument("archive", help=".fctca path")
+    query.add_argument(
+        "--since", type=float, default=None,
+        help="earliest flow start, seconds since the archive epoch",
+    )
+    query.add_argument(
+        "--until", type=float, default=None,
+        help="latest flow start, seconds since the archive epoch",
+    )
+    query.add_argument("--dst", default=None, help="destination address a.b.c.d")
+    query.add_argument(
+        "--dst-prefix", default=None, help="destination prefix a.b.c.d/len"
+    )
+    query.add_argument(
+        "--kind", choices=["short", "long"], default=None, help="flow kind"
+    )
+    query.add_argument("--min-packets", type=int, default=None)
+    query.add_argument("--max-packets", type=int, default=None)
+    query.add_argument("--min-rtt", type=float, default=None, help="seconds")
+    query.add_argument("--max-rtt", type=float, default=None, help="seconds")
+    query.add_argument(
+        "--limit", type=int, default=None, help="stop after N matches"
+    )
+    query.add_argument(
+        "--output",
+        default=None,
+        help="write matches as a filtered .fctca instead of printing them",
+    )
+    query.set_defaults(handler=_cmd_query)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        name = exc.filename if exc.filename is not None else exc
+        print(f"error: {name}: no such file", file=sys.stderr)
+        return 2
+    except (CodecError, CompressionError, OSError, ValueError) as exc:
+        # User-caused failures (malformed containers, capacity overflows,
+        # truncated traces, bad flag values) end with a message, not a
+        # traceback; programming errors still propagate.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

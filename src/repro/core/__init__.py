@@ -22,7 +22,12 @@ from repro.core.compressor import (
     compress_trace,
 )
 from repro.core.decompressor import DecompressorConfig, decompress_trace
-from repro.core.codec import deserialize_compressed, serialize_compressed
+from repro.core.codec import (
+    deserialize_compressed,
+    read_compressed,
+    serialize_compressed,
+    write_compressed,
+)
 from repro.core.streaming import (
     StreamingCompressor,
     StreamingStats,
@@ -40,7 +45,7 @@ from repro.core.pipeline import (
     roundtrip,
 )
 from repro.core.generator import TraceModel
-from repro.core.errors import CodecError, CompressionError
+from repro.core.errors import ArchiveError, CodecError, CompressionError
 
 __all__ = [
     "AddressTable",
@@ -56,7 +61,9 @@ __all__ = [
     "DecompressorConfig",
     "decompress_trace",
     "deserialize_compressed",
+    "read_compressed",
     "serialize_compressed",
+    "write_compressed",
     "StreamingCompressor",
     "StreamingStats",
     "compress_stream",
@@ -70,6 +77,7 @@ __all__ = [
     "report_for_stream",
     "roundtrip",
     "TraceModel",
+    "ArchiveError",
     "CodecError",
     "CompressionError",
 ]

@@ -83,6 +83,18 @@ def quantize_gap(seconds: float) -> int:
 
 def serialize_compressed(compressed: CompressedTrace) -> bytes:
     """Serialize the four datasets into the container format."""
+    stream = io.BytesIO()
+    write_compressed(stream, compressed)
+    return stream.getvalue()
+
+
+def write_compressed(stream: BinaryIO, compressed: CompressedTrace) -> int:
+    """Write one container to ``stream``; returns the bytes written.
+
+    The stream form lets callers pack several containers back to back —
+    the segmented archive stores each segment as one container — without
+    an intermediate copy per segment.
+    """
     compressed.validate()
     if len(compressed.short_templates) > MAX_TEMPLATE_INDEX + 1:
         raise CodecError(
@@ -98,7 +110,7 @@ def serialize_compressed(compressed: CompressedTrace) -> bytes:
         )
 
     name_bytes = compressed.name.encode("utf-8")[:_MAX_U16]
-    stream = io.BytesIO()
+    start = stream.tell()
     stream.write(
         _HEADER.pack(
             MAGIC,
@@ -144,12 +156,26 @@ def serialize_compressed(compressed: CompressedTrace) -> bytes:
             )
         )
 
-    return stream.getvalue()
+    return stream.tell() - start
 
 
 def deserialize_compressed(data: bytes) -> CompressedTrace:
     """Parse a container produced by :func:`serialize_compressed`."""
     stream = io.BytesIO(data)
+    result = read_compressed(stream)
+    trailing = stream.read(1)
+    if trailing:
+        raise CodecError("trailing bytes after container")
+    return result
+
+
+def read_compressed(stream: BinaryIO) -> CompressedTrace:
+    """Parse one container starting at the stream's current position.
+
+    Unlike :func:`deserialize_compressed` this does not require the
+    container to exhaust the stream, so segment-granular readers (the
+    ``.fctca`` archive) can decode one segment out of many in place.
+    """
     header = _read_exact(stream, _HEADER.size, "header")
     (
         magic,
@@ -212,10 +238,6 @@ def deserialize_compressed(data: bytes) -> CompressedTrace:
                 rtt=rtt_units / RTT_UNITS_PER_SECOND,
             )
         )
-
-    trailing = stream.read(1)
-    if trailing:
-        raise CodecError("trailing bytes after container")
 
     result = CompressedTrace(
         short_templates=short_templates,

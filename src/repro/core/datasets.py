@@ -175,6 +175,68 @@ class CompressedTrace:
         """Packets the decompressed trace will contain."""
         return sum(self.template_for(record).n for record in self.time_seq)
 
+    def packets_for(self, record: TimeSeqRecord) -> int:
+        """Packets the given time-seq record stands for (its template's n)."""
+        return self.template_for(record).n
+
+    def time_bounds(self) -> tuple[float, float] | None:
+        """(earliest, latest) time-seq timestamp, or None when empty.
+
+        The archive's segment index stores these bounds so time-range
+        queries can skip whole segments without decoding them.
+        """
+        if not self.time_seq:
+            return None
+        timestamps = [record.timestamp for record in self.time_seq]
+        return min(timestamps), max(timestamps)
+
+    def select(
+        self, records: Iterable[TimeSeqRecord], name: str | None = None
+    ) -> "CompressedTrace":
+        """A new trace holding only ``records`` (from this trace's time-seq).
+
+        Referenced templates and addresses are copied and re-indexed
+        densely; everything unreferenced is dropped.  This is the dataset
+        side of archive filtering: a query engine selects matching
+        time-seq records and this builds the self-contained sub-trace.
+        ``original_packet_count`` becomes the selected flows' packet total
+        (the only packet accounting that survives a flow-level subset).
+        """
+        subset = CompressedTrace(name=name or self.name)
+        short_map: dict[int, int] = {}
+        long_map: dict[int, int] = {}
+        for record in records:
+            if record.dataset is DatasetId.SHORT:
+                index = short_map.get(record.template_index)
+                if index is None:
+                    index = len(subset.short_templates)
+                    subset.short_templates.append(
+                        self.short_templates[record.template_index]
+                    )
+                    short_map[record.template_index] = index
+            else:
+                index = long_map.get(record.template_index)
+                if index is None:
+                    index = len(subset.long_templates)
+                    subset.long_templates.append(
+                        self.long_templates[record.template_index]
+                    )
+                    long_map[record.template_index] = index
+            address_index = subset.addresses.intern(
+                self.addresses.lookup(record.address_index)
+            )
+            subset.time_seq.append(
+                TimeSeqRecord(
+                    timestamp=record.timestamp,
+                    dataset=record.dataset,
+                    template_index=index,
+                    address_index=address_index,
+                    rtt=record.rtt,
+                )
+            )
+            subset.original_packet_count += self.packets_for(record)
+        return subset
+
     def sorted_time_seq(self) -> list[TimeSeqRecord]:
         """time-seq entries sorted by timestamp (the decompressor's order).
 

@@ -7,3 +7,7 @@ class CompressionError(Exception):
 
 class CodecError(Exception):
     """Raised when serialized compressed data is malformed."""
+
+
+class ArchiveError(CodecError):
+    """Raised when a segmented archive container is malformed or misused."""

@@ -1,0 +1,45 @@
+"""Flow queries over segmented archives: predicates + planning engine."""
+
+from repro.query.engine import (
+    FlowSummary,
+    QueryEngine,
+    QueryResult,
+    QueryStats,
+    filter_archive,
+    flow_summaries,
+    query_archive,
+)
+from repro.query.predicates import (
+    And,
+    DestinationAddress,
+    DestinationPrefix,
+    FlowKind,
+    MatchAll,
+    Not,
+    Or,
+    PacketCountRange,
+    Predicate,
+    RttRange,
+    TimeRange,
+)
+
+__all__ = [
+    "FlowSummary",
+    "QueryEngine",
+    "QueryResult",
+    "QueryStats",
+    "filter_archive",
+    "flow_summaries",
+    "query_archive",
+    "And",
+    "DestinationAddress",
+    "DestinationPrefix",
+    "FlowKind",
+    "MatchAll",
+    "Not",
+    "Or",
+    "PacketCountRange",
+    "Predicate",
+    "RttRange",
+    "TimeRange",
+]

@@ -1,0 +1,207 @@
+"""Predicate evaluation over an archive: plan on the index, decode late.
+
+The engine walks the archive footer first, skips every segment whose
+index entry cannot match the predicate, and decodes the survivors one at
+a time.  Matching is evaluated directly against ``time-seq`` records and
+the template/address datasets — no packet is ever synthesized — and
+results stream out as :class:`FlowSummary` rows.  :class:`QueryStats`
+records how much work the index saved (segments and bytes decoded vs.
+total), which the benchmarks and the acceptance tests assert on.
+
+:func:`filter_archive` reuses the same plan to materialize a filtered
+sub-archive: each matching segment's selected records are re-packed
+(templates and addresses re-indexed) and written through the ordinary
+:class:`~repro.archive.writer.ArchiveWriter` machinery, preserving the
+source epoch and segment boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.archive.reader import ArchiveReader
+from repro.archive.writer import ArchiveWriter
+from repro.core.datasets import CompressedTrace, DatasetId, TimeSeqRecord
+from repro.query.predicates import MatchAll, Predicate
+
+
+@dataclass(frozen=True)
+class FlowSummary:
+    """One matching flow, resolved from its time-seq record.
+
+    ``timestamp`` and ``rtt`` are seconds (timestamp relative to the
+    archive epoch); ``packet_count`` is the flow's template length;
+    ``destination`` is the 32-bit destination address.
+    """
+
+    segment: int
+    timestamp: float
+    kind: DatasetId
+    template_index: int
+    packet_count: int
+    destination: int
+    rtt: float
+
+
+@dataclass
+class QueryStats:
+    """How much of the archive a query actually touched."""
+
+    segments_total: int = 0
+    segments_matched: int = 0  # index entries the predicate could not rule out
+    segments_decoded: int = 0
+    bytes_total: int = 0
+    bytes_decoded: int = 0
+    flows_scanned: int = 0
+    flows_matched: int = 0
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"segments decoded : {self.segments_decoded}/{self.segments_total}"
+            f" (index matched {self.segments_matched})",
+            f"bytes decoded    : {self.bytes_decoded}/{self.bytes_total}",
+            f"flows matched    : {self.flows_matched}/{self.flows_scanned} scanned",
+        ]
+
+
+@dataclass
+class QueryResult:
+    """Materialized query output: the rows plus the work accounting."""
+
+    flows: list[FlowSummary] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+
+def flow_summaries(
+    segment: int, compressed: CompressedTrace
+) -> Iterator[FlowSummary]:
+    """Resolve every time-seq record of one decoded segment."""
+    for record in compressed.time_seq:
+        yield _summarize(segment, compressed, record)
+
+
+def _summarize(
+    segment: int, compressed: CompressedTrace, record: TimeSeqRecord
+) -> FlowSummary:
+    return FlowSummary(
+        segment=segment,
+        timestamp=record.timestamp,
+        kind=record.dataset,
+        template_index=record.template_index,
+        packet_count=compressed.packets_for(record),
+        destination=compressed.addresses.lookup(record.address_index),
+        rtt=record.rtt,
+    )
+
+
+class QueryEngine:
+    """Run predicates against one open :class:`ArchiveReader`."""
+
+    def __init__(self, reader: ArchiveReader) -> None:
+        self.reader = reader
+
+    def run(
+        self, predicate: Predicate | None = None, *, limit: int | None = None
+    ) -> QueryResult:
+        """Evaluate ``predicate``; returns matching flows plus statistics.
+
+        ``limit`` stops the scan once that many flows matched (segments
+        after the stop are neither decoded nor counted as scanned).
+        """
+        predicate = predicate or MatchAll()
+        stats = QueryStats(
+            segments_total=self.reader.segment_count,
+            bytes_total=sum(entry.length for entry in self.reader.entries),
+        )
+        result = QueryResult(stats=stats)
+        for index, entry in enumerate(self.reader.entries):
+            if not predicate.match_segment(entry):
+                continue
+            stats.segments_matched += 1
+            compressed = self.reader.load_segment(index)
+            stats.segments_decoded += 1
+            stats.bytes_decoded += entry.length
+            for flow in flow_summaries(index, compressed):
+                stats.flows_scanned += 1
+                if predicate.match_flow(flow):
+                    stats.flows_matched += 1
+                    result.flows.append(flow)
+                    if limit is not None and stats.flows_matched >= limit:
+                        return result
+        return result
+
+    def filter_to(
+        self,
+        out_path: str | Path,
+        predicate: Predicate | None = None,
+        *,
+        limit: int | None = None,
+        name: str | None = None,
+    ) -> tuple[int, QueryStats]:
+        """Write the flows matching ``predicate`` as a new sub-archive.
+
+        Segment boundaries and the epoch are preserved; segments with no
+        matching flow are dropped entirely.  ``limit`` caps the flows
+        written, mirroring :meth:`run` — the scan stops once reached.
+        Returns (segments written, query statistics).
+        """
+        predicate = predicate or MatchAll()
+        stats = QueryStats(
+            segments_total=self.reader.segment_count,
+            bytes_total=sum(entry.length for entry in self.reader.entries),
+        )
+        with ArchiveWriter.create(
+            out_path, epoch=self.reader.epoch, name=name
+        ) as writer:
+            for index, entry in enumerate(self.reader.entries):
+                if not predicate.match_segment(entry):
+                    continue
+                stats.segments_matched += 1
+                compressed = self.reader.load_segment(index)
+                stats.segments_decoded += 1
+                stats.bytes_decoded += entry.length
+                matched: list[TimeSeqRecord] = []
+                for record in compressed.time_seq:
+                    stats.flows_scanned += 1
+                    if predicate.match_flow(_summarize(index, compressed, record)):
+                        matched.append(record)
+                        if limit is not None and stats.flows_matched + len(matched) >= limit:
+                            break
+                stats.flows_matched += len(matched)
+                if matched:
+                    writer.write_segment(
+                        compressed.select(matched, name=compressed.name)
+                    )
+                if limit is not None and stats.flows_matched >= limit:
+                    break
+            written = writer.segment_count
+            writer.close()
+        return written, stats
+
+
+def query_archive(
+    path: str | Path,
+    predicate: Predicate | None = None,
+    *,
+    limit: int | None = None,
+) -> QueryResult:
+    """Open ``path``, run one query, close — the one-shot convenience."""
+    with ArchiveReader(path) as reader:
+        return QueryEngine(reader).run(predicate, limit=limit)
+
+
+def filter_archive(
+    path: str | Path,
+    out_path: str | Path,
+    predicate: Predicate | None = None,
+    *,
+    limit: int | None = None,
+    name: str | None = None,
+) -> tuple[int, QueryStats]:
+    """Open ``path``, write the matching sub-archive to ``out_path``."""
+    with ArchiveReader(path) as reader:
+        return QueryEngine(reader).filter_to(
+            out_path, predicate, limit=limit, name=name
+        )

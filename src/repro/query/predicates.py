@@ -1,0 +1,239 @@
+"""Composable flow predicates with two-level evaluation.
+
+Every predicate answers twice:
+
+* :meth:`Predicate.match_segment` — against a segment's
+  :class:`~repro.archive.format.SegmentIndexEntry`, *conservatively*:
+  ``False`` guarantees the segment holds no matching flow (safe to skip
+  without decoding), ``True`` only that it might.
+* :meth:`Predicate.match_flow` — against one decoded
+  :class:`~repro.query.engine.FlowSummary`, exactly.
+
+Predicates compose with ``&``, ``|`` and ``~``.  Conjunction intersects
+segment checks (any ``False`` prunes), disjunction unions them, and
+negation degrades the segment check to "maybe" — an index entry saying
+"may contain X" says nothing about whether every flow is X, so ``~p``
+can never prune a segment.
+
+Times are seconds since the archive epoch — the same clock the time-seq
+records and the segment index use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.archive.format import SegmentIndexEntry
+from repro.core.codec import quantize_rtt, quantize_timestamp
+from repro.core.datasets import DatasetId
+from repro.net.ip import IPv4Prefix, parse_ipv4
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.query.engine import FlowSummary
+
+
+class Predicate:
+    """Base class: subclasses override the two match methods."""
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        """May this segment contain a matching flow?  (No false negatives.)"""
+        return True
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class MatchAll(Predicate):
+    """Matches every flow (the empty query)."""
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class TimeRange(Predicate):
+    """Flows whose start timestamp lies in ``[start, end]`` (inclusive)."""
+
+    start: float = 0.0
+    end: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"empty time range: [{self.start}, {self.end}]")
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        # Index bounds are quantized (100 µs floor grid via round); put the
+        # query bounds on the same grid so edge flows are never pruned.
+        if self.end != float("inf") and entry.time_min_units > quantize_timestamp(self.end):
+            return False
+        return entry.time_max_units >= quantize_timestamp(self.start)
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return self.start <= flow.timestamp <= self.end
+
+
+def _as_address(address: int | str) -> int:
+    return parse_ipv4(address) if isinstance(address, str) else address
+
+
+@dataclass(frozen=True)
+class DestinationAddress(Predicate):
+    """Flows whose destination is exactly ``address`` (int or dotted quad)."""
+
+    address: int | str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "address", _as_address(self.address))
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        return entry.summary.may_contain(self.address)
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return flow.destination == self.address
+
+
+@dataclass(frozen=True)
+class DestinationPrefix(Predicate):
+    """Flows whose destination falls inside an IPv4 prefix."""
+
+    prefix: IPv4Prefix | str
+
+    def __post_init__(self) -> None:
+        if isinstance(self.prefix, str):
+            object.__setattr__(self, "prefix", IPv4Prefix.parse(self.prefix))
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        low = self.prefix.network
+        high = low | (~self.prefix.mask() & 0xFFFFFFFF)
+        return entry.summary.may_contain_range(low, high)
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return self.prefix.contains(flow.destination)
+
+
+@dataclass(frozen=True)
+class FlowKind(Predicate):
+    """Short-template vs. long-template flows (``"short"`` / ``"long"``)."""
+
+    kind: DatasetId | str
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kind, str):
+            try:
+                object.__setattr__(
+                    self, "kind", DatasetId[self.kind.upper()]
+                )
+            except KeyError:
+                raise ValueError(
+                    f"flow kind must be 'short' or 'long': {self.kind!r}"
+                ) from None
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        if self.kind is DatasetId.SHORT:
+            return entry.short_flow_count > 0
+        return entry.long_flow_count > 0
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return flow.kind is self.kind
+
+
+@dataclass(frozen=True)
+class PacketCountRange(Predicate):
+    """Flows with ``minimum <= packets <= maximum`` (maximum None = open)."""
+
+    minimum: int = 1
+    maximum: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.maximum is not None and self.minimum > self.maximum:
+            raise ValueError(
+                f"empty packet-count range: [{self.minimum}, {self.maximum}]"
+            )
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        if entry.max_flow_packets < self.minimum:
+            return False
+        return self.maximum is None or entry.min_flow_packets <= self.maximum
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        if flow.packet_count < self.minimum:
+            return False
+        return self.maximum is None or flow.packet_count <= self.maximum
+
+
+@dataclass(frozen=True)
+class RttRange(Predicate):
+    """Flows whose stored RTT lies in ``[minimum, maximum]`` seconds.
+
+    RTT is only estimated for short flows; long flows store 0.0, so pair
+    this with ``FlowKind("short")`` unless zero should match.
+    """
+
+    minimum: float = 0.0
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.maximum is not None and self.minimum > self.maximum:
+            raise ValueError(f"empty RTT range: [{self.minimum}, {self.maximum}]")
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        if self.maximum is not None and entry.min_rtt_units > quantize_rtt(self.maximum):
+            return False
+        return entry.max_rtt_units >= quantize_rtt(self.minimum)
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        if flow.rtt < self.minimum:
+            return False
+        return self.maximum is None or flow.rtt <= self.maximum
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Both operands match (segment check: both say maybe)."""
+
+    left: Predicate
+    right: Predicate
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        return self.left.match_segment(entry) and self.right.match_segment(entry)
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return self.left.match_flow(flow) and self.right.match_flow(flow)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Either operand matches (segment check: either says maybe)."""
+
+    left: Predicate
+    right: Predicate
+
+    def match_segment(self, entry: SegmentIndexEntry) -> bool:
+        return self.left.match_segment(entry) or self.right.match_segment(entry)
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return self.left.match_flow(flow) or self.right.match_flow(flow)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """The operand does not match.
+
+    Segment-level: a "may contain X" index can never prove *every* flow
+    is X, so negation cannot prune — ``match_segment`` is always True.
+    """
+
+    operand: Predicate
+
+    def match_flow(self, flow: "FlowSummary") -> bool:
+        return not self.operand.match_flow(flow)

@@ -1,0 +1,134 @@
+"""Unit: address summaries and index-entry serialization."""
+
+import random
+
+import pytest
+
+from repro.archive.format import (
+    EXACT_SUMMARY_MAX,
+    SUMMARY_BLOOM,
+    SUMMARY_EXACT,
+    AddressSummary,
+    SegmentIndexEntry,
+    index_entry_for,
+    pack_footer,
+    unpack_footer,
+)
+from repro.core.codec import quantize_timestamp
+from repro.core.datasets import (
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.errors import ArchiveError
+
+
+class TestAddressSummary:
+    def test_small_sets_stay_exact(self):
+        summary = AddressSummary.build([30, 10, 20, 10])
+        assert summary.mode == SUMMARY_EXACT
+        assert summary.addresses == (10, 20, 30)
+
+    def test_exact_membership(self):
+        summary = AddressSummary.build([10, 20, 30])
+        assert summary.may_contain(20)
+        assert not summary.may_contain(25)
+
+    def test_exact_range(self):
+        summary = AddressSummary.build([10, 20, 30])
+        assert summary.may_contain_range(15, 25)
+        assert not summary.may_contain_range(21, 29)
+        assert not summary.may_contain_range(31, 100)
+        assert not summary.may_contain_range(25, 15)  # empty range
+
+    def test_large_sets_become_bloom(self):
+        addresses = list(range(EXACT_SUMMARY_MAX + 1))
+        summary = AddressSummary.build(addresses)
+        assert summary.mode == SUMMARY_BLOOM
+
+    def test_bloom_has_no_false_negatives(self):
+        rng = random.Random(7)
+        addresses = [rng.randrange(2**32) for _ in range(EXACT_SUMMARY_MAX + 200)]
+        summary = AddressSummary.build(addresses)
+        assert all(summary.may_contain(a) for a in addresses)
+
+    def test_bloom_rejects_most_absent_addresses(self):
+        rng = random.Random(11)
+        present = {rng.randrange(2**32) for _ in range(EXACT_SUMMARY_MAX + 200)}
+        summary = AddressSummary.build(present)
+        absent = [a for a in (rng.randrange(2**32) for _ in range(2000))
+                  if a not in present]
+        false_positives = sum(summary.may_contain(a) for a in absent)
+        # 10 bits/address + 4 hashes puts the theoretical rate ~1%.
+        assert false_positives < len(absent) * 0.05
+
+    def test_bloom_range_is_conservative(self):
+        summary = AddressSummary.build(range(EXACT_SUMMARY_MAX + 1))
+        assert summary.may_contain_range(10**9, 2 * 10**9)  # cannot refute
+
+    def test_payload_roundtrip(self):
+        for addresses in ([1, 2, 3], range(EXACT_SUMMARY_MAX + 1)):
+            summary = AddressSummary.build(addresses)
+            restored = AddressSummary.from_payload(summary.mode, summary.payload())
+            assert restored == summary
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ArchiveError, match="unknown address summary"):
+            AddressSummary.from_payload(9, b"")
+
+
+def _segment(timestamps=(1.0, 2.0), dst=0xC0A80050) -> CompressedTrace:
+    compressed = CompressedTrace(name="seg")
+    compressed.short_templates.append(ShortFlowTemplate((1, 2, 3)))
+    compressed.long_templates.append(
+        LongFlowTemplate((4,) * 60, (0.001,) * 60)
+    )
+    index = compressed.addresses.intern(dst)
+    for position, timestamp in enumerate(timestamps):
+        dataset = DatasetId.SHORT if position % 2 == 0 else DatasetId.LONG
+        compressed.time_seq.append(
+            TimeSeqRecord(timestamp, dataset, 0, index, rtt=0.05)
+        )
+    compressed.original_packet_count = 63
+    return compressed
+
+
+class TestIndexEntry:
+    def test_entry_for_segment(self):
+        entry = index_entry_for(_segment(), offset=16, length=100)
+        assert entry.offset == 16 and entry.length == 100
+        assert entry.time_min_units == quantize_timestamp(1.0)
+        assert entry.time_max_units == quantize_timestamp(2.0)
+        assert entry.flow_count == 2
+        assert entry.short_flow_count == 1
+        assert entry.long_flow_count == 1
+        assert entry.packet_count == 63
+        assert entry.min_flow_packets == 3
+        assert entry.max_flow_packets == 60
+        assert entry.address_count == 1
+        assert entry.summary.may_contain(0xC0A80050)
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ArchiveError, match="empty segment"):
+            index_entry_for(CompressedTrace(), offset=0, length=0)
+
+    def test_footer_roundtrip(self):
+        entries = [
+            index_entry_for(_segment((float(i), float(i) + 0.5)), 16 + i, 10)
+            for i in range(5)
+        ]
+        assert unpack_footer(pack_footer(entries)) == entries
+
+    def test_footer_roundtrip_empty(self):
+        assert unpack_footer(pack_footer([])) == []
+
+    def test_truncated_footer_rejected(self):
+        footer = pack_footer([index_entry_for(_segment(), 16, 10)])
+        with pytest.raises(ArchiveError):
+            unpack_footer(footer[:-3])
+
+    def test_entry_unpack_rejects_short_buffer(self):
+        with pytest.raises(ArchiveError, match="truncated"):
+            SegmentIndexEntry.unpack(b"\x00" * 8, 0)

@@ -13,6 +13,31 @@ CLIENT_IP = 0x8D5A0101  # 141.90.1.1
 SERVER_IP = 0xC0A80050  # 192.168.0.80
 
 
+def make_timed_flows(
+    count: int,
+    spacing: float = 10.0,
+    destinations: tuple[int, ...] = (SERVER_IP,),
+    start: float = 0.0,
+) -> list[PacketRecord]:
+    """``count`` web flows, one every ``spacing`` seconds, cycling dests.
+
+    The archive tests use this to control exactly which time window and
+    destination each flow lands in (flow i starts at ``start + i *
+    spacing`` toward ``destinations[i % len(destinations)]``).
+    """
+    packets: list[PacketRecord] = []
+    for index in range(count):
+        packets.extend(
+            make_web_flow(
+                start=start + index * spacing,
+                client_port=2000 + index,
+                server_ip=destinations[index % len(destinations)],
+            )
+        )
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
 def make_web_flow(
     start: float = 1000.0,
     client_ip: int = CLIENT_IP,

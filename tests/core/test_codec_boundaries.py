@@ -1,0 +1,149 @@
+"""Codec boundary conditions: empties, exact capacity limits, saturation.
+
+Complements ``test_codec_limits.py`` (which checks the over-limit
+rejections) with the *at*-limit acceptance cases and full round-trips of
+the quantizers' saturating values.
+"""
+
+import io
+
+import pytest
+
+from repro.core.codec import (
+    MAX_ADDRESS_INDEX,
+    MAX_TEMPLATE_INDEX,
+    deserialize_compressed,
+    read_compressed,
+    serialize_compressed,
+    write_compressed,
+)
+from repro.core.datasets import (
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.errors import CodecError
+
+
+class TestEmptyTrace:
+    def test_empty_roundtrip(self):
+        empty = CompressedTrace(name="nothing")
+        restored = deserialize_compressed(serialize_compressed(empty))
+        assert restored.name == "nothing"
+        assert restored.flow_count() == 0
+        assert restored.template_counts() == (0, 0)
+        assert len(restored.addresses) == 0
+        assert restored.original_packet_count == 0
+
+    def test_empty_with_empty_name(self):
+        restored = deserialize_compressed(
+            serialize_compressed(CompressedTrace(name=""))
+        )
+        assert restored.name == ""
+
+
+def _dense_trace(short_count: int = 1, address_count: int = 1) -> CompressedTrace:
+    compressed = CompressedTrace(name="limits")
+    compressed.short_templates = [
+        ShortFlowTemplate((i % 256,)) for i in range(short_count)
+    ]
+    for address in range(address_count):
+        compressed.addresses.intern(address)
+    compressed.time_seq.append(
+        TimeSeqRecord(0.0, DatasetId.SHORT, short_count - 1, address_count - 1)
+    )
+    return compressed
+
+
+class TestExactCapacityLimits:
+    def test_exactly_32768_short_templates_roundtrip(self):
+        compressed = _dense_trace(short_count=MAX_TEMPLATE_INDEX + 1)
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert len(restored.short_templates) == 32768
+        assert restored.time_seq[0].template_index == MAX_TEMPLATE_INDEX
+
+    def test_exactly_32768_long_templates_roundtrip(self):
+        compressed = CompressedTrace(name="long-limit")
+        compressed.long_templates = [
+            LongFlowTemplate((i % 256,), (0.0,)) for i in range(MAX_TEMPLATE_INDEX + 1)
+        ]
+        compressed.addresses.intern(1)
+        compressed.time_seq.append(
+            TimeSeqRecord(0.0, DatasetId.LONG, MAX_TEMPLATE_INDEX, 0)
+        )
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert len(restored.long_templates) == 32768
+        assert restored.time_seq[0].dataset is DatasetId.LONG
+        assert restored.time_seq[0].template_index == MAX_TEMPLATE_INDEX
+
+    def test_32769_long_templates_rejected(self):
+        compressed = CompressedTrace(name="long-over")
+        compressed.long_templates = [
+            LongFlowTemplate((i % 256,), (0.0,)) for i in range(MAX_TEMPLATE_INDEX + 2)
+        ]
+        with pytest.raises(CodecError, match="too many long templates"):
+            serialize_compressed(compressed)
+
+    def test_exactly_65536_addresses_roundtrip(self):
+        compressed = _dense_trace(address_count=MAX_ADDRESS_INDEX + 1)
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert len(restored.addresses) == 65536
+        assert restored.time_seq[0].address_index == MAX_ADDRESS_INDEX
+        assert restored.addresses.lookup(MAX_ADDRESS_INDEX) == MAX_ADDRESS_INDEX
+
+    def test_65537_addresses_rejected(self):
+        compressed = _dense_trace(address_count=MAX_ADDRESS_INDEX + 2)
+        with pytest.raises(CodecError, match="too many addresses"):
+            serialize_compressed(compressed)
+
+
+class TestSaturationRoundtrip:
+    def test_timestamp_saturates_to_u32_ceiling(self):
+        compressed = _dense_trace()
+        compressed.time_seq[0] = TimeSeqRecord(1e9, DatasetId.SHORT, 0, 0)
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert restored.time_seq[0].timestamp == 0xFFFFFFFF / 10_000
+
+    def test_rtt_saturates_to_u16_ceiling(self):
+        compressed = _dense_trace()
+        compressed.time_seq[0] = TimeSeqRecord(0.0, DatasetId.SHORT, 0, 0, rtt=100.0)
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert restored.time_seq[0].rtt == 0xFFFF / 10_000
+
+    def test_gap_saturates_to_u16_ceiling(self):
+        compressed = CompressedTrace(name="gaps")
+        compressed.long_templates = [LongFlowTemplate((1, 2), (100.0, 0.0))]
+        compressed.addresses.intern(1)
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.LONG, 0, 0))
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert restored.long_templates[0].gaps[0] == 0xFFFF / 10_000
+
+    def test_sub_resolution_values_quantize_to_grid(self):
+        compressed = _dense_trace()
+        compressed.time_seq[0] = TimeSeqRecord(
+            1.00004, DatasetId.SHORT, 0, 0, rtt=0.00006
+        )
+        restored = deserialize_compressed(serialize_compressed(compressed))
+        assert restored.time_seq[0].timestamp == 1.0
+        assert restored.time_seq[0].rtt == 0.0001
+
+
+class TestStreamForms:
+    def test_write_read_compressed_back_to_back(self):
+        first = _dense_trace()
+        second = CompressedTrace(name="second")
+        stream = io.BytesIO()
+        written = write_compressed(stream, first)
+        assert written == stream.tell()
+        write_compressed(stream, second)
+        stream.seek(0)
+        assert read_compressed(stream).name == "limits"
+        assert read_compressed(stream).name == "second"
+        assert not stream.read()  # both containers consumed exactly
+
+    def test_deserialize_still_rejects_trailing_bytes(self):
+        data = serialize_compressed(_dense_trace()) + b"\x00"
+        with pytest.raises(CodecError, match="trailing"):
+            deserialize_compressed(data)

@@ -1,0 +1,129 @@
+"""Integration: the archive/query CLI surface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.tsh"
+    assert main(["generate", str(path), "--duration", "6", "--seed", "5"]) == 0
+    return path
+
+
+@pytest.fixture
+def archive_file(tmp_path, trace_file):
+    path = tmp_path / "t.fctca"
+    assert (
+        main(
+            [
+                "archive", "build", str(path), str(trace_file),
+                "--segment-span", "1.0",
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestArchiveBuild:
+    def test_build_reports_segments(self, tmp_path, trace_file, capsys):
+        path = tmp_path / "fresh.fctca"
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "archive", "build", str(path), str(trace_file),
+                    "--segment-span", "1.0",
+                ]
+            )
+            == 0
+        )
+        assert "segments" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_append_grows_archive(self, tmp_path, trace_file, archive_file, capsys):
+        capsys.readouterr()
+        assert (
+            main(["archive", "append", str(archive_file), str(trace_file)]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "appended" in output
+
+    def test_info_prints_index_table(self, archive_file, capsys):
+        capsys.readouterr()
+        assert main(["archive", "info", str(archive_file)]) == 0
+        output = capsys.readouterr().out
+        assert "segments" in output
+        assert "t_min" in output and "destinations" in output
+
+
+class TestQuery:
+    def test_query_prints_flows_and_stats(self, archive_file, capsys):
+        capsys.readouterr()
+        assert (
+            main(["query", str(archive_file), "--since", "1", "--until", "3"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "seg=" in output and "dst=" in output
+        assert "segments decoded" in output
+
+    def test_query_time_pruning_decodes_partial_archive(
+        self, archive_file, capsys
+    ):
+        capsys.readouterr()
+        assert (
+            main(["query", str(archive_file), "--since", "0", "--until", "0.5"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        decoded_line = next(
+            line for line in output.splitlines() if "segments decoded" in line
+        )
+        decoded, total = decoded_line.split(":")[1].split("(")[0].strip().split("/")
+        assert int(decoded) < int(total)
+
+    def test_query_kind_and_count_filters(self, archive_file, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query", str(archive_file), "--kind", "short",
+                    "--min-packets", "2", "--max-packets", "50",
+                    "--limit", "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert output.count("kind=short") <= 3
+
+    def test_query_output_writes_subarchive(self, tmp_path, archive_file, capsys):
+        out = tmp_path / "filtered.fctca"
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query", str(archive_file), "--until", "2.0",
+                    "--output", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        capsys.readouterr()
+        assert main(["archive", "info", str(out)]) == 0
+        assert "segments" in capsys.readouterr().out
+
+
+class TestInspectSizes:
+    def test_inspect_shows_percent_shares(self, tmp_path, trace_file, capsys):
+        compressed = tmp_path / "t.fctc"
+        assert main(["compress", str(trace_file), str(compressed)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(compressed)]) == 0
+        output = capsys.readouterr().out
+        assert "time_seq" in output and "%" in output
+        assert "total" in output

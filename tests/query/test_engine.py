@@ -1,0 +1,166 @@
+"""Integration: the query engine against real multi-segment archives.
+
+Includes the PR's acceptance check: a time-range + destination query
+over a ≥8-segment archive returns exactly what brute-force full
+decompression yields, while decoding only the segments whose index
+entries match.
+"""
+
+import pytest
+
+from repro.archive import ArchiveReader, build_archive
+from repro.core.datasets import DatasetId
+from repro.query import (
+    DestinationAddress,
+    FlowKind,
+    MatchAll,
+    PacketCountRange,
+    QueryEngine,
+    TimeRange,
+    filter_archive,
+    flow_summaries,
+    query_archive,
+)
+from tests.conftest import make_timed_flows
+
+DESTINATIONS = (0xC0A80001, 0xC0A80002, 0xC0A80003, 0xC0A80004)
+
+
+@pytest.fixture(scope="module")
+def archive_path(tmp_path_factory):
+    """Ten segments: 30 flows spaced 10 s, rotated every 30 s."""
+    path = tmp_path_factory.mktemp("query") / "trace.fctca"
+    packets = make_timed_flows(30, spacing=10.0, destinations=DESTINATIONS)
+    entries = build_archive(
+        path, packets, segment_span=30.0, segment_packets=10**9
+    )
+    assert len(entries) == 10
+    return path
+
+
+def brute_force(path, predicate):
+    """What full-archive decompression would yield for the predicate."""
+    with ArchiveReader(path) as reader:
+        return [
+            flow
+            for index, segment in reader.iter_segments()
+            for flow in flow_summaries(index, segment)
+            if predicate.match_flow(flow)
+        ]
+
+
+class TestAcceptance:
+    def test_time_and_destination_query_is_exact_and_partial(self, archive_path):
+        predicate = TimeRange(100.0, 200.0) & DestinationAddress(0xC0A80002)
+        expected = brute_force(archive_path, predicate)
+        assert expected  # the scenario must actually select something
+
+        with ArchiveReader(archive_path) as reader:
+            engine = QueryEngine(reader)
+            result = engine.run(predicate)
+            matching_entries = [
+                entry for entry in reader.entries
+                if predicate.match_segment(entry)
+            ]
+            # Exactly the brute-force flows...
+            assert result.flows == expected
+            # ...decoding only the segments the index could not rule out...
+            assert reader.segments_decoded == len(matching_entries)
+            assert result.stats.segments_decoded == len(matching_entries)
+            # ...which is a strict subset of the archive.
+            assert 0 < result.stats.segments_decoded < reader.segment_count
+            assert result.stats.bytes_decoded < result.stats.bytes_total
+
+    def test_every_predicate_matches_brute_force(self, archive_path):
+        predicates = [
+            MatchAll(),
+            TimeRange(0.0, 95.0),
+            TimeRange(250.0, 1000.0),
+            DestinationAddress(0xC0A80001),
+            FlowKind("short"),
+            PacketCountRange(2, 8),
+            TimeRange(50.0, 150.0) | DestinationAddress(0xC0A80004),
+            ~DestinationAddress(0xC0A80001),
+        ]
+        for predicate in predicates:
+            result = query_archive(archive_path, predicate)
+            assert result.flows == brute_force(archive_path, predicate), predicate
+
+
+class TestEngine:
+    def test_time_pruning_skips_segments(self, archive_path):
+        result = query_archive(archive_path, TimeRange(0.0, 25.0))
+        assert result.stats.segments_decoded == 1
+        assert result.stats.segments_total == 10
+        assert len(result.flows) == 3
+
+    def test_impossible_query_decodes_nothing(self, archive_path):
+        result = query_archive(archive_path, DestinationAddress("10.9.9.9"))
+        assert result.flows == []
+        assert result.stats.segments_decoded == 0
+        assert result.stats.bytes_decoded == 0
+
+    def test_limit_stops_early(self, archive_path):
+        result = query_archive(archive_path, MatchAll(), limit=4)
+        assert len(result.flows) == 4
+        assert result.stats.segments_decoded <= 2
+
+    def test_stats_lines_render(self, archive_path):
+        result = query_archive(archive_path, MatchAll())
+        text = "\n".join(result.stats.summary_lines())
+        assert "segments decoded" in text and "flows matched" in text
+
+    def test_summary_fields_resolve_datasets(self, archive_path):
+        result = query_archive(archive_path, MatchAll())
+        assert result.stats.flows_matched == 30
+        for flow in result.flows:
+            assert flow.kind in (DatasetId.SHORT, DatasetId.LONG)
+            assert flow.packet_count >= 2
+            assert flow.destination in DESTINATIONS
+
+
+class TestFilterArchive:
+    def test_filtered_subarchive_contains_exactly_the_matches(
+        self, archive_path, tmp_path
+    ):
+        predicate = TimeRange(60.0, 240.0) & DestinationAddress(0xC0A80003)
+        expected = brute_force(archive_path, predicate)
+        out = tmp_path / "filtered.fctca"
+        written, stats = filter_archive(archive_path, out, predicate)
+        assert stats.flows_matched == len(expected)
+        assert written > 0
+
+        refiltered = query_archive(out, MatchAll())
+        assert [
+            (f.timestamp, f.kind, f.packet_count, f.destination, f.rtt)
+            for f in refiltered.flows
+        ] == [
+            (f.timestamp, f.kind, f.packet_count, f.destination, f.rtt)
+            for f in expected
+        ]
+
+    def test_filtered_archive_preserves_epoch(self, archive_path, tmp_path):
+        out = tmp_path / "filtered.fctca"
+        filter_archive(archive_path, out, TimeRange(100.0, 150.0))
+        with ArchiveReader(archive_path) as source, ArchiveReader(out) as sub:
+            assert sub.epoch == source.epoch
+
+    def test_filter_respects_limit(self, archive_path, tmp_path):
+        out = tmp_path / "limited.fctca"
+        written, stats = filter_archive(
+            archive_path, out, MatchAll(), limit=4
+        )
+        assert stats.flows_matched == 4
+        result = query_archive(out, MatchAll())
+        assert len(result.flows) == 4
+
+    def test_filter_with_no_matches_writes_empty_archive(
+        self, archive_path, tmp_path
+    ):
+        out = tmp_path / "empty.fctca"
+        written, stats = filter_archive(
+            archive_path, out, DestinationAddress("10.9.9.9")
+        )
+        assert written == 0 and stats.flows_matched == 0
+        with ArchiveReader(out) as reader:
+            assert reader.segment_count == 0

@@ -1,0 +1,192 @@
+"""Unit: predicate semantics and index conservativeness."""
+
+import random
+
+import pytest
+
+from repro.archive.format import AddressSummary, SegmentIndexEntry
+from repro.core.codec import quantize_rtt, quantize_timestamp
+from repro.core.datasets import DatasetId
+from repro.query.engine import FlowSummary
+from repro.query.predicates import (
+    DestinationAddress,
+    DestinationPrefix,
+    FlowKind,
+    MatchAll,
+    PacketCountRange,
+    RttRange,
+    TimeRange,
+)
+
+
+def flow(
+    timestamp=5.0,
+    kind=DatasetId.SHORT,
+    packets=4,
+    destination=0xC0A80050,
+    rtt=0.05,
+) -> FlowSummary:
+    return FlowSummary(
+        segment=0,
+        timestamp=timestamp,
+        kind=kind,
+        template_index=0,
+        packet_count=packets,
+        destination=destination,
+        rtt=rtt,
+    )
+
+
+def entry(
+    time_range=(0.0, 10.0),
+    flows=(3, 2),  # (short, long)
+    packets=(2, 80),
+    rtts=(0.0, 0.2),
+    addresses=(0xC0A80050, 0x0A000001),
+) -> SegmentIndexEntry:
+    return SegmentIndexEntry(
+        offset=16,
+        length=100,
+        time_min_units=quantize_timestamp(time_range[0]),
+        time_max_units=quantize_timestamp(time_range[1]),
+        flow_count=flows[0] + flows[1],
+        short_flow_count=flows[0],
+        packet_count=100,
+        min_flow_packets=packets[0],
+        max_flow_packets=packets[1],
+        min_rtt_units=quantize_rtt(rtts[0]),
+        max_rtt_units=quantize_rtt(rtts[1]),
+        address_count=len(addresses),
+        summary=AddressSummary.build(addresses),
+    )
+
+
+class TestTimeRange:
+    def test_flow_bounds_inclusive(self):
+        predicate = TimeRange(1.0, 2.0)
+        assert predicate.match_flow(flow(timestamp=1.0))
+        assert predicate.match_flow(flow(timestamp=2.0))
+        assert not predicate.match_flow(flow(timestamp=2.0001))
+
+    def test_segment_overlap(self):
+        predicate = TimeRange(10.0, 20.0)
+        assert not predicate.match_segment(entry(time_range=(0.0, 9.9)))
+        assert not predicate.match_segment(entry(time_range=(20.1, 30.0)))
+        assert predicate.match_segment(entry(time_range=(5.0, 10.0)))
+        assert predicate.match_segment(entry(time_range=(20.0, 25.0)))
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError, match="empty time range"):
+            TimeRange(2.0, 1.0)
+
+
+class TestDestination:
+    def test_exact_address(self):
+        predicate = DestinationAddress("192.168.0.80")
+        assert predicate.match_flow(flow(destination=0xC0A80050))
+        assert not predicate.match_flow(flow(destination=0xC0A80051))
+        assert predicate.match_segment(entry())
+        assert not predicate.match_segment(entry(addresses=(0x0A000001,)))
+
+    def test_prefix(self):
+        predicate = DestinationPrefix("192.168.0.0/16")
+        assert predicate.match_flow(flow(destination=0xC0A80050))
+        assert not predicate.match_flow(flow(destination=0x0A000001))
+        assert predicate.match_segment(entry())
+        assert not predicate.match_segment(entry(addresses=(0x0A000001,)))
+
+
+class TestKindAndCounts:
+    def test_flow_kind(self):
+        assert FlowKind("short").match_flow(flow(kind=DatasetId.SHORT))
+        assert FlowKind("long").match_flow(flow(kind=DatasetId.LONG))
+        assert not FlowKind("long").match_segment(entry(flows=(3, 0)))
+        with pytest.raises(ValueError, match="short.*long"):
+            FlowKind("medium")
+
+    def test_packet_count(self):
+        predicate = PacketCountRange(3, 10)
+        assert predicate.match_flow(flow(packets=3))
+        assert predicate.match_flow(flow(packets=10))
+        assert not predicate.match_flow(flow(packets=11))
+        assert not predicate.match_segment(entry(packets=(20, 80)))
+        assert not predicate.match_segment(entry(packets=(1, 2)))
+
+    def test_rtt_range(self):
+        predicate = RttRange(0.01, 0.1)
+        assert predicate.match_flow(flow(rtt=0.05))
+        assert not predicate.match_flow(flow(rtt=0.0))
+        assert not predicate.match_segment(entry(rtts=(0.2, 0.3)))
+        assert not predicate.match_segment(entry(rtts=(0.0, 0.001)))
+
+
+class TestCombinators:
+    def test_and_or_not(self):
+        short = FlowKind("short")
+        late = TimeRange(4.0, 100.0)
+        assert (short & late).match_flow(flow())
+        assert not (short & ~late).match_flow(flow())
+        assert (short | ~late).match_flow(flow())
+        assert MatchAll().match_flow(flow(kind=DatasetId.LONG))
+
+    def test_and_prunes_segments(self):
+        predicate = FlowKind("long") & TimeRange(100.0, 200.0)
+        assert not predicate.match_segment(entry(flows=(3, 0)))
+        assert not predicate.match_segment(entry(time_range=(0.0, 10.0)))
+
+    def test_not_never_prunes_segments(self):
+        # "may contain X" says nothing about "all flows are X".
+        predicate = ~DestinationAddress(0xC0A80050)
+        assert predicate.match_segment(entry(addresses=(0xC0A80050,)))
+
+
+class TestIndexIsConservative:
+    """Property: a segment-level False must imply no flow-level match."""
+
+    def test_random_segments_never_pruned_wrongly(self):
+        rng = random.Random(3)
+        predicates = [
+            TimeRange(2.0, 7.5),
+            DestinationAddress(50),
+            DestinationPrefix("0.0.0.64/26"),
+            FlowKind("long"),
+            PacketCountRange(5, 30),
+            RttRange(0.01, 0.09),
+        ]
+        predicates.append(predicates[0] & predicates[3])
+        predicates.append(predicates[1] | predicates[4])
+        for _ in range(200):
+            flows = [
+                flow(
+                    timestamp=round(rng.uniform(0, 10), 4),
+                    kind=rng.choice([DatasetId.SHORT, DatasetId.LONG]),
+                    packets=rng.randrange(2, 60),
+                    destination=rng.randrange(0, 128),
+                    rtt=round(rng.uniform(0, 0.12), 4),
+                )
+                for _ in range(rng.randrange(1, 6))
+            ]
+            segment = entry(
+                time_range=(
+                    min(f.timestamp for f in flows),
+                    max(f.timestamp for f in flows),
+                ),
+                flows=(
+                    sum(f.kind is DatasetId.SHORT for f in flows),
+                    sum(f.kind is DatasetId.LONG for f in flows),
+                ),
+                packets=(
+                    min(f.packet_count for f in flows),
+                    max(f.packet_count for f in flows),
+                ),
+                rtts=(
+                    min(f.rtt for f in flows),
+                    max(f.rtt for f in flows),
+                ),
+                addresses=tuple(f.destination for f in flows),
+            )
+            for predicate in predicates:
+                if any(predicate.match_flow(f) for f in flows):
+                    assert predicate.match_segment(segment), (
+                        f"{predicate} pruned a segment containing a match"
+                    )
