@@ -1,0 +1,138 @@
+"""Memory-regression guard for streaming decompression.
+
+Generates two Web traces whose lengths differ by ``--scale`` (default
+4x), compresses both, then stream-decompresses each in a *fresh
+subprocess* and records the child's peak RSS (``getrusage`` high-water
+mark — the real number an operator sees, not just Python-heap
+accounting).  The guard fails when peak RSS grows superlinearly-ish
+with trace length: the streaming engine's whole contract is that its
+working set tracks the concurrent-flow fan-out, so RSS growth must stay
+well under the packet-count growth.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python benchmarks/memory_guard.py
+
+Exit status 0 = flat memory confirmed, 1 = regression, with the
+measured numbers on stdout either way.  Pure stdlib — no pytest needed
+— so the CI job stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DEFAULT_DURATION = 12.0
+DEFAULT_SCALE = 4.0
+DEFAULT_RATE = 40.0
+SEED = 1
+
+# RSS growth must stay under this fraction of the packet-count growth.
+# Linear growth would track the packet ratio (1.0); the streaming
+# engine's heap tracks concurrent flows, so even with the interpreter
+# baseline subtracted out a wide margin below linear is expected.
+GROWTH_FRACTION = 0.6
+
+
+def _measure_child(compressed_path: str) -> None:
+    """Child body: stream-decompress to /dev/null, report peak RSS."""
+    import resource
+
+    from repro.core.codec import deserialize_compressed
+    from repro.core.replay import StreamingDecompressor
+    from repro.trace.export import export_packet_stream
+
+    compressed = deserialize_compressed(Path(compressed_path).read_bytes())
+    engine = StreamingDecompressor(compressed)
+    result = export_packet_stream(engine.packets(), os.devnull, format="tsh")
+    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        rss_kib //= 1024
+    print(
+        json.dumps(
+            {
+                "packets": result.packets,
+                "peak_rss_kib": rss_kib,
+                "peak_open_flows": engine.stats.peak_open_flows,
+            }
+        )
+    )
+
+
+def _run_child(compressed_path: Path) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    output = subprocess.run(
+        [sys.executable, __file__, "--measure", str(compressed_path)],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=env,
+    ).stdout
+    return json.loads(output.splitlines()[-1])
+
+
+def _build_compressed(directory: Path, duration: float, label: str) -> Path:
+    from repro.core.codec import serialize_compressed
+    from repro.core.compressor import compress_trace
+    from repro.synth import generate_web_trace
+
+    trace = generate_web_trace(duration=duration, flow_rate=DEFAULT_RATE, seed=SEED)
+    path = directory / f"{label}.fctc"
+    path.write_bytes(serialize_compressed(compress_trace(trace)))
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--measure", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    args = parser.parse_args(argv)
+
+    if args.measure is not None:
+        _measure_child(args.measure)
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="memory-guard-") as tmp:
+        directory = Path(tmp)
+        small = _build_compressed(directory, args.duration, "small")
+        large = _build_compressed(directory, args.duration * args.scale, "large")
+        small_result = _run_child(small)
+        large_result = _run_child(large)
+
+    packet_growth = large_result["packets"] / small_result["packets"]
+    rss_growth = large_result["peak_rss_kib"] / small_result["peak_rss_kib"]
+    limit = max(1.0, GROWTH_FRACTION * packet_growth)
+    print(
+        f"packets     : {small_result['packets']} -> {large_result['packets']} "
+        f"(x{packet_growth:.2f})"
+    )
+    print(
+        f"peak RSS    : {small_result['peak_rss_kib']} KiB -> "
+        f"{large_result['peak_rss_kib']} KiB (x{rss_growth:.2f}, limit x{limit:.2f})"
+    )
+    print(
+        f"open flows  : {small_result['peak_open_flows']} -> "
+        f"{large_result['peak_open_flows']}"
+    )
+    if rss_growth >= limit:
+        print(
+            "FAIL: streaming decompression peak RSS grows superlinearly "
+            "with trace length"
+        )
+        return 1
+    print("OK: streaming decompression memory is flat")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,13 @@ from repro.archive.format import (
     pack_footer,
     unpack_footer,
 )
-from repro.archive.reader import ArchiveReader, parse_archive_tail
+from repro.archive.reader import (
+    ArchiveReader,
+    ArchiveSpecFeed,
+    order_by_time,
+    parse_archive_tail,
+    segment_runs,
+)
 from repro.archive.writer import (
     DEFAULT_SEGMENT_PACKETS,
     DEFAULT_SEGMENT_SPAN,
@@ -30,7 +36,10 @@ __all__ = [
     "pack_footer",
     "unpack_footer",
     "ArchiveReader",
+    "ArchiveSpecFeed",
+    "order_by_time",
     "parse_archive_tail",
+    "segment_runs",
     "DEFAULT_SEGMENT_PACKETS",
     "DEFAULT_SEGMENT_SPAN",
     "ArchiveWriter",

@@ -9,14 +9,28 @@ so query planners can decide *which* segments to decode; the reader
 counts what was actually decoded (``segments_decoded`` /
 ``bytes_decoded``) so callers can assert they touched less than the
 whole file.
+
+:meth:`iter_packets` is the archive-scale replay path: it streams the
+whole archive's synthetic packets in one globally time-ordered sequence,
+decoding segments one at a time as the merge frontier reaches them (the
+footer's per-segment time bounds tell the merge when the next segment
+*must* be decoded without touching its bytes).  With ``workers > 1`` the
+per-segment synthesis fans out across processes while the parent
+performs the same ordered merge at the seams — identical output, more
+throughput, memory bounded by in-flight segments instead of the
+concurrent-flow fan-out.
 """
 
 from __future__ import annotations
 
+import heapq
 import io
 import mmap
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Iterator
+from typing import BinaryIO, Callable, Iterator
 
 from repro.archive.format import (
     ARCHIVE_MAGIC,
@@ -29,7 +43,16 @@ from repro.archive.format import (
 )
 from repro.core.codec import read_compressed
 from repro.core.datasets import CompressedTrace
+from repro.core.decompressor import (
+    DecompressorConfig,
+    FlowSpec,
+    decompress_trace,
+    flow_specs,
+    merge_sort_key,
+)
 from repro.core.errors import ArchiveError, CodecError
+from repro.core.replay import ReplayStats, merge_packet_stream
+from repro.net.packet import PacketRecord
 
 
 def parse_archive_tail(
@@ -147,6 +170,47 @@ class ArchiveReader:
         for index in range(len(self.entries)):
             yield index, self.load_segment(index)
 
+    def iter_packets(
+        self,
+        config: DecompressorConfig | None = None,
+        *,
+        workers: int = 1,
+        stats: ReplayStats | None = None,
+    ) -> Iterator[PacketRecord]:
+        """Stream the archive's synthetic packets in global time order.
+
+        The output is exactly the merge of every segment's batch
+        ``decompress_trace`` packets under the decompressor's global
+        sort order (ties broken by segment, then flow, then packet
+        position) — but no segment's packet list is ever materialized on
+        the sequential path: segments are decoded one at a time when the
+        merge frontier reaches their index ``time_min``, and a decoded
+        segment's datasets are dropped as soon as its last flow drains.
+
+        ``workers > 1`` synthesizes segments in a process pool (each
+        worker re-opens the archive and replays one segment) while the
+        parent merges the seams in the same order — byte-identical
+        output; memory is bounded by the in-flight segments' packets
+        rather than the concurrent-flow fan-out, the trade for
+        multi-core throughput.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        config = config or DecompressorConfig()
+        indices = list(range(len(self.entries)))
+        if workers > 1:
+            return _iter_packets_parallel(
+                self.path, self.entries, indices, config, workers, stats
+            )
+
+        def spec_source(
+            segment: int, compressed: CompressedTrace
+        ) -> Iterator[FlowSpec]:
+            return flow_specs(compressed, config, order_prefix=(segment,))
+
+        feed = ArchiveSpecFeed(self, segment_runs(self.entries, indices), spec_source)
+        return merge_packet_stream(feed, config, stats)
+
     def _entry(self, index: int) -> SegmentIndexEntry:
         if not 0 <= index < len(self.entries):
             raise ArchiveError(
@@ -165,3 +229,200 @@ class ArchiveReader:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+# -- archive-scale streaming replay ---------------------------------------
+
+
+def order_by_time(
+    entries: list[SegmentIndexEntry], indices: list[int]
+) -> list[int]:
+    """Segment indices sorted by index ``time_min`` (file order on ties).
+
+    Both replay paths walk segments in this order: it is what makes a
+    single-level overlap check in :func:`segment_runs` complete, and
+    what makes the head of the parallel path's FIFO carry the minimum
+    ``time_min`` of everything still pending.  For archives written by
+    a rolling capture it is simply file order.
+    """
+    return sorted(indices, key=lambda index: (entries[index].time_min_units, index))
+
+
+def segment_runs(
+    entries: list[SegmentIndexEntry], indices: list[int]
+) -> list[list[int]]:
+    """Group segments whose record-start ranges overlap, in time order.
+
+    A rolling capture rotates segments at points in time, so flow starts
+    of segment *k* all precede segment *k + 1*'s and every run is a
+    single segment — the streaming sweet spot.  Appended captures (or
+    hand-built archives) may interleave; those segments are decoded
+    together and their record streams heap-merged, keeping the spec
+    stream globally sorted by start time at a memory cost of one run of
+    segments instead of one.
+
+    Segments are visited in :func:`order_by_time` order, which makes
+    merging into the *latest* run sufficient: a segment overlapping any
+    earlier run would have to start before that run's successor did,
+    contradicting the sort.  Consecutive runs therefore satisfy
+    ``run[i] max start <= run[i+1] min start``, the invariant the feed's
+    admission bound relies on.
+    """
+    runs: list[list[int]] = []
+    run_max = 0
+    for index in order_by_time(entries, indices):
+        entry = entries[index]
+        if runs and entry.time_min_units < run_max:
+            runs[-1].append(index)
+            run_max = max(run_max, entry.time_max_units)
+        else:
+            runs.append([index])
+            run_max = entry.time_max_units
+    return runs
+
+
+class ArchiveSpecFeed:
+    """A :class:`~repro.core.replay.SpecFeed` over archive segments.
+
+    Decodes lazily: while the next run is untouched, the footer's
+    ``time_min`` serves as the merge's admission bound for free; the
+    run's segments are only decoded when the frontier provably needs
+    their first record.  ``spec_source(segment, compressed)`` maps one
+    decoded segment to its spec stream — the query engine passes a
+    filtering source here, the plain replay an unfiltered one.  ``halt``
+    (optional) stops the feed from opening further runs — the query
+    engine's ``limit``.
+    """
+
+    def __init__(
+        self,
+        reader: ArchiveReader,
+        runs: list[list[int]],
+        spec_source: Callable[[int, CompressedTrace], Iterator[FlowSpec]],
+        halt: Callable[[], bool] | None = None,
+    ) -> None:
+        self._reader = reader
+        self._runs = deque(runs)
+        self._spec_source = spec_source
+        self._halt = halt
+        self._current: Iterator[FlowSpec] | None = None
+        self._buffered: FlowSpec | None = None
+
+    def next_start_bound(self) -> float | None:
+        if self._buffered is None and self._current is not None:
+            self._buffered = next(self._current, None)
+            if self._buffered is None:
+                self._current = None
+        if self._buffered is not None:
+            return self._buffered.start
+        if self._runs and not (self._halt is not None and self._halt()):
+            return self._reader.entries[self._runs[0][0]].time_min
+        return None
+
+    def pop(self) -> FlowSpec | None:
+        while self._buffered is None:
+            if self._current is None:
+                if not self._runs or (self._halt is not None and self._halt()):
+                    return None
+                self._current = self._open_run(self._runs.popleft())
+            self._buffered = next(self._current, None)
+            if self._buffered is None:
+                self._current = None
+        spec, self._buffered = self._buffered, None
+        return spec
+
+    def _open_run(self, run: list[int]) -> Iterator[FlowSpec]:
+        streams = [
+            self._spec_source(segment, self._reader.load_segment(segment))
+            for segment in run
+        ]
+        if len(streams) == 1:
+            return streams[0]
+        return heapq.merge(*streams, key=lambda spec: (spec.start, *spec.order))
+
+
+@dataclass(frozen=True)
+class _SegmentReplayTask:
+    """One worker's unit: replay segment ``segment`` of the archive."""
+
+    path: str
+    segment: int
+    config: DecompressorConfig
+
+
+def _replay_segment(task: _SegmentReplayTask) -> list[PacketRecord]:
+    """Worker body: batch-decompress one segment into its sorted packets."""
+    with ArchiveReader(task.path) as reader:
+        return decompress_trace(reader.load_segment(task.segment), task.config).packets
+
+
+def _iter_packets_parallel(
+    path: Path,
+    entries: list[SegmentIndexEntry],
+    indices: list[int],
+    config: DecompressorConfig,
+    workers: int,
+    stats: ReplayStats | None = None,
+) -> Iterator[PacketRecord]:
+    """Ordered seam merge over per-segment packet lists from a pool.
+
+    Each worker's list is already in the decompressor's global order, so
+    the parent only interleaves at the seams: a segment's list is pulled
+    (blocking on the pool) exactly when the merge frontier reaches the
+    segment's index ``time_min``.  Segments are dispatched in
+    :func:`order_by_time` order, so the FIFO head's ``time_min`` is the
+    minimum over everything still pending and the admission check is a
+    true lower bound.  The heap key mirrors the sequential path —
+    (packet sort key, segment, position-in-list) — position stands in
+    for (flow, packet) because each list is already stably sorted by
+    that finer key.
+
+    ``stats`` fills in flow/packet counts as the stream is consumed;
+    ``peak_open_flows`` stays 0 here — the parent merges whole segment
+    lists and never holds per-flow state.
+    """
+    if not indices:
+        return
+    stats = stats if stats is not None else ReplayStats()
+    ordered = order_by_time(entries, indices)
+    tasks = deque(_SegmentReplayTask(str(path), index, config) for index in ordered)
+    pending = deque(ordered)
+    heap: list[tuple[tuple, PacketRecord, int, list[PacketRecord], int]] = []
+
+    def push(segment: int, packets: list[PacketRecord], position: int) -> None:
+        packet = packets[position]
+        key = (*merge_sort_key(packet), segment, position)
+        heapq.heappush(heap, (key, packet, segment, packets, position))
+
+    with multiprocessing.Pool(workers) as pool:
+        # Dispatch a bounded window of tasks (workers + 1 outstanding)
+        # instead of imap over the whole list: workers must not race
+        # ahead of the consumer and buffer every synthesized segment —
+        # that would rebuild the batch path's memory blowup in the
+        # result queue.
+        in_flight: deque = deque()
+
+        def refill() -> None:
+            while tasks and len(in_flight) <= workers:
+                in_flight.append(
+                    pool.apply_async(_replay_segment, (tasks.popleft(),))
+                )
+
+        refill()
+        while True:
+            while pending and (
+                not heap or heap[0][0][0] >= entries[pending[0]].time_min
+            ):
+                segment = pending.popleft()
+                packets = in_flight.popleft().get()
+                refill()
+                stats.flows_replayed += entries[segment].flow_count
+                if packets:
+                    push(segment, packets, 0)
+            if not heap:
+                return
+            _key, packet, segment, packets, position = heapq.heappop(heap)
+            yield packet
+            stats.packets_emitted += 1
+            if position + 1 < len(packets):
+                push(segment, packets, position + 1)

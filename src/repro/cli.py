@@ -5,6 +5,7 @@ Subcommands (full reference in ``docs/CLI.md``)::
     repro-trace generate out.tsh --duration 100 --rate 40 --seed 1
     repro-trace compress in.tsh out.fctc [--stream] [--workers N]
     repro-trace decompress in.fctc out.tsh
+    repro-trace replay day.fctca out.tsh [--workers N] [--since 10 --dst a.b.c.d ...]
     repro-trace stats in.tsh
     repro-trace inspect in.fctc [--addresses]
     repro-trace convert in.tsh out.pcap
@@ -32,7 +33,6 @@ from repro.core import (
     compress_stream_to_bytes,
     compress_to_bytes,
     compress_tsh_file_parallel,
-    decompress_from_bytes,
     deserialize_compressed,
     report_for_stream,
     serialize_compressed,
@@ -101,10 +101,56 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    data = Path(args.input).read_bytes()
-    trace = decompress_from_bytes(data)
-    size = trace.save_tsh(args.output)
-    print(f"wrote {len(trace)} packets ({size} B) to {args.output}")
+    from repro.core import StreamingDecompressor
+    from repro.trace.export import export_packet_stream
+
+    compressed = deserialize_compressed(Path(args.input).read_bytes())
+    # Stream the packets straight to disk: byte-identical to the batch
+    # decompressor, but peak memory is the concurrent-flow fan-out plus
+    # the (compressed) datasets — never the synthetic trace itself.
+    engine = StreamingDecompressor(compressed)
+    result = export_packet_stream(engine.packets(), args.output)
+    print(
+        f"wrote {result.packets} packets ({result.size_bytes} B) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.archive import ArchiveReader
+    from repro.query import MatchAll, QueryEngine, QueryStats
+    from repro.trace.export import export_packet_stream
+
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    predicate = _build_predicate(args)
+    filtered = not isinstance(predicate, MatchAll) or args.limit is not None
+    workers = args.workers or 1
+    if filtered and workers > 1:
+        print(
+            "error: --workers parallelizes full-archive replay only; "
+            "drop the flow filters/--limit or --workers",
+            file=sys.stderr,
+        )
+        return 2
+    with ArchiveReader(args.archive) as reader:
+        stats = None
+        if filtered:
+            stats = QueryStats()
+            packets = QueryEngine(reader).stream_packets(
+                predicate, limit=args.limit, stats=stats
+            )
+        else:
+            packets = reader.iter_packets(workers=workers)
+        result = export_packet_stream(packets, args.output)
+        print(
+            f"wrote {result.packets} packets ({result.size_bytes} B) "
+            f"to {args.output}"
+        )
+        if stats is not None:
+            for line in stats.summary_lines():
+                print(line)
     return 0
 
 
@@ -316,6 +362,29 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_predicate_flags(sub: argparse.ArgumentParser) -> None:
+    """Attach the shared flow-filter flags (query and replay commands)."""
+    sub.add_argument(
+        "--since", type=float, default=None,
+        help="earliest flow start, seconds since the archive epoch",
+    )
+    sub.add_argument(
+        "--until", type=float, default=None,
+        help="latest flow start, seconds since the archive epoch",
+    )
+    sub.add_argument("--dst", default=None, help="destination address a.b.c.d")
+    sub.add_argument(
+        "--dst-prefix", default=None, help="destination prefix a.b.c.d/len"
+    )
+    sub.add_argument(
+        "--kind", choices=["short", "long"], default=None, help="flow kind"
+    )
+    sub.add_argument("--min-packets", type=int, default=None)
+    sub.add_argument("--max-packets", type=int, default=None)
+    sub.add_argument("--min-rtt", type=float, default=None, help="seconds")
+    sub.add_argument("--max-rtt", type=float, default=None, help="seconds")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-trace", description="Flow-clustering trace compressor tools."
@@ -356,8 +425,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     decompress = subparsers.add_parser("decompress", help="rebuild a trace")
     decompress.add_argument("input", help="input .fctc path")
-    decompress.add_argument("output", help="output .tsh path")
+    decompress.add_argument(
+        "output", help="output .tsh path (.pcap writes pcap-lite instead)"
+    )
     decompress.set_defaults(handler=_cmd_decompress)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="stream an archive back into a synthetic trace file",
+    )
+    replay.add_argument("archive", help=".fctca path")
+    replay.add_argument(
+        "output", help="output .tsh path (.pcap writes pcap-lite instead)"
+    )
+    replay.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="synthesize segments across N processes (full replay only; "
+        "output is byte-identical to the sequential stream)",
+    )
+    _add_predicate_flags(replay)
+    replay.add_argument(
+        "--limit", type=int, default=None, help="replay at most N matching flows"
+    )
+    replay.set_defaults(handler=_cmd_replay)
 
     stats = subparsers.add_parser("stats", help="flow statistics of a trace")
     stats.add_argument("input", help="input .tsh path")
@@ -451,25 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="query flows in an archive without decoding unrelated segments",
     )
     query.add_argument("archive", help=".fctca path")
-    query.add_argument(
-        "--since", type=float, default=None,
-        help="earliest flow start, seconds since the archive epoch",
-    )
-    query.add_argument(
-        "--until", type=float, default=None,
-        help="latest flow start, seconds since the archive epoch",
-    )
-    query.add_argument("--dst", default=None, help="destination address a.b.c.d")
-    query.add_argument(
-        "--dst-prefix", default=None, help="destination prefix a.b.c.d/len"
-    )
-    query.add_argument(
-        "--kind", choices=["short", "long"], default=None, help="flow kind"
-    )
-    query.add_argument("--min-packets", type=int, default=None)
-    query.add_argument("--max-packets", type=int, default=None)
-    query.add_argument("--min-rtt", type=float, default=None, help="seconds")
-    query.add_argument("--max-rtt", type=float, default=None, help="seconds")
+    _add_predicate_flags(query)
     query.add_argument(
         "--limit", type=int, default=None, help="stop after N matches"
     )

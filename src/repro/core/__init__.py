@@ -21,7 +21,20 @@ from repro.core.compressor import (
     TemplateMatcher,
     compress_trace,
 )
-from repro.core.decompressor import DecompressorConfig, decompress_trace
+from repro.core.decompressor import (
+    DecompressorConfig,
+    FlowSpec,
+    decompress_trace,
+    flow_seed,
+    flow_specs,
+    synthesize_flow,
+)
+from repro.core.replay import (
+    ReplayStats,
+    StreamingDecompressor,
+    iter_decompressed,
+    merge_packet_stream,
+)
 from repro.core.codec import (
     deserialize_compressed,
     read_compressed,
@@ -59,7 +72,15 @@ __all__ = [
     "TemplateMatcher",
     "compress_trace",
     "DecompressorConfig",
+    "FlowSpec",
     "decompress_trace",
+    "flow_seed",
+    "flow_specs",
+    "synthesize_flow",
+    "ReplayStats",
+    "StreamingDecompressor",
+    "iter_decompressed",
+    "merge_packet_stream",
     "deserialize_compressed",
     "read_compressed",
     "serialize_compressed",

@@ -27,7 +27,7 @@ is only defined for equal lengths.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from repro.core.datasets import (
@@ -144,6 +144,12 @@ class FlowClusterCompressor:
         self._output = CompressedTrace(name=name)
         self._matcher = TemplateMatcher(self._output.short_templates, self.config)
         self._base_time = base_time
+        # An explicit base is an external clock (archive epoch, shard
+        # anchor) and stays fixed; an auto-derived base must track the
+        # *earliest* timestamp, not the first packet seen — mildly
+        # out-of-order traces would otherwise clamp early flows to 0
+        # and reorder them on decompression.
+        self._explicit_base = base_time is not None
         self._earliest_seen: float | None = None
         self._finished = False
 
@@ -163,10 +169,12 @@ class FlowClusterCompressor:
             raise CompressionError("compressor already finished")
         if self._base_time is None:
             self._base_time = packet.timestamp
-        self._expire_idle(packet.timestamp)
+        elif not self._explicit_base and packet.timestamp < self._base_time:
+            self._rebase(packet.timestamp)
+        key = packet.five_tuple().canonical()
+        self._expire_idle(packet.timestamp, exclude=key)
         self.stats.packets += 1
 
-        key = packet.five_tuple().canonical()
         node = self._active.find(key)
         if node is None:
             node = self._active.insert(packet.five_tuple(), packet.timestamp)
@@ -201,16 +209,44 @@ class FlowClusterCompressor:
 
     # -- internals -------------------------------------------------------
 
-    def _expire_idle(self, now: float) -> None:
+    def _rebase(self, new_base: float) -> None:
+        """Lower the auto-derived base to a newly seen earlier timestamp.
+
+        Flows already closed were recorded against the old (too late)
+        base; shift their time-seq offsets so every record stays
+        relative to the trace's true earliest packet.  Mild reordering
+        only ever lowers the base within the first reorder window, so
+        this rewrite is rare and cheap in practice.
+        """
+        delta = self._base_time - new_base
+        self._base_time = new_base
+        self._output.time_seq[:] = [
+            replace(record, timestamp=record.timestamp + delta)
+            for record in self._output.time_seq
+        ]
+
+    def _expire_idle(self, now: float, exclude=None) -> None:
         # ``_earliest_seen`` is a lower bound on every live flow's last
         # activity (updates only raise values), so when even the bound is
         # fresh no flow can be stale and the O(active-flows) scan is
         # skipped — the common case on dense traces.
+        #
+        # ``exclude`` is the incoming packet's flow key: that flow is
+        # provably active *at* ``now``, so even when its previous packet
+        # sits just past the idle horizon it must not be evicted and
+        # split in two — eviction applies strictly to flows other than
+        # the one delivering the clock tick.  Trade-off: a flow resuming
+        # after an arbitrarily long quiet spell stays whole, and a long
+        # flow's in-flow gap then saturates at the codec's u16 bound
+        # (6.5535 s) like any other over-limit gap — timing fidelity
+        # for such outliers is bounded by the codec, not by a split.
         timeout = self.config.idle_timeout
         if self._earliest_seen is None or now - self._earliest_seen <= timeout:
             return
         stale = [
-            key for key, last in self._last_seen.items() if now - last > timeout
+            key
+            for key, last in self._last_seen.items()
+            if now - last > timeout and key != exclude
         ]
         for key in stale:
             node = self._active.find(key)
@@ -255,6 +291,10 @@ class FlowClusterCompressor:
     ) -> None:
         base = self._base_time if self._base_time is not None else 0.0
         address_index = self._output.addresses.intern(node.dst_ip)
+        # An auto-derived base tracks the earliest packet seen, so the
+        # offset is never negative; only an explicit base (archive epoch,
+        # shard anchor) can postdate a flow start, and clamping to that
+        # externally chosen epoch is the documented behavior.
         self._output.time_seq.append(
             TimeSeqRecord(
                 timestamp=max(0.0, node.first_timestamp - base),

@@ -21,12 +21,24 @@ packets:
 
 Packets from all flows are merged by timestamp, replacing the paper's
 linked-list insertion sort with an equivalent heap merge.
+
+This module holds the *shared* re-synthesis primitives — the per-flow
+:class:`FlowSpec` (everything one flow needs to replay), the stable
+:func:`flow_seed` mix, :func:`flow_specs` (dataset walk in timestamp
+order) and :func:`synthesize_flow` (one flow's packet generator) — plus
+the batch :func:`decompress_trace` entry point.  The bounded-memory
+streaming engine in :mod:`repro.core.replay` drives the same primitives
+through a k-way heap merge instead of a global sort, which is why the
+two paths are byte-identical.
 """
 
 from __future__ import annotations
 
 import random
+import struct
 from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Callable, Iterable, Iterator
 
 from repro.core.codec import (
     GAP_UNITS_PER_SECOND,
@@ -62,6 +74,49 @@ _FLAGS_FOR_CLASS = {
     int(FlagClass.FIN_RST): TCP_FIN | TCP_ACK,
 }
 
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_SEED_LAYOUT = struct.Struct(">QIBIIII")
+"""Struct-packed flow identity fed to blake2b: config seed (u64),
+timestamp units (u32), long flag (u8), template index (u32), server
+address (u32), RTT units (u32), occurrence ordinal (u32)."""
+
+
+def flow_seed(
+    config_seed: int,
+    timestamp_units: int,
+    is_long: bool,
+    template_index: int,
+    server_ip: int,
+    rtt_units: int,
+    occurrence: int,
+) -> int:
+    """Deterministic per-flow RNG seed: blake2b over the packed identity.
+
+    Decompression promises to be a pure function of (datasets, config).
+    Python's built-in ``hash()`` of a mixed tuple cannot carry that
+    guarantee — its integer mixing is an implementation detail free to
+    change between interpreter versions, and nearby tuples collide
+    trivially — so the identity is struct-packed and run through a real
+    hash.  blake2b is part of ``hashlib``'s guaranteed algorithms, so
+    the same datasets replay to the same bytes on every platform and
+    interpreter.
+
+    ``occurrence`` disambiguates flows whose identity fields collide
+    (same start time, template, destination and RTT): the n-th such
+    clone gets ordinal n, in ``time-seq`` timestamp order.
+    """
+    payload = _SEED_LAYOUT.pack(
+        config_seed & _MASK64,
+        timestamp_units & _MASK32,
+        1 if is_long else 0,
+        template_index & _MASK32,
+        server_ip & _MASK32,
+        rtt_units & _MASK32,
+        occurrence & _MASK32,
+    )
+    return int.from_bytes(blake2b(payload, digest_size=8).digest(), "big")
+
 
 @dataclass(frozen=True)
 class DecompressorConfig:
@@ -91,22 +146,94 @@ class DecompressorConfig:
         raise ValueError(f"invalid payload class: {g3}")
 
 
-def _flow_packets(
-    record: TimeSeqRecord,
-    template: ShortFlowTemplate | LongFlowTemplate,
-    server_ip: int,
-    rng: random.Random,
+@dataclass(frozen=True, slots=True)
+class FlowSpec:
+    """One flow, resolved and ready to replay.
+
+    ``start`` and ``rtt`` are already quantized to the codec's on-disk
+    resolution (so in-memory and serialized containers replay
+    identically); ``seed`` is the flow's :func:`flow_seed`; ``order`` is
+    a strictly increasing tiebreak tuple — ``(flow position,)`` for a
+    single container, ``(segment, flow position)`` across an archive —
+    that makes the merge order total and reproduces the batch path's
+    stable sort.
+    """
+
+    start: float
+    rtt: float
+    is_long: bool
+    template: ShortFlowTemplate | LongFlowTemplate
+    server_ip: int
+    seed: int
+    order: tuple[int, ...]
+
+
+def flow_specs(
+    compressed: CompressedTrace,
     config: DecompressorConfig,
-) -> list[PacketRecord]:
-    """Re-synthesize all packets of one flow."""
+    *,
+    order_prefix: tuple[int, ...] = (),
+    record_filter: Callable[[TimeSeqRecord], bool] | None = None,
+) -> Iterator[FlowSpec]:
+    """Resolve ``time-seq`` into replayable specs, in timestamp order.
+
+    ``record_filter`` drops records from the output *without* changing
+    the surviving flows' seeds: occurrence ordinals are counted over the
+    full record walk, so a filtered replay (the query engine's packet
+    stream) emits exactly the packets the unfiltered replay would.
+    Start timestamps of the yielded specs are nondecreasing — the
+    invariant the streaming merge's admission logic relies on.
+    """
+    occurrences: dict[tuple, int] = {}
+    for index, record in enumerate(compressed.sorted_time_seq()):
+        timestamp_units = quantize_timestamp(record.timestamp)
+        rtt_units = quantize_rtt(record.rtt)
+        is_long = record.dataset is DatasetId.LONG
+        try:
+            server_ip = compressed.addresses.lookup(record.address_index)
+        except IndexError as exc:  # validate() should have caught this
+            raise CodecError(
+                f"dangling address index: {record.address_index}"
+            ) from exc
+        identity = (
+            timestamp_units,
+            is_long,
+            record.template_index,
+            server_ip,
+            rtt_units,
+        )
+        occurrence = occurrences.get(identity, 0)
+        occurrences[identity] = occurrence + 1
+        if record_filter is not None and not record_filter(record):
+            continue
+        yield FlowSpec(
+            start=timestamp_units / TIMESTAMP_UNITS_PER_SECOND,
+            rtt=rtt_units / RTT_UNITS_PER_SECOND,
+            is_long=is_long,
+            template=compressed.template_for(record),
+            server_ip=server_ip,
+            seed=flow_seed(config.seed, *identity, occurrence),
+            order=(*order_prefix, index),
+        )
+
+
+def synthesize_flow(
+    spec: FlowSpec, config: DecompressorConfig
+) -> Iterator[PacketRecord]:
+    """Re-synthesize one flow's packets lazily, in timestamp order.
+
+    Per-flow timestamps are nondecreasing (every step adds a
+    non-negative gap), which is what lets the streaming merge treat each
+    flow as a sorted run.
+    """
+    rng = random.Random(spec.seed)
     client_ip = random_class_b_or_c(rng)
     client_port = rng.randint(CLIENT_PORT_MIN, CLIENT_PORT_MAX)
 
-    is_long = isinstance(template, LongFlowTemplate)
-    rtt = record.rtt if record.rtt > 0 else config.default_rtt
+    template = spec.template
+    rtt = spec.rtt if spec.rtt > 0 else config.default_rtt
 
-    packets: list[PacketRecord] = []
-    timestamp = record.timestamp
+    timestamp = spec.start
     client_to_server = True  # first packet: client opens the flow
     client_seq = rng.getrandbits(32)
     server_seq = rng.getrandbits(32)
@@ -114,7 +241,7 @@ def _flow_packets(
     for position, value in enumerate(template.values):
         g1, g2, g3 = decode_packet_value(value, config.characterization)
         if position > 0:
-            if is_long:
+            if spec.is_long:
                 # Quantize to the codec's resolution so in-memory and
                 # serialized containers decompress identically.
                 timestamp += (
@@ -134,7 +261,7 @@ def _flow_packets(
             packet = PacketRecord(
                 timestamp=timestamp,
                 src_ip=client_ip,
-                dst_ip=server_ip,
+                dst_ip=spec.server_ip,
                 src_port=client_port,
                 dst_port=SERVER_PORT,
                 flags=flags,
@@ -149,7 +276,7 @@ def _flow_packets(
         else:
             packet = PacketRecord(
                 timestamp=timestamp,
-                src_ip=server_ip,
+                src_ip=spec.server_ip,
                 dst_ip=client_ip,
                 src_port=SERVER_PORT,
                 dst_port=client_port,
@@ -158,12 +285,21 @@ def _flow_packets(
                 seq=server_seq,
                 ack=client_seq,
                 ip_id=rng.getrandbits(16),
-                ttl=plausible_ttl(server_ip),
-                window=plausible_window(server_ip),
+                ttl=plausible_ttl(spec.server_ip),
+                window=plausible_window(spec.server_ip),
             )
             server_seq = (server_seq + max(payload, 1)) & 0xFFFFFFFF
-        packets.append(packet)
-    return packets
+        yield packet
+
+
+def merge_sort_key(packet: PacketRecord) -> tuple:
+    """The global packet order of a decompressed trace.
+
+    Both the batch sort and the streaming heap merge order packets by
+    this key (the merge adds the ``FlowSpec.order`` + packet-position
+    tiebreak, which reproduces the batch path's stable sort exactly).
+    """
+    return (packet.timestamp, packet.src_ip, packet.src_port, packet.dst_ip, packet.seq)
 
 
 def decompress_trace(
@@ -177,47 +313,21 @@ def decompress_trace(
 
     Decompression is a pure function of (datasets, config): timestamps
     and RTTs are quantized to the on-disk codec's resolution and each
-    flow's randomness is seeded from its own record content, so
-    decompressing an in-memory container and its serialized round-trip
-    produce byte-identical traces.
+    flow's randomness is seeded with :func:`flow_seed` — a blake2b mix
+    of the flow's own record content — so decompressing an in-memory
+    container and its serialized round-trip produce byte-identical
+    traces, on any interpreter version or platform.
+
+    This is the batch path: every packet is materialized, then sorted.
+    :class:`repro.core.replay.StreamingDecompressor` emits the identical
+    packet sequence in bounded memory.
     """
     config = config or DecompressorConfig()
     compressed.validate()
 
     merged: list[PacketRecord] = []
-    occurrences: dict[tuple, int] = {}
-    for record in compressed.sorted_time_seq():
-        timestamp_units = quantize_timestamp(record.timestamp)
-        rtt_units = quantize_rtt(record.rtt)
-        identity = (
-            timestamp_units,
-            record.dataset is DatasetId.LONG,
-            record.template_index,
-            record.address_index,
-            rtt_units,
-        )
-        occurrence = occurrences.get(identity, 0)
-        occurrences[identity] = occurrence + 1
-        flow_rng = random.Random(
-            hash((config.seed,) + identity + (occurrence,))
-        )
-        quantized = TimeSeqRecord(
-            timestamp=timestamp_units / TIMESTAMP_UNITS_PER_SECOND,
-            dataset=record.dataset,
-            template_index=record.template_index,
-            address_index=record.address_index,
-            rtt=rtt_units / RTT_UNITS_PER_SECOND,
-        )
-        template = compressed.template_for(record)
-        try:
-            server_ip = compressed.addresses.lookup(record.address_index)
-        except IndexError as exc:  # validate() should have caught this
-            raise CodecError(f"dangling address index: {record.address_index}") from exc
-        merged.extend(
-            _flow_packets(quantized, template, server_ip, flow_rng, config)
-        )
+    for spec in flow_specs(compressed, config):
+        merged.extend(synthesize_flow(spec, config))
 
-    merged.sort(
-        key=lambda p: (p.timestamp, p.src_ip, p.src_port, p.dst_ip, p.seq)
-    )
+    merged.sort(key=merge_sort_key)
     return Trace(merged, name=f"{compressed.name}-decompressed")

@@ -1,0 +1,196 @@
+"""Streaming decompression: replay the datasets in bounded memory.
+
+:func:`~repro.core.decompressor.decompress_trace` materializes every
+packet of every flow and sorts the whole list — the exact batch
+bottleneck the streaming *compressor* removed from the write side.  This
+module removes it from the read side:
+
+:class:`StreamingDecompressor`
+    Walks ``time-seq`` in timestamp order, keeps open only the flows
+    whose packets can still interleave with the merge frontier, and
+    emits packets through a k-way heap merge.  Peak memory is bounded by
+    the concurrent-flow fan-out (plus the compressed datasets
+    themselves), not the trace length — and the packet sequence is
+    **byte-identical** to the batch path's.
+
+:func:`merge_packet_stream`
+    The merge engine itself, shared with the archive reader's
+    segment-at-a-time decode and the query engine's filtered packet
+    stream.  It consumes a :class:`SpecFeed` — a peekable source of
+    :class:`~repro.core.decompressor.FlowSpec` with a cheap lower bound
+    on the next flow start — so callers can defer expensive work (like
+    decoding the next archive segment) until the frontier provably
+    needs it.
+
+Why the two paths agree byte for byte: the batch sort key is
+``(timestamp, src_ip, src_port, dst_ip, seq)`` and Python's sort is
+stable, so ties fall back to (flow position in the sorted time-seq,
+packet position in the flow).  The heap key here is exactly that five
+tuple extended with ``FlowSpec.order + (packet position,)`` — a total
+order equal to the batch one.  A heap packet may be emitted once no
+unadmitted flow can start at or before it, which holds because per-flow
+packet timestamps are nondecreasing and ``flow_specs`` yields specs in
+nondecreasing start order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+from repro.core.datasets import CompressedTrace
+from repro.core.decompressor import (
+    DecompressorConfig,
+    FlowSpec,
+    flow_specs,
+    merge_sort_key,
+    synthesize_flow,
+)
+from repro.net.packet import PacketRecord
+
+
+@dataclass
+class ReplayStats:
+    """How much work one streaming replay did — and how bounded it stayed."""
+
+    flows_replayed: int = 0
+    packets_emitted: int = 0
+    peak_open_flows: int = 0
+
+    def reset(self) -> None:
+        self.flows_replayed = 0
+        self.packets_emitted = 0
+        self.peak_open_flows = 0
+
+
+class SpecFeed(Protocol):
+    """A peekable stream of :class:`FlowSpec` in nondecreasing start order.
+
+    ``next_start_bound`` must return a lower bound on every future
+    spec's start (or ``None`` when exhausted) *without* doing expensive
+    work; ``pop`` returns the next spec (or ``None`` when exhausted) and
+    may do the expensive part — e.g. decode the next archive segment.
+    Popping a spec whose true start exceeds the bound is safe: admitting
+    a flow early never reorders the merge, it only widens the heap.
+    """
+
+    def next_start_bound(self) -> float | None: ...
+
+    def pop(self) -> FlowSpec | None: ...
+
+
+class IteratorSpecFeed:
+    """Adapt a plain spec iterator (one decoded container) to the feed."""
+
+    def __init__(self, specs: Iterator[FlowSpec]) -> None:
+        self._specs = specs
+        self._buffered: FlowSpec | None = None
+        self._done = False
+
+    def next_start_bound(self) -> float | None:
+        if self._buffered is None and not self._done:
+            self._buffered = next(self._specs, None)
+            self._done = self._buffered is None
+        return None if self._buffered is None else self._buffered.start
+
+    def pop(self) -> FlowSpec | None:
+        if self.next_start_bound() is None:
+            return None
+        spec, self._buffered = self._buffered, None
+        return spec
+
+
+def merge_packet_stream(
+    feed: SpecFeed,
+    config: DecompressorConfig,
+    stats: ReplayStats | None = None,
+) -> Iterator[PacketRecord]:
+    """K-way heap merge of lazily synthesized flows, in global order.
+
+    The loop alternates two moves: *admit* every pending flow that could
+    still start at or before the current heap minimum (ties must be
+    admitted — the key tiebreak decides them, not arrival), then *emit*
+    the minimum and advance its flow's generator.  Open flows — the heap
+    size — are exactly the flows whose packets can still interleave with
+    the frontier; everything already drained is garbage.
+    """
+    stats = stats if stats is not None else ReplayStats()
+    # Heap items: (key, packet, order, generator); keys are unique (they
+    # end in order + packet position), so packets are never compared.
+    heap: list[tuple[tuple, PacketRecord, tuple[int, ...], Iterator[PacketRecord]]] = []
+    while True:
+        while True:
+            bound = feed.next_start_bound()
+            if bound is None:
+                break
+            if heap and heap[0][0][0] < bound:
+                break  # frontier is strictly earlier: safe to emit first
+            spec = feed.pop()
+            if spec is None:
+                break
+            source = synthesize_flow(spec, config)
+            first = next(source, None)
+            if first is None:  # templates are never empty, but stay safe
+                continue
+            key = (*merge_sort_key(first), *spec.order, 0)
+            heapq.heappush(heap, (key, first, spec.order, source))
+            stats.flows_replayed += 1
+            if len(heap) > stats.peak_open_flows:
+                stats.peak_open_flows = len(heap)
+        if not heap:
+            return
+        key, packet, order, source = heapq.heappop(heap)
+        yield packet
+        stats.packets_emitted += 1
+        following = next(source, None)
+        if following is not None:
+            next_key = (*merge_sort_key(following), *order, key[-1] + 1)
+            heapq.heappush(heap, (next_key, following, order, source))
+
+
+class StreamingDecompressor:
+    """Bounded-memory decompression of one :class:`CompressedTrace`.
+
+    Iterate :meth:`packets` (or the instance itself) to receive the
+    synthetic trace one packet at a time, in exactly the order — and
+    with exactly the content — :func:`decompress_trace` would produce.
+    ``stats`` describes the last (or in-progress) replay; in particular
+    ``peak_open_flows`` is the working-set bound the benchmarks assert
+    on.
+
+    The compressed datasets themselves (templates, addresses, time-seq)
+    stay in memory — they are the *compressed* form, a few percent of
+    the trace — but no packet list is ever materialized.
+    """
+
+    def __init__(
+        self,
+        compressed: CompressedTrace,
+        config: DecompressorConfig | None = None,
+    ) -> None:
+        compressed.validate()
+        self._compressed = compressed
+        self.config = config or DecompressorConfig()
+        self.stats = ReplayStats()
+
+    @property
+    def name(self) -> str:
+        """The decompressed trace's name (mirrors the batch path)."""
+        return f"{self._compressed.name}-decompressed"
+
+    def packets(self) -> Iterator[PacketRecord]:
+        """A fresh packet stream; each call restarts stats and replay."""
+        self.stats.reset()
+        feed = IteratorSpecFeed(flow_specs(self._compressed, self.config))
+        return merge_packet_stream(feed, self.config, self.stats)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return self.packets()
+
+
+def iter_decompressed(
+    compressed: CompressedTrace, config: DecompressorConfig | None = None
+) -> Iterator[PacketRecord]:
+    """One-shot convenience: stream-decompress a container's packets."""
+    return StreamingDecompressor(compressed, config).packets()

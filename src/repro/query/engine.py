@@ -13,6 +13,16 @@ sub-archive: each matching segment's selected records are re-packed
 (templates and addresses re-indexed) and written through the ordinary
 :class:`~repro.archive.writer.ArchiveWriter` machinery, preserving the
 source epoch and segment boundaries.
+
+:meth:`QueryEngine.stream_packets` goes one level deeper than
+:class:`FlowSummary` rows: it *replays* the matching flows, streaming
+their synthetic packets in global time order through the same
+bounded-memory merge the archive replay uses — segments the index rules
+out are never decoded, and non-matching flows inside a decoded segment
+are skipped without synthesizing a packet.  Because occurrence ordinals
+are counted over the full record walk (see
+:func:`~repro.core.decompressor.flow_specs`), a filtered stream emits
+exactly the packets the full replay would for those flows.
 """
 
 from __future__ import annotations
@@ -21,9 +31,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
-from repro.archive.reader import ArchiveReader
+from repro.archive.reader import ArchiveReader, ArchiveSpecFeed, segment_runs
 from repro.archive.writer import ArchiveWriter
 from repro.core.datasets import CompressedTrace, DatasetId, TimeSeqRecord
+from repro.core.decompressor import DecompressorConfig, FlowSpec, flow_specs
+from repro.core.replay import merge_packet_stream
+from repro.net.packet import PacketRecord
 from repro.query.predicates import MatchAll, Predicate
 
 
@@ -131,6 +144,69 @@ class QueryEngine:
                     if limit is not None and stats.flows_matched >= limit:
                         return result
         return result
+
+    def stream_packets(
+        self,
+        predicate: Predicate | None = None,
+        *,
+        limit: int | None = None,
+        config: DecompressorConfig | None = None,
+        stats: QueryStats | None = None,
+    ) -> Iterator[PacketRecord]:
+        """Replay the flows matching ``predicate`` as a packet stream.
+
+        Packets arrive in the decompressor's global time order and are
+        byte-identical to the corresponding packets of a full archive
+        replay (:meth:`~repro.archive.reader.ArchiveReader.iter_packets`)
+        — filtering skips flows, it does not perturb the survivors.
+        Memory stays bounded by the concurrent matching flows; segments
+        the index rules out are never decoded.  ``limit`` caps the
+        *flows* replayed (their packets all stream out); pass a
+        :class:`QueryStats` to receive the work accounting, which fills
+        in as the stream is consumed.
+        """
+        predicate = predicate or MatchAll()
+        config = config or DecompressorConfig()
+        if stats is None:
+            stats = QueryStats()
+        stats.segments_total = self.reader.segment_count
+        stats.bytes_total = sum(entry.length for entry in self.reader.entries)
+        indices = [
+            index
+            for index, entry in enumerate(self.reader.entries)
+            if predicate.match_segment(entry)
+        ]
+        stats.segments_matched = len(indices)
+
+        def spec_source(
+            segment: int, compressed: CompressedTrace
+        ) -> Iterator[FlowSpec]:
+            stats.segments_decoded += 1
+            stats.bytes_decoded += self.reader.entries[segment].length
+
+            def keep(record: TimeSeqRecord) -> bool:
+                stats.flows_scanned += 1
+                if limit is not None and stats.flows_matched >= limit:
+                    return False
+                if predicate.match_flow(_summarize(segment, compressed, record)):
+                    stats.flows_matched += 1
+                    return True
+                return False
+
+            return flow_specs(
+                compressed, config, order_prefix=(segment,), record_filter=keep
+            )
+
+        halt = None
+        if limit is not None:
+            halt = lambda: stats.flows_matched >= limit  # noqa: E731
+        feed = ArchiveSpecFeed(
+            self.reader,
+            segment_runs(self.reader.entries, indices),
+            spec_source,
+            halt=halt,
+        )
+        return merge_packet_stream(feed, config)
 
     def filter_to(
         self,

@@ -25,6 +25,11 @@ from repro.trace.reader import (
     iter_tsh_records,
 )
 from repro.trace.pcaplite import read_pcap, write_pcap
+from repro.trace.export import (
+    ExportResult,
+    export_format_for,
+    export_packet_stream,
+)
 from repro.trace.stats import FlowLengthDistribution, TraceStatistics, compute_statistics
 from repro.trace.filters import select_time_window, select_web_traffic, split_by_seconds
 from repro.trace.anonymize import PrefixPreservingAnonymizer, anonymize_prefix_preserving
@@ -44,6 +49,9 @@ __all__ = [
     "iter_tsh_records",
     "read_pcap",
     "write_pcap",
+    "ExportResult",
+    "export_format_for",
+    "export_packet_stream",
     "FlowLengthDistribution",
     "TraceStatistics",
     "compute_statistics",

@@ -1,0 +1,62 @@
+"""Incremental trace export: stream packets to disk without a Trace.
+
+:meth:`~repro.trace.trace.Trace.save_tsh` needs the whole trace in
+memory first; the streaming decompression and replay paths explicitly
+never build one.  These writers couple any packet iterator directly to
+the on-disk encoders — :func:`repro.trace.tsh.write_tsh` and
+:func:`repro.trace.pcaplite.write_pcap` both encode one packet at a
+time — so exporting holds exactly one packet, regardless of trace
+length.  The target format is inferred from the output suffix
+(``.pcap`` → pcap-lite, anything else → TSH) unless forced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.net.packet import PacketRecord
+from repro.trace.pcaplite import write_pcap
+from repro.trace.tsh import write_tsh
+
+FORMAT_TSH = "tsh"
+FORMAT_PCAP = "pcap"
+
+
+@dataclass(frozen=True)
+class ExportResult:
+    """What one export wrote: packet count, byte size, chosen format."""
+
+    packets: int
+    size_bytes: int
+    format: str
+
+
+def export_format_for(path: str | Path) -> str:
+    """The export format a path's suffix implies (default: TSH)."""
+    return FORMAT_PCAP if Path(path).suffix == ".pcap" else FORMAT_TSH
+
+
+def export_packet_stream(
+    packets: Iterable[PacketRecord],
+    path: str | Path,
+    format: str | None = None,
+) -> ExportResult:
+    """Write a packet stream to ``path`` incrementally.
+
+    The iterable is consumed exactly once and never materialized; peak
+    memory is one packet plus stdio buffering.  Returns the count and
+    on-disk size, matching what :meth:`Trace.save_tsh` would report for
+    the same packets.
+    """
+    chosen = format or export_format_for(path)
+    with open(path, "wb") as stream:
+        if chosen == FORMAT_PCAP:
+            count = write_pcap(packets, stream)
+        elif chosen == FORMAT_TSH:
+            count = write_tsh(packets, stream)
+        else:
+            raise ValueError(f"unknown export format: {chosen!r}")
+        size = stream.tell()
+    return ExportResult(packets=count, size_bytes=size, format=chosen)

@@ -189,3 +189,142 @@ class TestConfigValidation:
     def test_bad_idle_timeout(self):
         with pytest.raises(ValueError):
             CompressorConfig(idle_timeout=0.0)
+
+
+class TestBaseTimeAnchor:
+    """Regression: the time-seq base must be the *earliest* timestamp.
+
+    A mildly out-of-order trace whose first-seen packet is not the
+    earliest used to clamp earlier flows' offsets to 0.0, collapsing
+    distinct start times and reordering flows on decompression.
+    """
+
+    @staticmethod
+    def _jittered_packets():
+        # Flow A is seen first (t=1.0) but flow B actually started
+        # earlier (t=0.98) and its opener arrives late.
+        flow_a = make_web_flow(start=1.0, client_port=2000)
+        flow_b = make_web_flow(start=0.98, client_port=2001)
+        packets = flow_a[:1] + flow_b[:1] + sorted(
+            flow_a[1:] + flow_b[1:], key=lambda p: p.timestamp
+        )
+        return packets
+
+    def test_offsets_anchor_on_earliest_timestamp(self):
+        compressor = FlowClusterCompressor()
+        for packet in self._jittered_packets():
+            compressor.add_packet(packet)
+        compressed = compressor.finish()
+        offsets = sorted(record.timestamp for record in compressed.time_seq)
+        assert offsets == pytest.approx([0.0, 0.02])
+
+    def test_no_negative_clamp_collapse(self):
+        """Distinct start times must stay distinct (the old clamp merged
+        them at 0.0 and the decompressor reordered the flows)."""
+        compressor = FlowClusterCompressor()
+        for packet in self._jittered_packets():
+            compressor.add_packet(packet)
+        compressed = compressor.finish()
+        timestamps = [record.timestamp for record in compressed.time_seq]
+        assert len(set(timestamps)) == len(timestamps)
+
+    def test_explicit_base_still_authoritative(self):
+        """An externally supplied base (archive epoch) must not move."""
+        compressor = FlowClusterCompressor(base_time=1.0)
+        for packet in self._jittered_packets():
+            compressor.add_packet(packet)
+        compressed = compressor.finish()
+        # The flow that started before the epoch clamps to it.
+        assert min(r.timestamp for r in compressed.time_seq) == 0.0
+
+    def test_streaming_matches_batch_on_jitter(self):
+        from repro.core.codec import serialize_compressed
+        from repro.core.streaming import StreamingCompressor
+
+        packets = self._jittered_packets()
+        _, batch = compress_packets_in_order(packets)
+        streaming = StreamingCompressor()
+        for start in range(0, len(packets), 3):
+            streaming.feed(packets[start : start + 3])
+        assert serialize_compressed(streaming.finish()) == serialize_compressed(
+            batch
+        )
+
+    def test_rebase_shifts_already_closed_flows(self):
+        """A flow closed *before* the earlier timestamp shows up must be
+        shifted retroactively."""
+        config = CompressorConfig()
+        compressor = FlowClusterCompressor(config)
+        for packet in make_web_flow(start=5.0, client_port=2000):
+            compressor.add_packet(packet)  # closes via FIN at base 5.0
+        assert compressor.output.time_seq[0].timestamp == 0.0
+        for packet in make_web_flow(start=4.5, client_port=2001):
+            compressor.add_packet(packet)
+        compressed = compressor.finish()
+        offsets = sorted(record.timestamp for record in compressed.time_seq)
+        assert offsets == pytest.approx([0.0, 0.5])
+
+
+class TestIdleEvictionBoundary:
+    """Regression: a flow is active at the moment its own packet arrives.
+
+    Eviction used to run before the incoming packet was appended, so a
+    flow whose next packet arrived just past ``idle_timeout`` was closed
+    and split in two even though the packet proves it alive at ``now``.
+    """
+
+    @staticmethod
+    def _boundary_packets(gap: float):
+        return [
+            PacketRecord(0.0, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_SYN),
+            PacketRecord(gap, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_ACK),
+        ]
+
+    def test_own_packet_does_not_split_flow(self):
+        config = CompressorConfig(idle_timeout=10.0)
+        compressor = FlowClusterCompressor(config)
+        for packet in self._boundary_packets(10.5):
+            compressor.add_packet(packet)
+        compressed = compressor.finish()
+        assert compressed.flow_count() == 1
+        assert compressed.short_templates[0].n == 2
+
+    def test_other_flows_still_evicted_at_boundary(self):
+        config = CompressorConfig(idle_timeout=10.0)
+        compressor = FlowClusterCompressor(config)
+        compressor.add_packet(
+            PacketRecord(0.0, CLIENT_IP, SERVER_IP, 2001, 80, flags=TCP_SYN)
+        )
+        for packet in self._boundary_packets(10.5):
+            compressor.add_packet(packet)
+        # The silent flow 2001 is closed by flow 2000's late packet; flow
+        # 2000 itself stays open (its packet *is* the clock tick).
+        assert compressor.stats.flows_closed == 1
+        assert compressor.active_flows == 1
+
+    def test_streaming_matches_batch_at_boundary(self):
+        from repro.core.codec import serialize_compressed
+        from repro.core.streaming import StreamingCompressor
+
+        config = CompressorConfig(idle_timeout=10.0)
+        packets = [
+            PacketRecord(0.0, CLIENT_IP, SERVER_IP, 2001, 80, flags=TCP_SYN),
+            *self._boundary_packets(10.5),
+            PacketRecord(30.0, CLIENT_IP, SERVER_IP, 2000, 80, flags=TCP_ACK),
+        ]
+        _, batch = compress_packets_in_order(packets, config)
+        for chunk in (1, 2, 4):
+            streaming = StreamingCompressor(config)
+            for start in range(0, len(packets), chunk):
+                streaming.feed(packets[start : start + chunk])
+            assert serialize_compressed(
+                streaming.finish()
+            ) == serialize_compressed(batch)
+
+
+def compress_packets_in_order(packets, config=None):
+    """Like :func:`compress_packets` but preserving arrival order."""
+    compressor = FlowClusterCompressor(config)
+    for packet in packets:
+        compressor.add_packet(packet)
+    return compressor, compressor.finish()

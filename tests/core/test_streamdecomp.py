@@ -1,0 +1,117 @@
+"""Unit: the streaming decompressor (bounded-memory replay engine)."""
+
+import pytest
+
+from repro.core.compressor import compress_trace
+from repro.core.datasets import (
+    AddressTable,
+    CompressedTrace,
+    DatasetId,
+    LongFlowTemplate,
+    ShortFlowTemplate,
+    TimeSeqRecord,
+)
+from repro.core.decompressor import DecompressorConfig, decompress_trace
+from repro.core.replay import (
+    StreamingDecompressor,
+    iter_decompressed,
+)
+from repro.trace.tsh import write_tsh_bytes
+
+from tests.conftest import make_timed_flows
+
+
+def staggered_compressed(count: int = 40, spacing: float = 10.0) -> CompressedTrace:
+    """Many identical flows, far apart in time: tiny concurrent fan-out."""
+    return compress_trace(iter(make_timed_flows(count, spacing=spacing)))
+
+
+class TestByteIdentity:
+    def test_matches_batch_on_handmade_flows(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        batch = decompress_trace(compressed)
+        streamed = list(StreamingDecompressor(compressed).packets())
+        assert write_tsh_bytes(streamed) == write_tsh_bytes(batch.packets)
+
+    def test_matches_batch_on_generated_trace(self, small_web_trace):
+        compressed = compress_trace(small_web_trace)
+        batch = decompress_trace(compressed)
+        streamed = list(iter_decompressed(compressed))
+        assert write_tsh_bytes(streamed) == write_tsh_bytes(batch.packets)
+
+    def test_config_passes_through(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        config = DecompressorConfig(seed=99, default_rtt=0.2)
+        batch = decompress_trace(compressed, config)
+        streamed = list(iter_decompressed(compressed, config))
+        assert write_tsh_bytes(streamed) == write_tsh_bytes(batch.packets)
+
+    def test_long_flow_interleaving(self):
+        """A long flow spanning many short flows must merge correctly."""
+        compressed = CompressedTrace(name="t")
+        compressed.short_templates.append(ShortFlowTemplate((4, 16, 32, 53)))
+        values = tuple([32] * 60)
+        gaps = tuple([1.0] * 59 + [0.0])
+        compressed.long_templates.append(LongFlowTemplate(values, gaps))
+        compressed.addresses.intern(0xC0A80050)
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.LONG, 0, 0))
+        for start in range(1, 50):
+            compressed.time_seq.append(
+                TimeSeqRecord(float(start), DatasetId.SHORT, 0, 0, rtt=0.01)
+            )
+        batch = decompress_trace(compressed)
+        streamed = list(iter_decompressed(compressed))
+        assert write_tsh_bytes(streamed) == write_tsh_bytes(batch.packets)
+
+
+class TestBoundedness:
+    def test_peak_open_flows_tracks_fan_out_not_trace_length(self):
+        compressed = staggered_compressed(count=40)
+        engine = StreamingDecompressor(compressed)
+        packets = sum(1 for _ in engine.packets())
+        assert packets == compressed.packet_count()
+        # Flows are 10 s apart and each lasts well under a second: the
+        # merge should never hold more than a handful of open flows.
+        assert engine.stats.peak_open_flows <= 3
+        assert engine.stats.flows_replayed == compressed.flow_count()
+        assert engine.stats.packets_emitted == packets
+
+    def test_emission_is_lazy(self):
+        compressed = staggered_compressed(count=40)
+        engine = StreamingDecompressor(compressed)
+        stream = engine.packets()
+        for _ in range(5):
+            next(stream)
+        # Only the frontier's flows have been replayed so far.
+        assert engine.stats.flows_replayed < compressed.flow_count()
+
+
+class TestLifecycle:
+    def test_each_packets_call_restarts(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        engine = StreamingDecompressor(compressed)
+        first = list(engine.packets())
+        second = list(engine.packets())
+        assert write_tsh_bytes(first) == write_tsh_bytes(second)
+        assert engine.stats.packets_emitted == len(second)
+
+    def test_iter_protocol(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        assert len(list(StreamingDecompressor(compressed))) == len(
+            decompress_trace(compressed)
+        )
+
+    def test_empty_container_yields_nothing(self):
+        compressed = CompressedTrace(name="empty", addresses=AddressTable())
+        assert list(iter_decompressed(compressed)) == []
+
+    def test_name_mirrors_batch(self, multi_flow_trace):
+        compressed = compress_trace(multi_flow_trace)
+        engine = StreamingDecompressor(compressed)
+        assert engine.name == decompress_trace(compressed).name
+
+    def test_validates_on_construction(self):
+        compressed = CompressedTrace(name="broken")
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.SHORT, 5, 0))
+        with pytest.raises(ValueError):
+            StreamingDecompressor(compressed)

@@ -190,3 +190,66 @@ class TestIndexIsConservative:
                     assert predicate.match_segment(segment), (
                         f"{predicate} pruned a segment containing a match"
                     )
+
+
+class TestDestinationPrefixEdgeCases:
+    """Edge prefixes: /0, /32, and non-canonical host bits."""
+
+    def test_prefix_zero_matches_everything(self):
+        predicate = DestinationPrefix("0.0.0.0/0")
+        assert predicate.match_flow(flow(destination=0))
+        assert predicate.match_flow(flow(destination=0xFFFFFFFF))
+        # /0 spans the whole address space: no segment can be pruned.
+        assert predicate.match_segment(entry())
+        assert predicate.match_segment(entry(addresses=(0,)))
+        assert predicate.match_segment(entry(addresses=(0xFFFFFFFF,)))
+
+    def test_prefix_32_is_exact_match(self):
+        predicate = DestinationPrefix("192.168.0.80/32")
+        assert predicate.match_flow(flow(destination=0xC0A80050))
+        assert not predicate.match_flow(flow(destination=0xC0A80051))
+        assert predicate.match_segment(entry())
+        assert not predicate.match_segment(entry(addresses=(0x0A000001,)))
+
+    def test_host_bits_are_canonicalized(self):
+        """Parsing masks host bits: 10.0.0.1/8 describes 10.0.0.0/8."""
+        predicate = DestinationPrefix("10.0.0.1/8")
+        assert predicate.prefix.network == 0x0A000000
+        assert str(predicate.prefix) == "10.0.0.0/8"
+        assert predicate.match_flow(flow(destination=0x0A123456))
+        assert not predicate.match_flow(flow(destination=0x0B000001))
+
+    def test_canonicalized_prefix_segment_bounds_stay_conservative(self):
+        """Host bits must not shrink the index range: 10.0.0.1/8 has to
+        keep [10.0.0.0, 10.255.255.255] as its probe window."""
+        predicate = DestinationPrefix("10.0.0.1/8")
+        low_edge = entry(addresses=(0x0A000000,))
+        high_edge = entry(addresses=(0x0AFFFFFF | 0x0A000000, 0x0AFFFFFF))
+        assert predicate.match_segment(low_edge)
+        assert predicate.match_segment(high_edge)
+        assert not predicate.match_segment(entry(addresses=(0x09FFFFFF,)))
+        assert not predicate.match_segment(entry(addresses=(0x0B000000,)))
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length out of range"):
+            DestinationPrefix("10.0.0.0/33")
+        with pytest.raises(ValueError, match="length out of range"):
+            DestinationPrefix("10.0.0.0/-1")
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(ValueError, match="missing '/length'"):
+            DestinationPrefix("10.0.0.0")
+
+    def test_index_conservative_at_prefix_boundaries(self):
+        """Property sweep: flows planted exactly on the prefix edges are
+        never pruned, for every prefix length."""
+        for length in (0, 1, 8, 15, 16, 24, 31, 32):
+            base = 0xC0A80050 & (0xFFFFFFFF << (32 - length)) if length else 0
+            predicate = DestinationPrefix(f"192.168.0.80/{length}")
+            low = base
+            high = base | (0xFFFFFFFF >> length if length else 0xFFFFFFFF)
+            for destination in {low, high}:
+                assert predicate.match_flow(flow(destination=destination))
+                assert predicate.match_segment(
+                    entry(addresses=(destination,))
+                ), f"/{length} pruned its own edge {destination:#x}"

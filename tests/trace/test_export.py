@@ -1,0 +1,71 @@
+"""Unit: incremental packet-stream export (TSH and pcap-lite)."""
+
+import pytest
+
+from repro.trace.export import (
+    ExportResult,
+    export_format_for,
+    export_packet_stream,
+)
+from repro.trace.trace import Trace
+from repro.trace.tsh import TSH_RECORD_BYTES
+
+from tests.conftest import make_web_flow
+
+
+class TestFormatInference:
+    def test_pcap_suffix(self):
+        assert export_format_for("out.pcap") == "pcap"
+
+    def test_everything_else_is_tsh(self):
+        assert export_format_for("out.tsh") == "tsh"
+        assert export_format_for("out.bin") == "tsh"
+        assert export_format_for("out") == "tsh"
+
+
+class TestExport:
+    def test_tsh_stream_matches_save_tsh(self, tmp_path):
+        packets = make_web_flow()
+        streamed = tmp_path / "stream.tsh"
+        batched = tmp_path / "batch.tsh"
+        result = export_packet_stream(iter(packets), streamed)
+        Trace(list(packets)).save_tsh(batched)
+        assert streamed.read_bytes() == batched.read_bytes()
+        assert result == ExportResult(
+            packets=len(packets),
+            size_bytes=len(packets) * TSH_RECORD_BYTES,
+            format="tsh",
+        )
+
+    def test_pcap_stream_matches_save_pcap(self, tmp_path):
+        packets = make_web_flow()
+        streamed = tmp_path / "stream.pcap"
+        batched = tmp_path / "batch.pcap"
+        export_packet_stream(iter(packets), streamed)
+        Trace(list(packets)).save_pcap(batched)
+        assert streamed.read_bytes() == batched.read_bytes()
+
+    def test_explicit_format_overrides_suffix(self, tmp_path):
+        packets = make_web_flow()
+        path = tmp_path / "capture.dat"
+        result = export_packet_stream(iter(packets), path, format="pcap")
+        assert result.format == "pcap"
+        assert path.read_bytes()[:4] == (0xA1B2C3D4).to_bytes(4, "little")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown export format"):
+            export_packet_stream(iter([]), tmp_path / "x.tsh", format="csv")
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.tsh"
+        result = export_packet_stream(iter([]), path)
+        assert result.packets == 0
+        assert path.stat().st_size == 0
+
+    def test_consumes_iterator_once(self, tmp_path):
+        """The writer must stream — a generator is enough, no list."""
+        packets = make_web_flow()
+        result = export_packet_stream(
+            (packet for packet in packets), tmp_path / "gen.tsh"
+        )
+        assert result.packets == len(packets)
