@@ -1,0 +1,78 @@
+"""Benchmarks: backend codecs — ratio claims and serialize/decode cost.
+
+Two things are pinned:
+
+* **Ratio** — the entropy-coding backends must beat ``raw`` on every
+  workload here (the flow-clustering stage removes structure, not
+  entropy: time-seq timestamps and template bytes still compress), and
+  ``auto``'s per-section choice must be at least as small as the best
+  uniform backend.
+* **Throughput** — serialize/decode timings per backend, so a future
+  regression in the tagged-section framing shows up as a number, not a
+  feeling.  ``benchmarks/backend_table.py`` renders the full sweep that
+  docs/CLI.md's table is generated from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backends import AUTO
+from repro.core.codec import (
+    deserialize_compressed,
+    serialize_compressed,
+    serialize_compressed_v1,
+)
+from repro.core.compressor import compress_trace
+from repro.trace.tsh import tsh_file_size
+
+UNIFORM_BACKENDS = ("raw", "zlib", "bz2", "lzma")
+
+
+@pytest.fixture(scope="module")
+def bench_compressed(bench_trace):
+    return compress_trace(bench_trace)
+
+
+@pytest.fixture(scope="module")
+def sizes(bench_compressed):
+    return {
+        backend: len(serialize_compressed(bench_compressed, backend=backend))
+        for backend in (*UNIFORM_BACKENDS, AUTO)
+    }
+
+
+class TestRatios:
+    def test_entropy_backends_beat_raw(self, sizes):
+        for backend in ("zlib", "bz2", "lzma"):
+            assert sizes[backend] < sizes["raw"], backend
+
+    def test_auto_at_most_best_uniform(self, sizes):
+        assert sizes[AUTO] <= min(sizes[b] for b in UNIFORM_BACKENDS)
+
+    def test_backended_container_still_a_few_percent_of_tsh(
+        self, bench_trace, sizes
+    ):
+        original = tsh_file_size(len(bench_trace))
+        # The paper's raw container is ~3 %; the backends push well below.
+        assert sizes["raw"] / original < 0.06
+        assert sizes["zlib"] / original < 0.03
+
+    def test_roundtrip_content_identical(self, bench_compressed):
+        canon = serialize_compressed_v1(bench_compressed)
+        for backend in (*UNIFORM_BACKENDS, AUTO):
+            data = serialize_compressed(bench_compressed, backend=backend)
+            assert serialize_compressed_v1(deserialize_compressed(data)) == canon
+
+
+@pytest.mark.benchmark(group="backend-serialize")
+@pytest.mark.parametrize("backend", [*UNIFORM_BACKENDS, AUTO])
+def test_serialize(benchmark, bench_compressed, backend):
+    benchmark(serialize_compressed, bench_compressed, backend=backend)
+
+
+@pytest.mark.benchmark(group="backend-decode")
+@pytest.mark.parametrize("backend", UNIFORM_BACKENDS)
+def test_decode(benchmark, bench_compressed, backend):
+    data = serialize_compressed(bench_compressed, backend=backend)
+    benchmark(deserialize_compressed, data)

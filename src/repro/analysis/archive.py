@@ -9,8 +9,29 @@ the evaluation harness's :func:`~repro.analysis.report.format_table`.
 from __future__ import annotations
 
 from repro.analysis.report import format_table
+from repro.archive.format import SegmentIndexEntry
 from repro.archive.reader import ArchiveReader
+from repro.core.backends import backend_for_tag
+from repro.core.errors import CodecError
 from repro.net.ip import format_ipv4
+
+
+def segment_backend_label(entry: SegmentIndexEntry) -> str:
+    """Render one segment's section-backend tags for the index table.
+
+    Uniform segments collapse to the single backend name; mixed
+    segments (an ``auto`` writer may pick per section) list each
+    section's backend in section order.  A tag no registered backend
+    claims renders as ``?0xNN`` — ``info`` must stay usable on files
+    whose codec this build lacks, even though decoding them will not be.
+    """
+    names = []
+    for tag in entry.section_backends:
+        try:
+            names.append(backend_for_tag(tag).name)
+        except CodecError:
+            names.append(f"?{tag:#04x}")
+    return names[0] if len(set(names)) == 1 else "/".join(names)
 
 
 def archive_overview_lines(reader: ArchiveReader) -> list[str]:
@@ -18,14 +39,19 @@ def archive_overview_lines(reader: ArchiveReader) -> list[str]:
     bounds = reader.time_bounds()
     span = f"{bounds[0]:.4f} .. {bounds[1]:.4f} s" if bounds else "(empty)"
     segment_bytes = sum(entry.length for entry in reader.entries)
+    backends = sorted(
+        {segment_backend_label(entry) for entry in reader.entries}
+    ) or ["(none)"]
     return [
         f"archive              : {reader.path.name}",
+        f"format               : v{reader.version}",
         f"epoch                : {reader.epoch:.6f} s",
         f"segments             : {reader.segment_count}",
         f"flows                : {reader.flow_count()}",
         f"original packets     : {reader.packet_count()}",
         f"flow time span       : {span}",
         f"segment bytes        : {segment_bytes} B",
+        f"backends             : {', '.join(backends)}",
     ]
 
 
@@ -53,6 +79,7 @@ def segment_table(reader: ArchiveReader) -> str:
                 entry.short_flow_count,
                 entry.long_flow_count,
                 entry.packet_count,
+                segment_backend_label(entry),
                 addresses,
             ]
         )
@@ -67,6 +94,7 @@ def segment_table(reader: ArchiveReader) -> str:
             "short",
             "long",
             "packets",
+            "backend",
             "destinations",
         ],
         rows,

@@ -9,6 +9,10 @@ plans against the index.
 """
 
 from repro.archive.format import (
+    ARCHIVE_VERSION,
+    ARCHIVE_VERSION_V1,
+    ARCHIVE_VERSION_V2,
+    RAW_SECTION_BACKENDS,
     AddressSummary,
     SegmentIndexEntry,
     index_entry_for,
@@ -30,6 +34,10 @@ from repro.archive.writer import (
 )
 
 __all__ = [
+    "ARCHIVE_VERSION",
+    "ARCHIVE_VERSION_V1",
+    "ARCHIVE_VERSION_V2",
+    "RAW_SECTION_BACKENDS",
     "AddressSummary",
     "SegmentIndexEntry",
     "index_entry_for",

@@ -13,6 +13,14 @@ range and coarse statistics without touching segment data.  Appending
 truncates the old footer, writes new segments in its place, and rewrites
 footer + trailer — segment bytes are never moved.
 
+Two archive generations exist (``docs/FORMAT.md`` is the normative
+spec): **v1** footers carry no backend information; **v2** footers (the
+writer's default) add four backend-tag bytes per index entry recording
+which :mod:`repro.core.backends` codec stored each section of the
+segment's ``.fctc`` container.  The reader accepts both, and appending
+to a v1 archive rewrites its footer as v2 in place — segment bytes are
+never touched, so v1 segments keep decoding byte-identically.
+
 Each :class:`SegmentIndexEntry` carries what the query planner needs to
 *rule a segment out* without decoding it: the segment's byte range, its
 time-seq timestamp bounds, flow/packet counts, per-flow packet-count and
@@ -40,7 +48,9 @@ from repro.core.datasets import CompressedTrace, DatasetId
 from repro.core.errors import ArchiveError
 
 ARCHIVE_MAGIC = b"FCTA"
-ARCHIVE_VERSION = 1
+ARCHIVE_VERSION_V1 = 1  # legacy: no per-segment backend tags in the index
+ARCHIVE_VERSION_V2 = 2  # four section-backend tag bytes per index entry
+ARCHIVE_VERSION = ARCHIVE_VERSION_V2  # what the writer emits
 FOOTER_MAGIC = b"FIDX"
 TRAILER_MAGIC = b"AEND"
 
@@ -48,6 +58,10 @@ HEADER = struct.Struct(">4sB3xd")  # magic, version, pad, epoch seconds
 TRAILER = struct.Struct(">QI4s")  # footer offset, footer length, magic
 _FOOTER_HEAD = struct.Struct(">4sI")  # magic, entry count
 _ENTRY_FIXED = struct.Struct(">QQIIIIIIIHHIBI")
+_ENTRY_BACKENDS = struct.Struct(">4B")  # v2: one backend tag per section
+
+RAW_SECTION_BACKENDS = (0, 0, 0, 0)
+"""The tag tuple of an untagged (v1) segment: every section is raw."""
 
 EXACT_SUMMARY_MAX = 512
 """Unique destinations up to which the summary stays an exact sorted set."""
@@ -153,7 +167,16 @@ class AddressSummary:
 
 @dataclass(frozen=True)
 class SegmentIndexEntry:
-    """One footer record: where a segment lives and what it can contain."""
+    """One footer record: where a segment lives and what it can contain.
+
+    ``section_backends`` (v2 footers) carries the wire tag of the
+    backend that stored each of the segment's four ``.fctc`` sections,
+    in :data:`~repro.core.codec.SECTION_NAMES` order — so ``archive
+    info`` can report per-segment codecs without touching segment bytes.
+    Entries parsed from a v1 footer report
+    :data:`RAW_SECTION_BACKENDS`, which is exact: v1 segments store
+    every section raw.
+    """
 
     offset: int
     length: int
@@ -168,6 +191,7 @@ class SegmentIndexEntry:
     max_rtt_units: int
     address_count: int
     summary: AddressSummary
+    section_backends: tuple[int, int, int, int] = RAW_SECTION_BACKENDS
 
     @property
     def time_min(self) -> float:
@@ -191,30 +215,32 @@ class SegmentIndexEntry:
     def max_rtt(self) -> float:
         return self.max_rtt_units / 10_000
 
-    def pack(self) -> bytes:
+    def pack(self, version: int = ARCHIVE_VERSION) -> bytes:
         payload = self.summary.payload()
-        return (
-            _ENTRY_FIXED.pack(
-                self.offset,
-                self.length,
-                self.time_min_units,
-                self.time_max_units,
-                self.flow_count,
-                self.short_flow_count,
-                self.packet_count,
-                self.min_flow_packets,
-                self.max_flow_packets,
-                self.min_rtt_units,
-                self.max_rtt_units,
-                self.address_count,
-                self.summary.mode,
-                len(payload),
-            )
-            + payload
+        packed = _ENTRY_FIXED.pack(
+            self.offset,
+            self.length,
+            self.time_min_units,
+            self.time_max_units,
+            self.flow_count,
+            self.short_flow_count,
+            self.packet_count,
+            self.min_flow_packets,
+            self.max_flow_packets,
+            self.min_rtt_units,
+            self.max_rtt_units,
+            self.address_count,
+            self.summary.mode,
+            len(payload),
         )
+        if version >= ARCHIVE_VERSION_V2:
+            packed += _ENTRY_BACKENDS.pack(*self.section_backends)
+        return packed + payload
 
     @classmethod
-    def unpack(cls, data: bytes, position: int) -> tuple["SegmentIndexEntry", int]:
+    def unpack(
+        cls, data: bytes, position: int, version: int = ARCHIVE_VERSION
+    ) -> tuple["SegmentIndexEntry", int]:
         """Parse one entry at ``position``; returns (entry, next position)."""
         end = position + _ENTRY_FIXED.size
         if end > len(data):
@@ -235,6 +261,12 @@ class SegmentIndexEntry:
             summary_mode,
             summary_length,
         ) = _ENTRY_FIXED.unpack_from(data, position)
+        section_backends = RAW_SECTION_BACKENDS
+        if version >= ARCHIVE_VERSION_V2:
+            if end + _ENTRY_BACKENDS.size > len(data):
+                raise ArchiveError("truncated archive index entry backends")
+            section_backends = _ENTRY_BACKENDS.unpack_from(data, end)
+            end += _ENTRY_BACKENDS.size
         if end + summary_length > len(data):
             raise ArchiveError("truncated archive address summary")
         summary = AddressSummary.from_payload(
@@ -254,18 +286,24 @@ class SegmentIndexEntry:
             max_rtt_units=max_rtt_units,
             address_count=address_count,
             summary=summary,
+            section_backends=section_backends,
         )
         return entry, end + summary_length
 
 
 def index_entry_for(
-    compressed: CompressedTrace, offset: int, length: int
+    compressed: CompressedTrace,
+    offset: int,
+    length: int,
+    section_backends: tuple[int, int, int, int] = RAW_SECTION_BACKENDS,
 ) -> SegmentIndexEntry:
     """Build the footer entry describing one serialized segment.
 
     Bounds are computed over the *quantized* (on-disk) values so the
     index is exact with respect to what a decoder will see — a query
     compared against these bounds can never miss a decoded record.
+    ``section_backends`` records the wire tags the segment's serializer
+    actually used (:attr:`~repro.core.codec.ContainerWriteResult.backend_tags`).
     """
     if not compressed.time_seq:
         raise ArchiveError("refusing to index an empty segment")
@@ -289,17 +327,27 @@ def index_entry_for(
         max_rtt_units=max(rtt_units),
         address_count=len(compressed.addresses),
         summary=AddressSummary.build(compressed.addresses),
+        section_backends=tuple(section_backends),
     )
 
 
-def pack_footer(entries: Iterable[SegmentIndexEntry]) -> bytes:
+def pack_footer(
+    entries: Iterable[SegmentIndexEntry], version: int = ARCHIVE_VERSION
+) -> bytes:
     """Serialize the footer (index head + every entry)."""
-    packed = [entry.pack() for entry in entries]
+    packed = [entry.pack(version) for entry in entries]
     return _FOOTER_HEAD.pack(FOOTER_MAGIC, len(packed)) + b"".join(packed)
 
 
-def unpack_footer(data: bytes) -> list[SegmentIndexEntry]:
-    """Parse a footer produced by :func:`pack_footer`."""
+def unpack_footer(
+    data: bytes, version: int = ARCHIVE_VERSION
+) -> list[SegmentIndexEntry]:
+    """Parse a footer produced by :func:`pack_footer`.
+
+    ``version`` is the archive header's version byte — v1 footers have
+    no per-entry backend tags, so entries come back with
+    :data:`RAW_SECTION_BACKENDS`.
+    """
     if len(data) < _FOOTER_HEAD.size:
         raise ArchiveError("truncated archive footer")
     magic, count = _FOOTER_HEAD.unpack_from(data, 0)
@@ -308,7 +356,7 @@ def unpack_footer(data: bytes) -> list[SegmentIndexEntry]:
     entries: list[SegmentIndexEntry] = []
     position = _FOOTER_HEAD.size
     for _ in range(count):
-        entry, position = SegmentIndexEntry.unpack(data, position)
+        entry, position = SegmentIndexEntry.unpack(data, position, version)
         entries.append(entry)
     if position != len(data):
         raise ArchiveError("trailing bytes after archive footer")

@@ -34,7 +34,8 @@ from typing import BinaryIO, Callable, Iterator
 
 from repro.archive.format import (
     ARCHIVE_MAGIC,
-    ARCHIVE_VERSION,
+    ARCHIVE_VERSION_V1,
+    ARCHIVE_VERSION_V2,
     HEADER,
     TRAILER,
     TRAILER_MAGIC,
@@ -57,11 +58,14 @@ from repro.net.packet import PacketRecord
 
 def parse_archive_tail(
     stream: BinaryIO,
-) -> tuple[float, list[SegmentIndexEntry], int]:
-    """Validate an archive stream; returns (epoch, entries, footer offset).
+) -> tuple[float, list[SegmentIndexEntry], int, int]:
+    """Validate an archive stream.
 
-    Shared by the reader and the append path (which truncates the footer
-    and writes new segments over it).
+    Returns (epoch, entries, footer offset, archive version).  Shared by
+    the reader and the append path (which truncates the footer and
+    writes new segments over it).  Both archive generations parse: v1
+    footers simply report every segment's sections as raw, which is how
+    v1 segments are in fact stored.
     """
     stream.seek(0, io.SEEK_END)
     size = stream.tell()
@@ -71,7 +75,7 @@ def parse_archive_tail(
     magic, version, epoch = HEADER.unpack(stream.read(HEADER.size))
     if magic != ARCHIVE_MAGIC:
         raise ArchiveError(f"bad archive magic: {magic!r}")
-    if version != ARCHIVE_VERSION:
+    if version not in (ARCHIVE_VERSION_V1, ARCHIVE_VERSION_V2):
         raise ArchiveError(f"unsupported archive version: {version}")
     stream.seek(size - TRAILER.size)
     footer_offset, footer_length, trailer_magic = TRAILER.unpack(
@@ -88,14 +92,14 @@ def parse_archive_tail(
             f"inconsistent with file size {size}"
         )
     stream.seek(footer_offset)
-    entries = unpack_footer(stream.read(footer_length))
+    entries = unpack_footer(stream.read(footer_length), version)
     for index, entry in enumerate(entries):
         if entry.offset < HEADER.size or entry.offset + entry.length > footer_offset:
             raise ArchiveError(
                 f"segment {index} byte range [{entry.offset}, +{entry.length}] "
                 f"escapes the segment region"
             )
-    return epoch, entries, footer_offset
+    return epoch, entries, footer_offset, version
 
 
 class ArchiveReader:
@@ -106,9 +110,12 @@ class ArchiveReader:
         self._file = open(self.path, "rb")
         self._mmap: mmap.mmap | None = None
         try:
-            self.epoch, self.entries, self._footer_offset = parse_archive_tail(
-                self._file
-            )
+            (
+                self.epoch,
+                self.entries,
+                self._footer_offset,
+                self.version,
+            ) = parse_archive_tail(self._file)
             if use_mmap:
                 try:
                     self._mmap = mmap.mmap(

@@ -37,7 +37,7 @@ from repro.archive.format import (
     index_entry_for,
     pack_footer,
 )
-from repro.core.codec import write_compressed
+from repro.core.codec import validate_backend_request, write_container
 from repro.core.compressor import CompressorConfig
 from repro.core.datasets import CompressedTrace
 from repro.core.errors import ArchiveError
@@ -61,6 +61,8 @@ class ArchiveWriter:
         segment_span: float | None = DEFAULT_SEGMENT_SPAN,
         config: CompressorConfig | None = None,
         name: str = "archive",
+        backend: str | None = None,
+        level: int | None = None,
     ) -> None:
         if segment_packets < 1:
             raise ValueError(f"segment_packets must be >= 1: {segment_packets}")
@@ -73,6 +75,8 @@ class ArchiveWriter:
         self._segment_span = segment_span
         self._config = config
         self._name = name
+        self._backend = backend
+        self._level = level
         self._compressor: StreamingCompressor | None = None
         self._segment_first_ts: float = 0.0
         self._segment_fed = 0
@@ -90,12 +94,19 @@ class ArchiveWriter:
         segment_span: float | None = DEFAULT_SEGMENT_SPAN,
         config: CompressorConfig | None = None,
         name: str | None = None,
+        backend: str | None = None,
+        level: int | None = None,
     ) -> "ArchiveWriter":
         """Start a new archive at ``path`` (truncating any existing file).
 
         ``epoch`` defaults to the first fed packet's timestamp; the
         header is (re)written with the final value on :meth:`close`.
+        ``backend``/``level`` select the section codec every segment is
+        serialized through (:mod:`repro.core.backends`; ``None`` = raw).
+        An invalid backend/level combination fails here — before the
+        path is truncated or a single packet compressed.
         """
+        validate_backend_request(backend, level)
         stream = open(path, "w+b")
         stream.write(HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, epoch or 0.0))
         return cls(
@@ -106,6 +117,8 @@ class ArchiveWriter:
             segment_span=segment_span,
             config=config,
             name=name or Path(path).stem,
+            backend=backend,
+            level=level,
         )
 
     @classmethod
@@ -117,13 +130,21 @@ class ArchiveWriter:
         segment_span: float | None = DEFAULT_SEGMENT_SPAN,
         config: CompressorConfig | None = None,
         name: str | None = None,
+        backend: str | None = None,
+        level: int | None = None,
     ) -> "ArchiveWriter":
         """Extend an existing archive in place.
 
         The old footer is truncated and new segments take its place; the
         epoch is fixed by the archive header, so appended packets must
         carry timestamps on the same clock as the original capture.
+        ``backend``/``level`` apply to the *new* segments only.
+        Appending to a v1 archive upgrades it: the rewritten footer and
+        header are v2 (old entries report every section as raw, which is
+        exactly how v1 segments are stored) while old segment bytes stay
+        untouched.
         """
+        validate_backend_request(backend, level)
         stream = open(path, "r+b")
         try:
             epoch, entries, footer_offset = _read_tail(stream)
@@ -140,6 +161,8 @@ class ArchiveWriter:
             segment_span=segment_span,
             config=config,
             name=name or Path(path).stem,
+            backend=backend,
+            level=level,
         )
 
     # -- feeding ----------------------------------------------------------
@@ -186,22 +209,39 @@ class ArchiveWriter:
             count += 1
         return count
 
-    def write_segment(self, compressed: CompressedTrace) -> SegmentIndexEntry:
+    def write_segment(
+        self,
+        compressed: CompressedTrace,
+        *,
+        backend: str | dict[str, str] | None = None,
+        level: int | None = None,
+    ) -> SegmentIndexEntry:
         """Land a pre-built compressed trace as one segment.
 
         The low-level hook behind both packet-driven rotation and archive
         filtering (which re-packs record subsets).  The segment's
         time-seq timestamps must already be relative to the archive
         epoch.  Empty traces are rejected — an empty segment indexes
-        nothing and would only cost seeks.
+        nothing and would only cost seeks.  ``backend``/``level``
+        override the writer-wide codec for this one segment (the query
+        engine uses this to preserve each source segment's backends when
+        re-packing); the backends actually used are recorded in the
+        entry's ``section_backends``.
         """
         if self._closed:
             raise ArchiveError("archive writer already closed")
         if not compressed.time_seq:
             raise ArchiveError("refusing to write an empty segment")
         offset = self._stream.tell()
-        length = write_compressed(self._stream, compressed)
-        entry = index_entry_for(compressed, offset, length)
+        result = write_container(
+            self._stream,
+            compressed,
+            backend=backend if backend is not None else self._backend,
+            level=level if level is not None else self._level,
+        )
+        entry = index_entry_for(
+            compressed, offset, result.length, result.backend_tags
+        )
         self._entries.append(entry)
         return entry
 
@@ -262,10 +302,16 @@ class ArchiveWriter:
 
 
 def _read_tail(stream: BinaryIO) -> tuple[float, list[SegmentIndexEntry], int]:
-    """Parse header + trailer + footer of an existing archive stream."""
+    """Parse header + trailer + footer of an existing archive stream.
+
+    Drops the version component of :func:`parse_archive_tail`: the
+    writer always seals as the current version, upgrading v1 archives in
+    place on append.
+    """
     from repro.archive.reader import parse_archive_tail  # local: avoid cycle
 
-    return parse_archive_tail(stream)
+    epoch, entries, footer_offset, _version = parse_archive_tail(stream)
+    return epoch, entries, footer_offset
 
 
 def build_archive(
@@ -277,6 +323,8 @@ def build_archive(
     segment_span: float | None = DEFAULT_SEGMENT_SPAN,
     config: CompressorConfig | None = None,
     name: str | None = None,
+    backend: str | None = None,
+    level: int | None = None,
 ) -> list[SegmentIndexEntry]:
     """Compress ``packets`` into a new archive at ``path`` in one call."""
     with ArchiveWriter.create(
@@ -286,6 +334,8 @@ def build_archive(
         segment_span=segment_span,
         config=config,
         name=name,
+        backend=backend,
+        level=level,
     ) as writer:
         writer.feed(packets)
         return writer.close()

@@ -3,7 +3,7 @@
 Subcommands (full reference in ``docs/CLI.md``)::
 
     repro-trace generate out.tsh --duration 100 --rate 40 --seed 1
-    repro-trace compress in.tsh out.fctc [--stream] [--workers N]
+    repro-trace compress in.tsh out.fctc [--stream] [--workers N] [--backend auto]
     repro-trace decompress in.fctc out.tsh
     repro-trace replay day.fctca out.tsh [--workers N] [--since 10 --dst a.b.c.d ...]
     repro-trace stats in.tsh
@@ -12,7 +12,7 @@ Subcommands (full reference in ``docs/CLI.md``)::
     repro-trace synthesize in.tsh out.tsh --scale 2
     repro-trace anonymize in.tsh out.tsh --key secret
     repro-trace compare a.tsh b.tsh
-    repro-trace archive build day.fctca in1.tsh in2.tsh --segment-span 60
+    repro-trace archive build day.fctca in1.tsh in2.tsh --segment-span 60 [--backend zlib]
     repro-trace archive append day.fctca in3.tsh
     repro-trace archive info day.fctca
     repro-trace query day.fctca --since 10 --until 60 --dst 192.168.0.80
@@ -30,15 +30,18 @@ from pathlib import Path
 from repro.core import (
     CodecError,
     CompressionError,
+    backend_names,
     compress_stream_to_bytes,
     compress_to_bytes,
     compress_tsh_file_parallel,
+    container_info,
     deserialize_compressed,
     report_for_stream,
     serialize_compressed,
 )
 from repro.archive.writer import DEFAULT_SEGMENT_PACKETS, DEFAULT_SEGMENT_SPAN
-from repro.core.codec import dataset_sizes
+from repro.core.backends import AUTO
+from repro.core.codec import dataset_sizes, validate_backend_request
 from repro.core.pipeline import report_for
 from repro.trace.reader import DEFAULT_CHUNK_PACKETS, iter_tsh_packets
 from repro.net.ip import format_ipv4
@@ -76,27 +79,41 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     name = Path(args.input).stem
     chunk_size = args.chunk_size or DEFAULT_CHUNK_PACKETS
     workers = args.workers or 1
+    backend = args.backend
+    # Reject a bad backend/level combination before compressing the
+    # input — serialization is the last step and the trace can be large.
+    validate_backend_request(backend, args.level)
     if workers > 1:
         compressed = compress_tsh_file_parallel(
             args.input, workers, name=name, chunk_size=chunk_size
         )
-        data = serialize_compressed(compressed)
+        data = serialize_compressed(compressed, backend=backend, level=args.level)
         report = report_for_stream(compressed, data)
     elif args.stream or args.workers is not None or args.chunk_size is not None:
         # Any streaming-family flag (--stream, explicit --workers, or
         # --chunk-size) selects chunked reads; the output is
         # byte-identical to batch, so honoring them is always safe.
         data, compressed = compress_stream_to_bytes(
-            iter_tsh_packets(args.input, chunk_size), name=name
+            iter_tsh_packets(args.input, chunk_size), name=name,
+            backend=backend, level=args.level,
         )
         report = report_for_stream(compressed, data)
     else:
         trace = Trace.load_tsh(args.input)
-        data, compressed = compress_to_bytes(trace)
+        data, compressed = compress_to_bytes(
+            trace, backend=backend, level=args.level
+        )
         report = report_for(trace, compressed, data)
     Path(args.output).write_bytes(data)
     for line in report.summary_lines():
         print(line)
+    if backend is not None and backend != "raw":
+        # Auto may pick a different coder per section — show what landed.
+        chosen = container_info(data)
+        picks = " ".join(
+            f"{s.name}={s.backend}" for s in chosen.sections
+        )
+        print(f"backends        : {picks}")
     return 0
 
 
@@ -163,9 +180,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    compressed = deserialize_compressed(Path(args.input).read_bytes())
-    sizes = dataset_sizes(compressed)
+    data = Path(args.input).read_bytes()
+    compressed = deserialize_compressed(data)
+    info = container_info(data)
+    sizes = dataset_sizes(compressed, format_version=info.format_version)
     print(f"name                 : {compressed.name}")
+    print(f"format               : v{info.format_version}")
     print(f"flows (time-seq)     : {compressed.flow_count()}")
     print(f"original packets     : {compressed.original_packet_count}")
     short_count, long_count = compressed.template_counts()
@@ -173,11 +193,21 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"long templates       : {long_count}")
     print(f"unique destinations  : {len(compressed.addresses)}")
     total = sizes["total"] or 1
+    print("raw dataset sizes (pre-backend):")
     for dataset, size in sizes.items():
         if dataset == "total":
             print(f"  {dataset:<22}: {size} B")
         else:
             print(f"  {dataset:<22}: {size} B ({100.0 * size / total:.1f}%)")
+    stored_total = info.total_bytes or 1
+    print("stored sections:")
+    for section in info.sections:
+        share = 100.0 * section.stored_bytes / stored_total
+        print(
+            f"  {section.name:<22}: {section.stored_bytes} B "
+            f"({section.backend}, {share:.1f}% of file)"
+        )
+    print(f"  {'file total':<22}: {info.total_bytes} B")
     if args.addresses:
         for index, address in enumerate(compressed.addresses):
             print(f"  [{index}] {format_ipv4(address)}")
@@ -233,6 +263,8 @@ def _cmd_archive_build(args: argparse.Namespace) -> int:
         args.output,
         segment_packets=args.segment_packets,
         segment_span=args.segment_span,
+        backend=args.backend,
+        level=args.level,
     )
     with writer:
         fed = 0
@@ -252,6 +284,8 @@ def _cmd_archive_append(args: argparse.Namespace) -> int:
         args.archive,
         segment_packets=args.segment_packets,
         segment_span=args.segment_span,
+        backend=args.backend,
+        level=args.level,
     )
     with writer:
         before = writer.segment_count
@@ -320,12 +354,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.archive import ArchiveReader
     from repro.query import QueryEngine
 
+    if args.output is None and (args.backend is not None or args.level is not None):
+        print(
+            "error: --backend/--level re-encode the --output sub-archive; "
+            "pass --output or drop them",
+            file=sys.stderr,
+        )
+        return 2
     predicate = _build_predicate(args)
     with ArchiveReader(args.archive) as reader:
         engine = QueryEngine(reader)
         if args.output is not None:
             written, stats = engine.filter_to(
-                args.output, predicate, limit=args.limit
+                args.output, predicate, limit=args.limit,
+                backend=args.backend, level=args.level,
             )
             print(
                 f"wrote {written} segments / {stats.flows_matched} flows "
@@ -360,6 +402,33 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         size = trace.save_tsh(target)
         print(f"wrote {len(trace)} packets ({size} B) to {target}")
     return 0
+
+
+def _add_backend_flags(
+    sub: argparse.ArgumentParser, *, default_note: str, what: str
+) -> None:
+    """Attach the shared section-backend flags (`--backend`, `--level`).
+
+    The argparse default is always ``None`` — the library's "raw / keep
+    source backends" behavior, under which `--level` is advisory.  Only
+    an *explicitly named* backend treats an unusable `--level` as an
+    error.  ``default_note`` is the human description of the None case.
+    """
+    sub.add_argument(
+        "--backend",
+        choices=[*backend_names(), AUTO],
+        default=None,
+        help=f"section codec for {what}: one of the registered backends, "
+        "or 'auto' to trial each backend on a sample of every section "
+        f"and keep the best ratio (default: {default_note})",
+    )
+    sub.add_argument(
+        "--level",
+        type=int,
+        default=None,
+        help="compression level for backends that take one "
+        "(zlib/lzma 0-9, bz2 1-9; each backend's own default otherwise)",
+    )
 
 
 def _add_predicate_flags(sub: argparse.ArgumentParser) -> None:
@@ -421,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="packets decoded per read (implies --stream; "
         f"default {DEFAULT_CHUNK_PACKETS})",
     )
+    _add_backend_flags(compress, default_note="raw", what="the output container")
     compress.set_defaults(handler=_cmd_compress)
 
     decompress = subparsers.add_parser("decompress", help="rebuild a trace")
@@ -522,6 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
     archive_build.add_argument("output", help="output .fctca path")
     archive_build.add_argument("inputs", nargs="+", help="input .tsh paths, in time order")
     _segment_flags(archive_build)
+    _add_backend_flags(archive_build, default_note="raw", what="every segment")
     archive_build.set_defaults(handler=_cmd_archive_build)
 
     archive_append = archive_sub.add_parser(
@@ -530,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     archive_append.add_argument("archive", help="existing .fctca path")
     archive_append.add_argument("inputs", nargs="+", help="input .tsh paths")
     _segment_flags(archive_append)
+    _add_backend_flags(archive_append, default_note="raw", what="the new segments")
     archive_append.set_defaults(handler=_cmd_archive_append)
 
     archive_info = archive_sub.add_parser(
@@ -551,6 +623,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write matches as a filtered .fctca instead of printing them",
+    )
+    _add_backend_flags(
+        query, what="--output segments",
+        default_note="keep each source segment's backends",
     )
     query.set_defaults(handler=_cmd_query)
 

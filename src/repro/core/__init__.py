@@ -36,10 +36,27 @@ from repro.core.replay import (
     merge_packet_stream,
 )
 from repro.core.codec import (
+    ContainerInfo,
+    ContainerWriteResult,
+    SectionInfo,
+    container_info,
     deserialize_compressed,
     read_compressed,
     serialize_compressed,
+    serialize_compressed_v1,
     write_compressed,
+    write_compressed_v1,
+    write_container,
+)
+from repro.core.backends import (
+    AUTO,
+    BackendCodec,
+    available_backends,
+    backend_for_tag,
+    backend_names,
+    choose_backend,
+    get_backend,
+    register_backend,
 )
 from repro.core.streaming import (
     StreamingCompressor,
@@ -81,10 +98,25 @@ __all__ = [
     "StreamingDecompressor",
     "iter_decompressed",
     "merge_packet_stream",
+    "ContainerInfo",
+    "ContainerWriteResult",
+    "SectionInfo",
+    "container_info",
     "deserialize_compressed",
     "read_compressed",
     "serialize_compressed",
+    "serialize_compressed_v1",
     "write_compressed",
+    "write_compressed_v1",
+    "write_container",
+    "AUTO",
+    "BackendCodec",
+    "available_backends",
+    "backend_for_tag",
+    "backend_names",
+    "choose_backend",
+    "get_backend",
+    "register_backend",
     "StreamingCompressor",
     "StreamingStats",
     "compress_stream",

@@ -1,0 +1,43 @@
+"""Pluggable backend codecs for ``.fctc``/``.fctca`` section payloads.
+
+Importing this package registers the built-in backends (``raw``,
+``zlib``, ``bz2``, ``lzma``); :mod:`repro.core.backends.auto` adds the
+``auto`` selection policy on top.  See ``docs/FORMAT.md`` for the wire
+encoding of backend tags and :mod:`repro.core.codec` for how sections
+are framed around the transformed payloads.
+"""
+
+from repro.core.backends.base import (
+    BackendCodec,
+    available_backends,
+    backend_for_tag,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.core.backends.stdlib import BZ2, LZMA, RAW, ZLIB
+from repro.core.backends.auto import (
+    AUTO,
+    DEFAULT_CANDIDATES,
+    DEFAULT_SAMPLE_BYTES,
+    choose_backend,
+    encode_auto,
+)
+
+__all__ = [
+    "BackendCodec",
+    "available_backends",
+    "backend_for_tag",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "RAW",
+    "ZLIB",
+    "BZ2",
+    "LZMA",
+    "AUTO",
+    "DEFAULT_CANDIDATES",
+    "DEFAULT_SAMPLE_BYTES",
+    "choose_backend",
+    "encode_auto",
+]

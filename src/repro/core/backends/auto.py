@@ -1,0 +1,96 @@
+"""``auto`` backend selection: trial-compress a sample, keep the winner.
+
+The comparative-study literature on flow-record compression shows the
+ratio/throughput winner varies by workload, so hard-coding one coder
+leaves bytes (or time) on the table.  ``auto`` is not a wire backend —
+no tag — but a *selection policy*: compress the first
+:data:`DEFAULT_SAMPLE_BYTES` of a section with every candidate, pick the
+best sample ratio, then encode the whole section with that one backend.
+The container records only the winner's tag, so readers never know
+``auto`` was involved.
+
+Ties (and incompressible sections, where every coder's ratio is >= 1)
+resolve to the earliest candidate in :data:`DEFAULT_CANDIDATES`, which
+orders by decode speed — ``raw`` first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.backends.base import BackendCodec, get_backend
+
+AUTO = "auto"
+"""The reserved spec name that triggers per-section trial selection."""
+
+DEFAULT_SAMPLE_BYTES = 64 * 1024
+"""How much of a section the trial pass compresses (first N KiB)."""
+
+DEFAULT_CANDIDATES = ("raw", "zlib", "bz2", "lzma")
+"""Trial order; earlier wins ties, so order by decode speed."""
+
+
+def _trial(
+    data: bytes,
+    candidates: Iterable[str] | None,
+    sample_bytes: int,
+    level: int | None,
+) -> tuple[BackendCodec, bytes, bool]:
+    """Run the trial pass; returns (winner, winning payload, covered).
+
+    ``covered`` is True when the sample was the whole input, in which
+    case the winning payload is already the final encoding.  ``level``
+    is advisory: candidates that cannot honor it fall back to their own
+    default instead of failing the whole selection.
+    """
+    names = tuple(candidates) if candidates is not None else DEFAULT_CANDIDATES
+    if not names:
+        raise ValueError("auto selection needs at least one candidate")
+    sample = bytes(data[:sample_bytes])
+    covered = len(sample) == len(data)
+    if not sample:
+        return get_backend("raw"), b"", covered
+    best: BackendCodec | None = None
+    best_payload = b""
+    for name in names:
+        codec = get_backend(name)
+        trial = codec.compress(sample, codec.advisory_level(level))
+        if best is None or len(trial) < len(best_payload):
+            best, best_payload = codec, trial
+    return best, best_payload, covered
+
+
+def choose_backend(
+    data: bytes,
+    *,
+    candidates: Iterable[str] | None = None,
+    sample_bytes: int = DEFAULT_SAMPLE_BYTES,
+    level: int | None = None,
+) -> BackendCodec:
+    """Pick the backend with the best trial ratio on ``data``'s head.
+
+    ``level`` is advisory — forwarded to candidates whose range covers
+    it, ignored by the rest.  Empty input short-circuits to ``raw``:
+    there is nothing to win and raw is free to decode.
+    """
+    return _trial(data, candidates, sample_bytes, level)[0]
+
+
+def encode_auto(
+    data: bytes,
+    *,
+    candidates: Iterable[str] | None = None,
+    sample_bytes: int = DEFAULT_SAMPLE_BYTES,
+    level: int | None = None,
+) -> tuple[BackendCodec, bytes]:
+    """Pick the best backend *and* encode ``data`` with it.
+
+    When the sample already covered the whole input (the common case —
+    sections are usually well under :data:`DEFAULT_SAMPLE_BYTES`), the
+    winning trial payload is returned as-is instead of compressing the
+    same bytes a second time.
+    """
+    codec, payload, covered = _trial(data, candidates, sample_bytes, level)
+    if covered:
+        return codec, payload
+    return codec, codec.compress(data, codec.advisory_level(level))

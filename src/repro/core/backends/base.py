@@ -1,0 +1,212 @@
+"""Backend-codec abstraction: name/tag registry plus a capability API.
+
+A *backend* is a general-purpose byte transform applied to one
+serialized section of a ``.fctc`` container (see ``docs/FORMAT.md``) —
+the flow-clustering compressor removes the redundancy the paper models,
+a backend squeezes whatever entropy is left.  Backends are registered by
+name (the CLI/API surface) and by a one-byte wire *tag* (what a v2
+container stores), and advertise their capabilities — whether they take
+a compression level and which range — so callers can validate requests
+before any bytes are transformed.
+
+The registry is deliberately open: :func:`register_backend` accepts any
+:class:`BackendCodec`, so an out-of-tree codec (zstd, say) can claim an
+unused tag without touching this package.  Decoding a tag nobody
+registered raises :class:`~repro.core.errors.CodecError` — never garbage
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.errors import CodecError
+
+RESERVED_NAMES = ("auto",)
+"""Selection-policy names that can never be registered as codecs."""
+
+
+@dataclass(frozen=True)
+class BackendCodec:
+    """One registered backend: identity, capabilities, transforms.
+
+    ``tag`` is the byte stored in v2 section/segment headers; it must be
+    unique across the registry and stable forever (files outlive code).
+    ``min_level``/``max_level``/``default_level`` describe the level
+    capability: all three are ``None`` for level-less codecs (``raw``).
+    ``compress_fn`` receives ``(data, level)`` where ``level`` is already
+    validated and defaulted; ``decompress_fn`` receives the stored bytes.
+    """
+
+    name: str
+    tag: int
+    compress_fn: Callable[[bytes, int | None], bytes]
+    decompress_fn: Callable[[bytes], bytes]
+    min_level: int | None = None
+    max_level: int | None = None
+    default_level: int | None = None
+    description: str = ""
+    decompressor_factory: Callable[[], Any] | None = None
+    """Optional incremental decompressor (``zlib.decompressobj``-style:
+    ``decompress(data, max_length)`` + ``eof``).  When provided,
+    :meth:`decompress` with ``max_size`` stops expanding as soon as the
+    output exceeds the bound — the defense against crafted containers
+    whose small stored payload inflates far past the declared section
+    size."""
+
+    @property
+    def accepts_level(self) -> bool:
+        """Whether this backend has a tunable compression level."""
+        return self.max_level is not None
+
+    def validate_level(self, level: int | None) -> int | None:
+        """Resolve ``level`` against the capability range.
+
+        Returns the effective level (the default when ``level`` is
+        ``None``); raises :class:`CodecError` for a level outside the
+        advertised range or for any level on a level-less backend.
+        """
+        if level is None:
+            return self.default_level
+        if not self.accepts_level:
+            raise CodecError(f"backend '{self.name}' takes no compression level")
+        if not self.min_level <= level <= self.max_level:
+            raise CodecError(
+                f"backend '{self.name}' level {level} outside "
+                f"[{self.min_level}, {self.max_level}]"
+            )
+        return level
+
+    def advisory_level(self, level: int | None) -> int | None:
+        """``level`` if this backend can honor it, else ``None``.
+
+        The lenient counterpart of :meth:`validate_level` for contexts
+        where the level is a preference, not a demand — ``auto`` trials
+        and per-section mappings, where one requested level meets
+        backends with different (or no) ranges.
+        """
+        if level is None or not self.accepts_level:
+            return None
+        return level if self.min_level <= level <= self.max_level else None
+
+    def compress(self, data: bytes, level: int | None = None) -> bytes:
+        """Encode ``data``; ``level`` must lie in the advertised range."""
+        return self.compress_fn(data, self.validate_level(level))
+
+    def decompress(self, data: bytes, *, max_size: int | None = None) -> bytes:
+        """Decode bytes produced by :meth:`compress`.
+
+        Corrupt input surfaces as :class:`CodecError` — the container
+        reader turns every backend failure into a diagnosable parse
+        error instead of leaking library-specific exceptions.
+        ``max_size`` (the container's declared raw section length) caps
+        the expansion: with an incremental decompressor registered, the
+        decode aborts the moment the output would exceed the cap, so a
+        decompression bomb costs its stored bytes, not its inflated
+        ones.  Backends without a factory decode fully and are
+        length-checked afterwards.
+        """
+        try:
+            if max_size is not None and self.decompressor_factory is not None:
+                return self._decompress_bounded(data, max_size)
+            out = self.decompress_fn(data)
+        except CodecError:
+            raise
+        except Exception as exc:  # zlib.error, OSError (bz2), LZMAError...
+            raise CodecError(
+                f"backend '{self.name}' failed to decode section payload: {exc}"
+            ) from exc
+        if max_size is not None and len(out) > max_size:
+            raise CodecError(
+                f"backend '{self.name}' output exceeds the declared "
+                f"section size ({len(out)} > {max_size})"
+            )
+        return out
+
+    def _decompress_bounded(self, data: bytes, max_size: int) -> bytes:
+        """Incremental decode that stops once ``max_size`` is exceeded.
+
+        Drives a ``decompressobj``-style object, asking for at most one
+        byte past the cap per round: producing that byte is the
+        overflow proof.  A stalled decompressor (truncated stream)
+        breaks out and leaves the short output for the caller's exact
+        length check to report.
+        """
+        try:
+            decompressor = self.decompressor_factory()
+            out = bytearray()
+            feed = data
+            while True:
+                chunk = decompressor.decompress(feed, max_size + 1 - len(out))
+                out += chunk
+                if len(out) > max_size:
+                    raise CodecError(
+                        f"backend '{self.name}' output exceeds the declared "
+                        f"section size (> {max_size})"
+                    )
+                if decompressor.eof:
+                    return bytes(out)
+                # zlib buffers leftover input in unconsumed_tail; bz2 and
+                # lzma retain it internally and continue on b"".
+                feed = getattr(decompressor, "unconsumed_tail", b"")
+                if not feed and not chunk:
+                    return bytes(out)
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(
+                f"backend '{self.name}' failed to decode section payload: {exc}"
+            ) from exc
+
+
+_BY_NAME: dict[str, BackendCodec] = {}
+_BY_TAG: dict[int, BackendCodec] = {}
+
+
+def register_backend(codec: BackendCodec) -> BackendCodec:
+    """Add a backend to the registry; name and tag must be unused."""
+    if not 0 <= codec.tag <= 0xFF:
+        raise ValueError(f"backend tag must fit one byte: {codec.tag}")
+    if codec.name in RESERVED_NAMES:
+        raise ValueError(
+            f"backend name '{codec.name}' is reserved for the selection policy"
+        )
+    if codec.name in _BY_NAME:
+        raise ValueError(f"backend name already registered: '{codec.name}'")
+    if codec.tag in _BY_TAG:
+        raise ValueError(f"backend tag already registered: {codec.tag}")
+    _BY_NAME[codec.name] = codec
+    _BY_TAG[codec.tag] = codec
+    return codec
+
+
+def get_backend(name: str) -> BackendCodec:
+    """Look a backend up by its registered name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown backend '{name}' (available: {', '.join(backend_names())})"
+        ) from None
+
+
+def backend_for_tag(tag: int) -> BackendCodec:
+    """Look a backend up by its wire tag (decode path)."""
+    try:
+        return _BY_TAG[tag]
+    except KeyError:
+        raise CodecError(
+            f"unknown backend tag {tag:#04x} — the file needs a codec "
+            "this build does not register"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_BY_NAME)
+
+
+def available_backends() -> tuple[BackendCodec, ...]:
+    """Registered backends, in registration order."""
+    return tuple(_BY_NAME.values())

@@ -1,0 +1,68 @@
+"""The built-in backends: ``raw`` plus the stdlib entropy coders.
+
+Tags 0–3 are reserved by ``docs/FORMAT.md`` for these four; new codecs
+must claim tags from 4 upward.  ``raw`` stores section bytes untouched —
+it is both the default (the paper's format, zero decode cost) and the
+fallback :func:`~repro.core.backends.auto.choose_backend` picks for
+incompressible sections.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+from repro.core.backends.base import BackendCodec, register_backend
+
+RAW = register_backend(
+    BackendCodec(
+        name="raw",
+        tag=0,
+        compress_fn=lambda data, level: data,
+        decompress_fn=lambda data: data,
+        description="identity — section bytes stored as-is (v1 behaviour)",
+    )
+)
+
+ZLIB = register_backend(
+    BackendCodec(
+        name="zlib",
+        tag=1,
+        compress_fn=lambda data, level: zlib.compress(data, level),
+        decompress_fn=zlib.decompress,
+        decompressor_factory=zlib.decompressobj,
+        min_level=0,
+        max_level=9,
+        default_level=6,
+        description="DEFLATE (RFC 1950) — fast, moderate ratio",
+    )
+)
+
+BZ2 = register_backend(
+    BackendCodec(
+        name="bz2",
+        tag=2,
+        compress_fn=lambda data, level: bz2.compress(data, level),
+        decompress_fn=bz2.decompress,
+        decompressor_factory=bz2.BZ2Decompressor,
+        min_level=1,
+        max_level=9,
+        default_level=9,
+        description="Burrows-Wheeler — slower, often better on text-like data",
+    )
+)
+
+LZMA = register_backend(
+    BackendCodec(
+        name="lzma",
+        tag=3,
+        compress_fn=lambda data, level: lzma.compress(data, preset=level),
+        decompress_fn=lzma.decompress,
+        decompressor_factory=lzma.LZMADecompressor,
+        min_level=0,
+        max_level=9,
+        default_level=6,
+        description="LZMA (xz) — slowest, usually the best ratio",
+    )
+)

@@ -62,25 +62,39 @@ class CompressionReport:
 
 
 def compress_to_bytes(
-    trace: Trace, config: CompressorConfig | None = None
+    trace: Trace,
+    config: CompressorConfig | None = None,
+    *,
+    backend: str | None = None,
+    level: int | None = None,
 ) -> tuple[bytes, CompressedTrace]:
-    """Compress a trace and serialize the result."""
+    """Compress a trace and serialize the result.
+
+    ``backend``/``level`` select the section backend codec for the
+    container (``None`` = ``raw``, the paper's format; ``"auto"`` trials
+    each registered backend per section) — see
+    :mod:`repro.core.backends`.
+    """
     compressed = compress_trace(trace, config)
-    return serialize_compressed(compressed), compressed
+    return serialize_compressed(compressed, backend=backend, level=level), compressed
 
 
 def compress_stream_to_bytes(
     packets: Iterable[PacketRecord],
     config: CompressorConfig | None = None,
     name: str = "compressed",
+    *,
+    backend: str | None = None,
+    level: int | None = None,
 ) -> tuple[bytes, CompressedTrace]:
     """Compress a packet iterable and serialize, without materializing it.
 
     Byte-identical to :func:`compress_to_bytes` on the same packet
-    sequence and name — both paths run the same compressor.
+    sequence, name and backend — both paths run the same compressor and
+    the same serializer.
     """
     compressed = compress_stream(packets, config, name=name)
-    return serialize_compressed(compressed), compressed
+    return serialize_compressed(compressed, backend=backend, level=level), compressed
 
 
 def decompress_from_bytes(

@@ -119,6 +119,20 @@ class StreamingCompressor:
         """Flush open flows and return the completed datasets."""
         return self._engine.finish()
 
+    def to_bytes(
+        self, *, backend: str | None = None, level: int | None = None
+    ) -> bytes:
+        """Finish (idempotently) and serialize through ``backend``.
+
+        The streaming shortcut for "compress this feed into a file":
+        equivalent to ``serialize_compressed(self.finish(), ...)`` —
+        backend selection happens at serialization time, so one finished
+        compressor can be written with several backends.
+        """
+        from repro.core.codec import serialize_compressed
+
+        return serialize_compressed(self.finish(), backend=backend, level=level)
+
 
 def compress_stream(
     packets: Iterable[PacketRecord],

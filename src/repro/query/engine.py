@@ -31,8 +31,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+from repro.archive.format import SegmentIndexEntry
 from repro.archive.reader import ArchiveReader, ArchiveSpecFeed, segment_runs
 from repro.archive.writer import ArchiveWriter
+from repro.core.backends import backend_for_tag
+from repro.core.codec import SECTION_NAMES, validate_backend_request
 from repro.core.datasets import CompressedTrace, DatasetId, TimeSeqRecord
 from repro.core.decompressor import DecompressorConfig, FlowSpec, flow_specs
 from repro.core.replay import merge_packet_stream
@@ -107,6 +110,18 @@ def _summarize(
         destination=compressed.addresses.lookup(record.address_index),
         rtt=record.rtt,
     )
+
+
+def _entry_backend_spec(entry: SegmentIndexEntry) -> dict[str, str]:
+    """Per-section backend names a source segment's index entry recorded.
+
+    Feeding this to :meth:`~repro.archive.writer.ArchiveWriter.write_segment`
+    re-packs a filtered segment with the same codecs its source used.
+    """
+    return {
+        section: backend_for_tag(tag).name
+        for section, tag in zip(SECTION_NAMES, entry.section_backends)
+    }
 
 
 class QueryEngine:
@@ -215,21 +230,32 @@ class QueryEngine:
         *,
         limit: int | None = None,
         name: str | None = None,
+        backend: str | None = None,
+        level: int | None = None,
     ) -> tuple[int, QueryStats]:
         """Write the flows matching ``predicate`` as a new sub-archive.
 
         Segment boundaries and the epoch are preserved; segments with no
         matching flow are dropped entirely.  ``limit`` caps the flows
         written, mirroring :meth:`run` — the scan stops once reached.
-        Returns (segments written, query statistics).
+        ``backend``/``level`` re-encode the surviving segments through a
+        chosen codec; when ``backend`` is ``None`` each re-packed
+        segment keeps the per-section backends its source segment's
+        index entry recorded (v1 sources re-pack as raw).  Returns
+        (segments written, query statistics).
         """
+        # Fail fast on a bad backend/level request: the writer only sees
+        # the backend per segment (each write_segment call carries its
+        # own spec), so validate before out_path is truncated and before
+        # any segment is scanned.
+        validate_backend_request(backend, level)
         predicate = predicate or MatchAll()
         stats = QueryStats(
             segments_total=self.reader.segment_count,
             bytes_total=sum(entry.length for entry in self.reader.entries),
         )
         with ArchiveWriter.create(
-            out_path, epoch=self.reader.epoch, name=name
+            out_path, epoch=self.reader.epoch, name=name, level=level
         ) as writer:
             for index, entry in enumerate(self.reader.entries):
                 if not predicate.match_segment(entry):
@@ -248,7 +274,10 @@ class QueryEngine:
                 stats.flows_matched += len(matched)
                 if matched:
                     writer.write_segment(
-                        compressed.select(matched, name=compressed.name)
+                        compressed.select(matched, name=compressed.name),
+                        backend=backend
+                        if backend is not None
+                        else _entry_backend_spec(entry),
                     )
                 if limit is not None and stats.flows_matched >= limit:
                     break
@@ -275,9 +304,12 @@ def filter_archive(
     *,
     limit: int | None = None,
     name: str | None = None,
+    backend: str | None = None,
+    level: int | None = None,
 ) -> tuple[int, QueryStats]:
     """Open ``path``, write the matching sub-archive to ``out_path``."""
     with ArchiveReader(path) as reader:
         return QueryEngine(reader).filter_to(
-            out_path, predicate, limit=limit, name=name
+            out_path, predicate, limit=limit, name=name,
+            backend=backend, level=level,
         )

@@ -1,0 +1,336 @@
+"""Backend-codec layer: registry, capabilities, tagged-section containers."""
+
+import io
+import struct
+
+import pytest
+
+from repro.core.backends import (
+    AUTO,
+    BackendCodec,
+    available_backends,
+    backend_for_tag,
+    backend_names,
+    choose_backend,
+    get_backend,
+    register_backend,
+)
+from repro.core.backends import base as backends_base
+from repro.core.codec import (
+    SECTION_NAMES,
+    SECTION_TAG_BYTES,
+    _HEADER,
+    container_info,
+    deserialize_compressed,
+    serialize_compressed,
+    serialize_compressed_v1,
+)
+from repro.core.compressor import compress_trace
+from repro.core.errors import CodecError
+from repro.synth import generate_web_trace
+
+ALL_BACKENDS = ("raw", "zlib", "bz2", "lzma")
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    trace = generate_web_trace(duration=8.0, flow_rate=30.0, seed=3)
+    return compress_trace(trace)
+
+
+def canonical(trace) -> bytes:
+    """Backend-independent byte identity: the legacy raw serialization."""
+    return serialize_compressed_v1(trace)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(ALL_BACKENDS) <= set(backend_names())
+
+    def test_tags_are_stable(self):
+        # Wire tags are forever: files written today must decode tomorrow.
+        assert {get_backend(n).tag for n in ALL_BACKENDS} == {0, 1, 2, 3}
+        assert get_backend("raw").tag == 0
+
+    def test_lookup_by_tag(self):
+        for name in ALL_BACKENDS:
+            codec = get_backend(name)
+            assert backend_for_tag(codec.tag) is codec
+
+    def test_unknown_name(self):
+        with pytest.raises(CodecError, match="unknown backend 'zstd'"):
+            get_backend("zstd")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError, match="unknown backend tag"):
+            backend_for_tag(0x7F)
+
+    def test_available_backends_order(self):
+        names = [codec.name for codec in available_backends()]
+        assert names[: len(ALL_BACKENDS)] == list(ALL_BACKENDS)
+
+    def test_duplicate_registration_rejected(self):
+        clone = BackendCodec(
+            name="raw", tag=250,
+            compress_fn=lambda d, level: d, decompress_fn=lambda d: d,
+        )
+        with pytest.raises(ValueError, match="name already registered"):
+            register_backend(clone)
+        clone = BackendCodec(
+            name="raw2", tag=0,
+            compress_fn=lambda d, level: d, decompress_fn=lambda d: d,
+        )
+        with pytest.raises(ValueError, match="tag already registered"):
+            register_backend(clone)
+
+    def test_auto_name_is_reserved(self):
+        shadow = BackendCodec(
+            name="auto", tag=252,
+            compress_fn=lambda d, level: d, decompress_fn=lambda d: d,
+        )
+        with pytest.raises(ValueError, match="reserved"):
+            register_backend(shadow)
+
+    def test_third_party_backend_roundtrips(self, compressed):
+        """An out-of-tree codec registered at runtime is fully usable."""
+        xor = register_backend(
+            BackendCodec(
+                name="xor-test", tag=251,
+                compress_fn=lambda d, level: bytes(b ^ 0x55 for b in d),
+                decompress_fn=lambda d: bytes(b ^ 0x55 for b in d),
+            )
+        )
+        try:
+            data = serialize_compressed(compressed, backend="xor-test")
+            assert canonical(deserialize_compressed(data)) == canonical(compressed)
+            info = container_info(data)
+            assert {s.backend for s in info.sections} == {"xor-test"}
+        finally:
+            del backends_base._BY_NAME[xor.name]
+            del backends_base._BY_TAG[xor.tag]
+
+
+class TestCapabilities:
+    def test_raw_takes_no_level(self):
+        raw = get_backend("raw")
+        assert not raw.accepts_level
+        with pytest.raises(CodecError, match="takes no compression level"):
+            raw.compress(b"x", level=3)
+
+    def test_level_ranges(self):
+        assert get_backend("zlib").validate_level(None) == 6
+        assert get_backend("bz2").validate_level(None) == 9
+        with pytest.raises(CodecError, match="outside"):
+            get_backend("zlib").validate_level(10)
+        with pytest.raises(CodecError, match="outside"):
+            get_backend("bz2").validate_level(0)
+
+    def test_decode_failure_is_codec_error(self):
+        with pytest.raises(CodecError, match="failed to decode"):
+            get_backend("zlib").decompress(b"this is not deflate")
+
+
+class TestContainerRoundtrips:
+    @pytest.mark.parametrize("backend", [*ALL_BACKENDS, AUTO])
+    def test_roundtrip(self, compressed, backend):
+        data = serialize_compressed(compressed, backend=backend)
+        assert canonical(deserialize_compressed(data)) == canonical(compressed)
+
+    @pytest.mark.parametrize("backend", ["zlib", "bz2", "lzma"])
+    def test_entropy_backends_shrink_the_file(self, compressed, backend):
+        raw_size = len(serialize_compressed(compressed))
+        assert len(serialize_compressed(compressed, backend=backend)) < raw_size
+
+    def test_level_changes_output_not_content(self, compressed):
+        fast = serialize_compressed(compressed, backend="zlib", level=1)
+        best = serialize_compressed(compressed, backend="zlib", level=9)
+        assert len(best) <= len(fast)
+        assert canonical(deserialize_compressed(fast)) == canonical(
+            deserialize_compressed(best)
+        )
+
+    def test_explicit_level_on_raw_rejected(self, compressed):
+        with pytest.raises(CodecError, match="takes no compression level"):
+            serialize_compressed(compressed, backend="raw", level=3)
+
+    def test_per_section_mapping(self, compressed):
+        data = serialize_compressed(
+            compressed, backend={"time_seq": "zlib", "address": "lzma"}
+        )
+        info = container_info(data)
+        by_name = {s.name: s.backend for s in info.sections}
+        assert by_name["time_seq"] == "zlib"
+        assert by_name["address"] == "lzma"
+        assert by_name["short_flows_template"] == "raw"
+        assert canonical(deserialize_compressed(data)) == canonical(compressed)
+
+    def test_mapping_rejects_unknown_section(self, compressed):
+        with pytest.raises(CodecError, match="unknown section names"):
+            serialize_compressed(compressed, backend={"nope": "zlib"})
+
+    def test_unknown_backend_name_rejected_before_writing(self, compressed):
+        with pytest.raises(CodecError, match="unknown backend"):
+            serialize_compressed(compressed, backend="zstd")
+
+    def test_empty_container_all_backends(self):
+        from repro.core.datasets import CompressedTrace
+
+        empty = CompressedTrace(name="empty")
+        for backend in (*ALL_BACKENDS, AUTO):
+            restored = deserialize_compressed(
+                serialize_compressed(empty, backend=backend)
+            )
+            assert restored.flow_count() == 0
+
+
+class TestAutoSelection:
+    def test_auto_at_most_best_uniform_choice(self, compressed):
+        auto_size = len(serialize_compressed(compressed, backend=AUTO))
+        single = min(
+            len(serialize_compressed(compressed, backend=b)) for b in ALL_BACKENDS
+        )
+        # Auto picks per section, so it can only tie or beat the best
+        # uniform choice (up to sample-vs-full divergence; none here,
+        # the sample covers these small sections entirely).
+        assert auto_size <= single
+
+    def test_incompressible_data_stays_raw(self):
+        import random
+
+        rng = random.Random(1)
+        noise = bytes(rng.randrange(256) for _ in range(4096))
+        assert choose_backend(noise).name == "raw"
+
+    def test_compressible_data_leaves_raw(self):
+        assert choose_backend(b"abab" * 4096).name != "raw"
+
+    def test_candidate_restriction(self):
+        codec = choose_backend(b"abab" * 4096, candidates=("raw", "bz2"))
+        assert codec.name in ("raw", "bz2")
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            choose_backend(b"x", candidates=())
+
+    def test_advisory_level_outside_one_candidates_range(self, compressed):
+        # bz2's range starts at 1; under auto a level of 0 is advisory,
+        # so bz2 trials at its default instead of failing the write.
+        data = serialize_compressed(compressed, backend=AUTO, level=0)
+        assert canonical(deserialize_compressed(data)) == canonical(compressed)
+
+    def test_advisory_level_helper(self):
+        assert get_backend("raw").advisory_level(3) is None
+        assert get_backend("bz2").advisory_level(0) is None
+        assert get_backend("zlib").advisory_level(0) == 0
+        assert get_backend("zlib").advisory_level(None) is None
+
+    def test_auto_is_not_a_wire_name(self, compressed):
+        data = serialize_compressed(compressed, backend=AUTO)
+        info = container_info(data)
+        assert all(s.backend != AUTO for s in info.sections)
+
+
+def _first_tag_offset(data: bytes) -> int:
+    """Byte offset of the first section tag in a v2 container."""
+    name_length = struct.unpack_from(">H", data, 6)[0]
+    return _HEADER.size + name_length
+
+
+class TestCorruptTags:
+    def test_unknown_backend_tag_fails_cleanly(self, compressed):
+        data = bytearray(serialize_compressed(compressed, backend="zlib"))
+        data[_first_tag_offset(bytes(data))] = 0x7F
+        with pytest.raises(CodecError, match="unknown backend tag"):
+            deserialize_compressed(bytes(data))
+
+    def test_corrupt_payload_fails_cleanly(self, compressed):
+        data = bytearray(serialize_compressed(compressed, backend="zlib"))
+        # Flip a byte inside the first section's compressed payload.
+        offset = _first_tag_offset(bytes(data)) + 4 * SECTION_TAG_BYTES
+        data[offset] ^= 0xFF
+        with pytest.raises(CodecError):
+            deserialize_compressed(bytes(data))
+
+    def test_raw_length_mismatch_detected(self, compressed):
+        data = bytearray(serialize_compressed(compressed, backend="zlib"))
+        tag_offset = _first_tag_offset(bytes(data))
+        # The tag's raw-length field is the second u32 after the tag byte.
+        (raw_length,) = struct.unpack_from(">I", data, tag_offset + 5)
+        struct.pack_into(">I", data, tag_offset + 5, raw_length + 1)
+        with pytest.raises(CodecError, match="tag promised"):
+            deserialize_compressed(bytes(data))
+
+    def test_truncated_payload(self, compressed):
+        data = serialize_compressed(compressed, backend="zlib")
+        with pytest.raises(CodecError, match="truncated"):
+            deserialize_compressed(data[:-5])
+
+    def test_decompression_bomb_rejected_without_expanding(self, compressed):
+        """A payload inflating past its declared raw length dies at the cap.
+
+        The crafted first section stores ~10 KB of zlib that would expand
+        to 10 MB; the bounded decoder must abort at raw_length + 1 bytes,
+        not materialize the bomb and length-check afterwards.
+        """
+        import zlib as _zlib
+
+        base = serialize_compressed(compressed, backend="zlib")
+        tag_offset = _first_tag_offset(base)
+        (_, old_stored, old_raw) = struct.unpack_from(">BII", base, tag_offset)
+        bomb = _zlib.compress(b"\x00" * 10_000_000, 9)
+        data = bytearray(base)
+        struct.pack_into(">BII", data, tag_offset, 1, len(bomb), old_raw)
+        payload_start = tag_offset + 4 * SECTION_TAG_BYTES
+        data[payload_start : payload_start + old_stored] = bomb
+        with pytest.raises(CodecError, match="exceeds the declared"):
+            deserialize_compressed(bytes(data))
+
+    def test_bounded_decompress_cap(self):
+        import zlib as _zlib
+
+        zl = get_backend("zlib")
+        payload = _zlib.compress(b"a" * 1000)
+        assert zl.decompress(payload, max_size=1000) == b"a" * 1000
+        with pytest.raises(CodecError, match="exceeds the declared"):
+            zl.decompress(payload, max_size=999)
+        for name in ("bz2", "lzma", "raw"):
+            codec = get_backend(name)
+            encoded = codec.compress(b"b" * 500)
+            assert codec.decompress(encoded, max_size=500) == b"b" * 500
+            with pytest.raises(CodecError, match="exceeds"):
+                codec.decompress(encoded, max_size=100)
+
+
+class TestContainerInfo:
+    def test_sections_in_order(self, compressed):
+        info = container_info(serialize_compressed(compressed))
+        assert tuple(s.name for s in info.sections) == SECTION_NAMES
+        assert info.format_version == 2
+
+    def test_v1_info_reports_raw(self, compressed):
+        info = container_info(serialize_compressed_v1(compressed))
+        assert info.format_version == 1
+        assert all(s.backend == "raw" for s in info.sections)
+        assert all(s.stored_bytes == s.raw_bytes for s in info.sections)
+
+    def test_dataset_sizes_total_matches_either_generation(self, compressed):
+        from repro.core.codec import dataset_sizes
+
+        v1_total = dataset_sizes(compressed, format_version=1)["total"]
+        v2_total = dataset_sizes(compressed)["total"]
+        assert v1_total == len(serialize_compressed_v1(compressed))
+        assert v2_total == len(serialize_compressed(compressed))
+        assert v2_total == v1_total + 4 * SECTION_TAG_BYTES
+
+    def test_stored_vs_raw_accounting(self, compressed):
+        data = serialize_compressed(compressed, backend="zlib")
+        info = container_info(data)
+        assert info.total_bytes == len(data)
+        for section in info.sections:
+            if section.raw_bytes > 64:
+                assert section.stored_bytes < section.raw_bytes
+
+    def test_truncated_container_rejected(self, compressed):
+        data = serialize_compressed(compressed, backend="zlib")
+        with pytest.raises(CodecError, match="truncated"):
+            container_info(data[: len(data) // 2])

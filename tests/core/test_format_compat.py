@@ -1,0 +1,156 @@
+"""Format v1 compatibility: pre-PR fixtures must keep decoding exactly.
+
+``tests/fixtures/v1.fctc`` and ``tests/fixtures/v1.fctca`` were written
+by the codebase *before* the backend layer existed (untagged ``.fctc``
+version byte 2, ``.fctca`` version 1) from the deterministic workload
+regenerated below.  The v2 reader must decode them byte-identically —
+re-serializing the decoded datasets through the legacy layout must
+reproduce the fixture bytes bit for bit.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.archive import (
+    ARCHIVE_VERSION_V1,
+    ARCHIVE_VERSION_V2,
+    RAW_SECTION_BACKENDS,
+    ArchiveReader,
+    ArchiveWriter,
+)
+from repro.core.codec import (
+    VERSION_V1,
+    VERSION_V2,
+    deserialize_compressed,
+    serialize_compressed,
+    serialize_compressed_v1,
+)
+from repro.core.compressor import compress_trace
+from repro.core.errors import ArchiveError, CodecError
+from repro.synth import generate_web_trace
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
+
+# The exact workload the fixtures were generated from (see module doc).
+FIXTURE_DURATION = 6.0
+FIXTURE_RATE = 20.0
+FIXTURE_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def fixture_trace():
+    return generate_web_trace(
+        duration=FIXTURE_DURATION, flow_rate=FIXTURE_RATE, seed=FIXTURE_SEED
+    )
+
+
+class TestFctcV1:
+    def test_version_bytes(self):
+        data = (FIXTURES / "v1.fctc").read_bytes()
+        assert data[:4] == b"FCTC"
+        assert data[4] == VERSION_V1
+
+    def test_decodes_byte_identically(self):
+        data = (FIXTURES / "v1.fctc").read_bytes()
+        decoded = deserialize_compressed(data)
+        # Lossless read: the legacy serialization of what we decoded is
+        # the fixture, byte for byte.
+        assert serialize_compressed_v1(decoded) == data
+
+    def test_matches_fresh_compression(self, fixture_trace):
+        data = (FIXTURES / "v1.fctc").read_bytes()
+        fresh = compress_trace(fixture_trace)
+        assert serialize_compressed_v1(fresh) == data
+
+    def test_v1_and_v2_decode_to_the_same_datasets(self, fixture_trace):
+        v1 = (FIXTURES / "v1.fctc").read_bytes()
+        fresh = compress_trace(fixture_trace)
+        v2 = serialize_compressed(fresh)  # default raw, tagged
+        assert v2[4] == VERSION_V2
+        assert serialize_compressed_v1(
+            deserialize_compressed(v2)
+        ) == serialize_compressed_v1(deserialize_compressed(v1))
+        # v2's only cost over v1 is the fixed section-tag framing.
+        assert len(v2) == len(v1) + 4 * 9
+
+    def test_unsupported_version_rejected(self):
+        data = bytearray((FIXTURES / "v1.fctc").read_bytes())
+        data[4] = 9
+        with pytest.raises(CodecError, match="unsupported version"):
+            deserialize_compressed(bytes(data))
+
+
+class TestFctcaV1:
+    def test_reader_reports_v1(self):
+        with ArchiveReader(FIXTURES / "v1.fctca") as reader:
+            assert reader.version == ARCHIVE_VERSION_V1
+            assert reader.segment_count == 6
+            assert all(
+                entry.section_backends == RAW_SECTION_BACKENDS
+                for entry in reader.entries
+            )
+
+    def test_segments_decode_byte_identically(self):
+        with ArchiveReader(FIXTURES / "v1.fctca") as reader:
+            for index in range(reader.segment_count):
+                raw = reader.read_segment_bytes(index)
+                assert serialize_compressed_v1(reader.load_segment(index)) == raw
+
+    def test_unsupported_archive_version_rejected(self, tmp_path):
+        data = bytearray((FIXTURES / "v1.fctca").read_bytes())
+        data[4] = 9
+        bad = tmp_path / "bad.fctca"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(ArchiveError, match="unsupported archive version"):
+            ArchiveReader(bad)
+
+
+class TestAppendUpgradesV1:
+    @pytest.fixture
+    def upgraded(self, tmp_path):
+        path = tmp_path / "upgrade.fctca"
+        path.write_bytes((FIXTURES / "v1.fctca").read_bytes())
+        extra = generate_web_trace(duration=2.0, flow_rate=20.0, seed=11)
+        with ArchiveWriter.append(
+            path, segment_span=1.0, backend="zlib"
+        ) as writer:
+            writer.feed(extra.packets)
+        return path
+
+    def test_header_and_footer_become_v2(self, upgraded):
+        with ArchiveReader(upgraded) as reader:
+            assert reader.version == ARCHIVE_VERSION_V2
+            assert reader.segment_count > 6
+
+    def test_old_segment_bytes_untouched(self, upgraded):
+        original = (FIXTURES / "v1.fctca").read_bytes()
+        with ArchiveReader(FIXTURES / "v1.fctca") as v1_reader, ArchiveReader(
+            upgraded
+        ) as reader:
+            for index, v1_entry in enumerate(v1_reader.entries):
+                entry = reader.entries[index]
+                assert (entry.offset, entry.length) == (
+                    v1_entry.offset,
+                    v1_entry.length,
+                )
+                assert entry.section_backends == RAW_SECTION_BACKENDS
+                assert (
+                    reader.read_segment_bytes(index)
+                    == original[v1_entry.offset : v1_entry.offset + v1_entry.length]
+                )
+
+    def test_new_segments_carry_backend_tags(self, upgraded):
+        from repro.core.backends import get_backend
+
+        zlib_tag = get_backend("zlib").tag
+        with ArchiveReader(upgraded) as reader:
+            new_entries = reader.entries[6:]
+            assert new_entries
+            for entry in new_entries:
+                assert set(entry.section_backends) == {zlib_tag}
+
+    def test_every_segment_still_decodes(self, upgraded):
+        with ArchiveReader(upgraded) as reader:
+            for _index, segment in reader.iter_segments():
+                assert segment.time_seq
