@@ -7,7 +7,10 @@ much template reuse the traffic offers — the observation the whole
 compressor is built on.
 
 Run:  python examples/clustering_study.py
+(REPRO_EXAMPLES_QUICK=1 shrinks the workload for CI smoke runs.)
 """
+
+import os
 
 from repro.analysis.report import format_table
 from repro.flows import (
@@ -17,9 +20,12 @@ from repro.flows import (
 )
 from repro.synth import generate_web_trace
 
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+DURATION = 6.0 if QUICK else 30.0
+
 
 def main() -> None:
-    trace = generate_web_trace(duration=30.0, flow_rate=40.0, seed=99)
+    trace = generate_web_trace(duration=DURATION, flow_rate=40.0, seed=99)
     flows = assemble_flows(trace.packets)
     short_flows = [flow for flow in flows if len(flow) <= 50]
     print(f"{len(flows)} flows ({len(short_flows)} short)")

@@ -1,39 +1,49 @@
 #!/usr/bin/env python3
 """Compare all five storage methods on one trace (Figure 1 in miniature).
 
-Writes a TSH file, compresses it with GZIP / Van Jacobson / Peuhkuri /
-the proposed flow-clustering method, and prints the size table.
+Writes a TSH file, compresses it with GZIP / Van Jacobson / Peuhkuri
+baselines and the proposed flow-clustering method (through the
+`repro.open` façade), and prints the size table.
 
 Run:  python examples/compress_trace.py [duration_seconds]
+(REPRO_EXAMPLES_QUICK=1 shrinks the workload for CI smoke runs.)
 """
 
+import os
 import sys
 import tempfile
 from pathlib import Path
 
+import repro
+from repro import api
 from repro.analysis.report import format_table
 from repro.baselines import GzipCodec, PeuhkuriCodec, VanJacobsonCodec
-from repro.core import compress_to_bytes
-from repro.synth import generate_web_trace
-from repro.trace import Trace
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
 
 
 def main(duration: float = 20.0) -> None:
-    trace = generate_web_trace(duration=duration, flow_rate=40.0, seed=7)
-
     with tempfile.TemporaryDirectory() as workdir:
         tsh_path = Path(workdir) / "trace.tsh"
-        original_size = trace.save_tsh(tsh_path)
-        print(f"wrote {tsh_path.name}: {len(trace)} packets, "
+        fctc_path = Path(workdir) / "trace.fctc"
+
+        generated = api.generate(
+            tsh_path, duration=duration, flow_rate=40.0, seed=7
+        )
+        original_size = generated.size_bytes
+        print(f"wrote {tsh_path.name}: {generated.packets} packets, "
               f"{original_size / 1e6:.2f} MB")
 
-        # Reload from disk, as a downstream user would.
-        loaded = Trace.load_tsh(tsh_path)
+        # Open from disk, as a downstream user would; the baselines
+        # need the materialized trace, the proposed method does not.
+        with repro.open(tsh_path) as store:
+            loaded = store.load_trace()
+            report = store.compress(fctc_path)
 
         gzip_size = len(GzipCodec().compress(loaded))
         vj_size = len(VanJacobsonCodec().compress(loaded))
         peuhkuri_size = len(PeuhkuriCodec().compress(loaded))
-        proposed_bytes, compressed = compress_to_bytes(loaded)
+        proposed_size = report.compressed_bytes
 
         rows = [
             ["original TSH", original_size, "100.0%", "lossless"],
@@ -43,17 +53,20 @@ def main(duration: float = 20.0) -> None:
              f"{100 * vj_size / original_size:.1f}%", "headers exact"],
             ["peuhkuri", peuhkuri_size,
              f"{100 * peuhkuri_size / original_size:.1f}%", "lossy"],
-            ["proposed (flow clustering)", len(proposed_bytes),
-             f"{100 * len(proposed_bytes) / original_size:.1f}%",
+            ["proposed (flow clustering)", proposed_size,
+             f"{100 * proposed_size / original_size:.1f}%",
              "lossy, semantic-preserving"],
         ]
         print()
         print(format_table(["method", "bytes", "ratio", "fidelity"], rows))
         print()
+        with repro.open(fctc_path) as store:
+            compressed = store.compressed
         print(f"templates: {len(compressed.short_templates)} short, "
               f"{len(compressed.long_templates)} long; "
               f"{len(compressed.addresses)} unique destinations")
 
 
 if __name__ == "__main__":
-    main(float(sys.argv[1]) if len(sys.argv) > 1 else 20.0)
+    default = 5.0 if QUICK else 20.0
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else default)

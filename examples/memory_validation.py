@@ -2,16 +2,20 @@
 """Section 6 in miniature: is the decompressed trace good enough for
 memory-performance studies?
 
-Runs the Radix-Tree Route benchmark over the original, decompressed,
-random-address and fractal-address traces, then prints the Figure 2
-access distribution and the Figure 3 cache-miss buckets.
+Runs the Radix-Tree Route benchmark over the original, decompressed
+(via the façade's `repro.api.roundtrip`), random-address and
+fractal-address traces, then prints the Figure 2 access distribution
+and the Figure 3 cache-miss buckets.
 
 Run:  python examples/memory_validation.py
+(REPRO_EXAMPLES_QUICK=1 shrinks the workload for CI smoke runs.)
 """
 
+import os
+
+from repro import api
 from repro.analysis.compare import kolmogorov_smirnov
-from repro.analysis.report import ascii_bar_chart, format_table
-from repro.core import roundtrip
+from repro.analysis.report import format_table
 from repro.memsim import CacheConfig
 from repro.memsim.metrics import MISS_RATE_BUCKET_LABELS
 from repro.routing import RouteApp
@@ -21,10 +25,13 @@ from repro.synth import (
     randomize_destinations,
 )
 
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+DURATION = 5.0 if QUICK else 15.0
+
 
 def main() -> None:
-    original = generate_web_trace(duration=15.0, flow_rate=40.0, seed=33)
-    decompressed, report = roundtrip(original)
+    original = generate_web_trace(duration=DURATION, flow_rate=40.0, seed=33)
+    decompressed, report = api.roundtrip(original)
     print(f"compressed to {report.ratio_percent:.2f}% of the TSH size")
 
     traces = [

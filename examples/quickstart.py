@@ -1,42 +1,63 @@
 #!/usr/bin/env python3
-"""Quickstart: generate Web traffic, compress it, decompress it, report.
+"""Quickstart: the `repro.open` façade end to end.
+
+Generates Web traffic, compresses it through a TraceStore session,
+replays the container, and prints the reports — every step one façade
+call.
 
 Run:  python examples/quickstart.py
+(REPRO_EXAMPLES_QUICK=1 shrinks the workload for CI smoke runs.)
 """
 
-from repro.core import roundtrip
-from repro.synth import generate_web_trace
-from repro.trace import compute_statistics
+import os
+import tempfile
+from pathlib import Path
+
+import repro
+from repro import api
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+DURATION = 5.0 if QUICK else 30.0
 
 
 def main() -> None:
-    # 1. A RedIRIS-like Web trace: 30 seconds, ~40 flows/second.
-    trace = generate_web_trace(duration=30.0, flow_rate=40.0, seed=2005)
-    print(f"generated {len(trace)} packets "
-          f"({trace.stored_size_bytes() / 1e6:.2f} MB as TSH)")
+    with tempfile.TemporaryDirectory() as workdir:
+        tsh = Path(workdir) / "quickstart.tsh"
+        fctc = Path(workdir) / "quickstart.fctc"
+        restored = Path(workdir) / "restored.tsh"
 
-    # 2. The paper's section 3 statistics.
-    stats = compute_statistics(trace)
-    print()
-    for line in stats.summary_lines():
-        print(line)
+        # 1. A RedIRIS-like Web trace, written straight to disk.
+        generated = api.generate(
+            tsh, duration=DURATION, flow_rate=40.0, seed=2005
+        )
+        print(f"generated {generated.packets} packets "
+              f"({generated.size_bytes / 1e6:.2f} MB as TSH)")
 
-    # 3. Compress + decompress in one call.
-    decompressed, report = roundtrip(trace)
-    print()
-    for line in report.summary_lines():
-        print(line)
+        # 2. One session covers stats, compression, and flow queries.
+        with repro.open(tsh) as store:
+            stats = store.stats()
+            print()
+            for line in stats.summary_lines():
+                print(line)
+            report = store.compress(fctc)
+        print()
+        for line in report.summary_lines():
+            print(line)
 
-    # 4. The decompressed trace is a statistical twin, not a byte copy.
-    restored = compute_statistics(decompressed)
-    print()
-    print(f"decompressed packets  : {len(decompressed)}")
-    print(f"decompressed flows    : {restored.flow_count}")
-    print(
-        "mean flow length      : "
-        f"{restored.length_distribution.mean_length():.2f} "
-        f"(original {stats.length_distribution.mean_length():.2f})"
-    )
+        # 3. The container session replays a statistical twin.
+        with repro.open(fctc) as store:
+            flows = sum(1 for _ in store.flows())
+            result = store.export(restored)
+        with repro.open(restored) as store:
+            restored_stats = store.stats()
+        print()
+        print(f"decompressed packets  : {result.packets}")
+        print(f"decompressed flows    : {flows}")
+        print(
+            "mean flow length      : "
+            f"{restored_stats.length_distribution.mean_length():.2f} "
+            f"(original {stats.length_distribution.mean_length():.2f})"
+        )
 
 
 if __name__ == "__main__":

@@ -6,18 +6,25 @@ the analytic model ratios on each, and prints the spread — showing the
 calibration is robust, not a single lucky seed.
 
 Run:  python examples/synthetic_traffic_study.py
+(REPRO_EXAMPLES_QUICK=1 shrinks the workload for CI smoke runs.)
 """
+
+import os
 
 from repro.analysis.report import format_table
 from repro.baselines import proposed_model, vj_model
 from repro.synth import generate_web_trace
 from repro.trace import compute_statistics
 
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+DURATION = 8.0 if QUICK else 40.0
+SEEDS = 3 if QUICK else 5
+
 
 def main() -> None:
     rows = []
-    for seed in range(1, 6):
-        trace = generate_web_trace(duration=40.0, flow_rate=40.0, seed=seed)
+    for seed in range(1, SEEDS + 1):
+        trace = generate_web_trace(duration=DURATION, flow_rate=40.0, seed=seed)
         stats = compute_statistics(trace)
         distribution = stats.length_distribution
         rows.append(

@@ -2,18 +2,26 @@
 """Future work, realized: scale a trace up from its compressed model.
 
 The compressed datasets are a generative traffic model.  This example
-fits a TraceModel from a 20-second capture and synthesizes a 4x-larger
-trace with the same statistics — the "synthetic packet trace generator
-based on the described methodology" the paper's conclusions propose.
+fits a TraceModel through the façade (`repro.api.model_for`) from a
+20-second capture and synthesizes a 4x-larger trace with the same
+statistics — the "synthetic packet trace generator based on the
+described methodology" the paper's conclusions propose.
 
 Run:  python examples/trace_scaling.py
+(REPRO_EXAMPLES_QUICK=1 shrinks the workload for CI smoke runs.)
 """
 
+import os
+
+from repro import api
 from repro.analysis.locality import profile_locality
 from repro.analysis.report import format_table
-from repro.core import TraceModel, compress_trace
 from repro.synth import generate_web_trace
 from repro.trace import compute_statistics
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+DURATION = 6.0 if QUICK else 20.0
+SCALES = (1, 2) if QUICK else (1, 2, 4)
 
 
 def describe(label, trace):
@@ -30,20 +38,18 @@ def describe(label, trace):
 
 
 def main() -> None:
-    source = generate_web_trace(duration=20.0, flow_rate=40.0, seed=12)
-    compressed = compress_trace(source)
-    model = TraceModel.fit(compressed)
+    source = generate_web_trace(duration=DURATION, flow_rate=40.0, seed=12)
+    model = api.model_for(source)
+    source_flows = sum(model.short_usage) + sum(model.long_usage)
     print(
         f"fitted model: {model.template_count()} templates, "
         f"{model.arrival_rate:.1f} flows/s, "
         f"{len(model.addresses)} destinations"
     )
 
-    rows = [describe("source (20 s)", source)]
-    for scale in (1, 2, 4):
-        synthetic = model.synthesize(
-            flow_count=scale * compressed.flow_count(), seed=scale
-        )
+    rows = [describe(f"source ({DURATION:.0f} s)", source)]
+    for scale in SCALES:
+        synthetic = model.synthesize(flow_count=scale * source_flows, seed=scale)
         rows.append(describe(f"synthetic {scale}x", synthetic))
 
     print()

@@ -1,0 +1,101 @@
+"""repro.api — the public façade over the whole compression system.
+
+One import surface for everything the four subsystems (codec,
+streaming, archive, query/replay) used to expose separately::
+
+    import repro
+
+    with repro.open("capture.tsh") as store:        # sniffs the format
+        report = store.compress("capture.fctc")      # batch/stream chosen
+    with repro.open("capture.fctc") as store:        # container session
+        for packet in store.packets():               # streaming replay
+            ...
+
+``repro.open`` is the one way in; :class:`Options` the one config;
+:mod:`repro.api.errors` the one exception family.  See ``docs/API.md``
+for the full reference.
+
+This module is PEP 562-lazy: importing :mod:`repro.api` (or ``repro``)
+loads none of the engine — the first attribute access does.  That keeps
+``import repro`` and CLI startup fast.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.api import errors  # light: stdlib-only exception types
+
+# name → defining module, resolved on first attribute access.
+_LAZY_EXPORTS = {
+    # sessions
+    "open": ("repro.api.store", "open_store"),
+    "open_store": ("repro.api.store", "open_store"),
+    "TraceStore": ("repro.api.store", "TraceStore"),
+    "TraceFileStore": ("repro.api.store", "TraceFileStore"),
+    "ContainerStore": ("repro.api.store", "ContainerStore"),
+    "ArchiveStore": ("repro.api.store", "ArchiveStore"),
+    "StoreInfo": ("repro.api.store", "StoreInfo"),
+    "ArchiveBuildReport": ("repro.api.store", "ArchiveBuildReport"),
+    "create_archive": ("repro.api.store", "create_archive"),
+    # sniffing
+    "SourceKind": ("repro.api.sniff", "SourceKind"),
+    "sniff_kind": ("repro.api.sniff", "sniff_kind"),
+    # options
+    "Options": ("repro.api.options", "Options"),
+    "CodecOptions": ("repro.api.options", "CodecOptions"),
+    "StreamingOptions": ("repro.api.options", "StreamingOptions"),
+    "ArchiveOptions": ("repro.api.options", "ArchiveOptions"),
+    # one-shot operations
+    "container_sections": ("repro.api.ops", "container_sections"),
+    "generate": ("repro.api.ops", "generate"),
+    "roundtrip": ("repro.api.ops", "roundtrip"),
+    "model_for": ("repro.api.ops", "model_for"),
+    "synthesize": ("repro.api.ops", "synthesize"),
+    "SynthesisReport": ("repro.api.ops", "SynthesisReport"),
+    "anonymize": ("repro.api.ops", "anonymize"),
+    "compare": ("repro.api.ops", "compare"),
+    # algorithm configs (the layers Options nests)
+    "CompressorConfig": ("repro.core.compressor", "CompressorConfig"),
+    "DecompressorConfig": ("repro.core.decompressor", "DecompressorConfig"),
+    # query vocabulary, re-exported so callers never import subsystems
+    "Predicate": ("repro.query.predicates", "Predicate"),
+    "MatchAll": ("repro.query.predicates", "MatchAll"),
+    "And": ("repro.query.predicates", "And"),
+    "Or": ("repro.query.predicates", "Or"),
+    "Not": ("repro.query.predicates", "Not"),
+    "TimeRange": ("repro.query.predicates", "TimeRange"),
+    "DestinationAddress": ("repro.query.predicates", "DestinationAddress"),
+    "DestinationPrefix": ("repro.query.predicates", "DestinationPrefix"),
+    "FlowKind": ("repro.query.predicates", "FlowKind"),
+    "PacketCountRange": ("repro.query.predicates", "PacketCountRange"),
+    "RttRange": ("repro.query.predicates", "RttRange"),
+    "FlowSummary": ("repro.query.engine", "FlowSummary"),
+    "QueryResult": ("repro.query.engine", "QueryResult"),
+    "QueryStats": ("repro.query.engine", "QueryStats"),
+    # result/report types callers receive back
+    "CompressionReport": ("repro.core.pipeline", "CompressionReport"),
+    "ExportResult": ("repro.trace.export", "ExportResult"),
+    "TraceModel": ("repro.core.generator", "TraceModel"),
+    # backend registry names (the CLI's --backend choices)
+    "backend_names": ("repro.core.backends", "backend_names"),
+    "AUTO": ("repro.core.backends", "AUTO"),
+}
+
+__all__ = ["errors", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        from repro import _submodule_or_raise
+
+        return _submodule_or_raise(__name__, name)
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted({*globals(), *_LAZY_EXPORTS})

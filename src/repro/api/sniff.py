@@ -1,0 +1,106 @@
+"""Content-based input detection for :func:`repro.open`.
+
+The façade never trusts a suffix alone: the first bytes decide.  The
+two native containers carry magics (``FCTC`` / ``FCTA``), pcap files
+one of the four classic pcap magics, and TSH — a headerless format —
+is accepted only when the size is an exact multiple of its 44-byte
+record and the suffix does not claim otherwise.  A path whose suffix
+promises one format but whose content is another raises
+:class:`~repro.api.errors.UnknownFormatError` instead of a wrong guess.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+from pathlib import Path
+
+from repro.api.errors import (
+    EmptyTraceError,
+    MissingInputError,
+    UnknownFormatError,
+)
+
+CONTAINER_MAGIC = b"FCTC"
+ARCHIVE_MAGIC = b"FCTA"
+_PCAP_MAGICS = frozenset(
+    struct.pack(order, magic)
+    for order in ("<I", ">I")
+    for magic in (0xA1B2C3D4, 0xA1B23C4D)  # micro- and nanosecond pcap
+)
+_TSH_RECORD_BYTES = 44
+
+#: suffix → the kind that suffix promises (used only for mismatch reports)
+_SUFFIX_KINDS = {
+    ".fctc": "container",
+    ".fctca": "archive",
+    ".pcap": "pcap",
+    ".tsh": "tsh",
+}
+
+
+class SourceKind(enum.Enum):
+    """What a :class:`~repro.api.store.TraceStore` was opened over."""
+
+    TSH = "tsh"
+    PCAP = "pcap"
+    CONTAINER = "container"
+    ARCHIVE = "archive"
+
+
+def sniff_kind(path: str | Path) -> SourceKind:
+    """Classify ``path`` by content; raise a typed error when impossible.
+
+    Raises :class:`MissingInputError` for an absent path,
+    :class:`EmptyTraceError` for a zero-byte file, and
+    :class:`UnknownFormatError` when the content matches nothing the
+    façade opens or contradicts the suffix.
+    """
+    path = Path(path)
+    try:
+        size = os.stat(path).st_size
+    except FileNotFoundError:
+        raise MissingInputError(2, "no such file", str(path)) from None
+    if path.is_dir():
+        raise UnknownFormatError(f"{path}: is a directory, not a trace")
+    if size == 0:
+        raise EmptyTraceError(f"{path}: empty file holds no packets")
+    with open(path, "rb") as stream:
+        head = stream.read(4)
+    if head == CONTAINER_MAGIC:
+        kind = SourceKind.CONTAINER
+    elif head == ARCHIVE_MAGIC:
+        kind = SourceKind.ARCHIVE
+    elif head in _PCAP_MAGICS:
+        kind = SourceKind.PCAP
+    elif size % _TSH_RECORD_BYTES == 0 and _suffix_kind(path) in (None, "tsh"):
+        kind = SourceKind.TSH
+    else:
+        raise UnknownFormatError(_mismatch_message(path, size))
+    promised = _suffix_kind(path)
+    if promised is not None and promised != kind.value:
+        raise UnknownFormatError(
+            f"{path}: suffix promises {promised} but content is {kind.value}"
+        )
+    return kind
+
+
+def _suffix_kind(path: Path) -> str | None:
+    return _SUFFIX_KINDS.get(path.suffix.lower())
+
+
+def _mismatch_message(path: Path, size: int) -> str:
+    promised = _suffix_kind(path)
+    if promised in ("container", "archive"):
+        return (
+            f"{path}: suffix promises a {promised} but the "
+            f"{'FCTC' if promised == 'container' else 'FCTA'} magic is missing"
+        )
+    if size % _TSH_RECORD_BYTES:
+        return (
+            f"{path}: no container/archive/pcap magic and size {size} is "
+            f"not a multiple of the {_TSH_RECORD_BYTES}-byte TSH record "
+            "(truncated trace?)"
+        )
+    return f"{path}: unrecognized trace format"

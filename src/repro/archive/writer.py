@@ -40,12 +40,50 @@ from repro.archive.format import (
 from repro.core.codec import validate_backend_request, write_container
 from repro.core.compressor import CompressorConfig
 from repro.core.datasets import CompressedTrace
-from repro.core.errors import ArchiveError
+from repro.core.errors import ArchiveError, warn_deprecated
 from repro.core.streaming import StreamingCompressor
 from repro.net.packet import PacketRecord
 
 DEFAULT_SEGMENT_PACKETS = 65536
 DEFAULT_SEGMENT_SPAN = 60.0
+
+_UNSET = object()  # sentinel: distinguish "not passed" from an explicit None
+
+
+def _merge_create_kwargs(options, **overrides) -> dict:
+    """Expand a layered :class:`repro.api.Options` into writer kwargs.
+
+    The ``options=`` keyword on :meth:`ArchiveWriter.create` /
+    :meth:`ArchiveWriter.append` threads the façade's single config
+    object through this layer; any explicitly passed keyword still wins
+    over the corresponding options field.  Duck-typed on the three
+    layers actually read (``archive``, ``compressor``, ``codec``) so
+    this module never imports :mod:`repro.api` (which imports it).
+    """
+    if options is not None:
+        merged = {
+            "segment_packets": options.archive.segment_packets,
+            "segment_span": options.archive.segment_span,
+            "epoch": options.archive.epoch,
+            "config": options.compressor,
+            "name": options.name,
+            "backend": options.codec.backend,
+            "level": options.codec.level,
+        }
+    else:
+        merged = {
+            "segment_packets": DEFAULT_SEGMENT_PACKETS,
+            "segment_span": DEFAULT_SEGMENT_SPAN,
+            "epoch": None,
+            "config": None,
+            "name": None,
+            "backend": None,
+            "level": None,
+        }
+    merged.update(
+        {key: value for key, value in overrides.items() if value is not _UNSET}
+    )
+    return merged
 
 
 class ArchiveWriter:
@@ -89,13 +127,14 @@ class ArchiveWriter:
         cls,
         path: str | Path,
         *,
-        epoch: float | None = None,
-        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
-        segment_span: float | None = DEFAULT_SEGMENT_SPAN,
-        config: CompressorConfig | None = None,
-        name: str | None = None,
-        backend: str | None = None,
-        level: int | None = None,
+        options=None,
+        epoch: float | None = _UNSET,
+        segment_packets: int = _UNSET,
+        segment_span: float | None = _UNSET,
+        config: CompressorConfig | None = _UNSET,
+        name: str | None = _UNSET,
+        backend: str | None = _UNSET,
+        level: int | None = _UNSET,
     ) -> "ArchiveWriter":
         """Start a new archive at ``path`` (truncating any existing file).
 
@@ -103,22 +142,36 @@ class ArchiveWriter:
         header is (re)written with the final value on :meth:`close`.
         ``backend``/``level`` select the section codec every segment is
         serialized through (:mod:`repro.core.backends`; ``None`` = raw).
-        An invalid backend/level combination fails here — before the
-        path is truncated or a single packet compressed.
+        ``options`` (a layered :class:`repro.api.Options`) fills every
+        knob at once; explicit keywords override its fields.  An
+        invalid backend/level combination fails here — before the path
+        is truncated or a single packet compressed.
         """
-        validate_backend_request(backend, level)
-        stream = open(path, "w+b")
-        stream.write(HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, epoch or 0.0))
-        return cls(
-            stream,
-            entries=[],
+        merged = _merge_create_kwargs(
+            options,
             epoch=epoch,
             segment_packets=segment_packets,
             segment_span=segment_span,
             config=config,
-            name=name or Path(path).stem,
+            name=name,
             backend=backend,
             level=level,
+        )
+        validate_backend_request(merged["backend"], merged["level"])
+        stream = open(path, "w+b")
+        stream.write(
+            HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, merged["epoch"] or 0.0)
+        )
+        return cls(
+            stream,
+            entries=[],
+            epoch=merged["epoch"],
+            segment_packets=merged["segment_packets"],
+            segment_span=merged["segment_span"],
+            config=merged["config"],
+            name=merged["name"] or Path(path).stem,
+            backend=merged["backend"],
+            level=merged["level"],
         )
 
     @classmethod
@@ -126,24 +179,39 @@ class ArchiveWriter:
         cls,
         path: str | Path,
         *,
-        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
-        segment_span: float | None = DEFAULT_SEGMENT_SPAN,
-        config: CompressorConfig | None = None,
-        name: str | None = None,
-        backend: str | None = None,
-        level: int | None = None,
+        options=None,
+        segment_packets: int = _UNSET,
+        segment_span: float | None = _UNSET,
+        config: CompressorConfig | None = _UNSET,
+        name: str | None = _UNSET,
+        backend: str | None = _UNSET,
+        level: int | None = _UNSET,
     ) -> "ArchiveWriter":
         """Extend an existing archive in place.
 
         The old footer is truncated and new segments take its place; the
         epoch is fixed by the archive header, so appended packets must
         carry timestamps on the same clock as the original capture.
-        ``backend``/``level`` apply to the *new* segments only.
+        ``backend``/``level`` apply to the *new* segments only, and
+        ``options`` fills knobs exactly as in :meth:`create`.
         Appending to a v1 archive upgrades it: the rewritten footer and
         header are v2 (old entries report every section as raw, which is
         exactly how v1 segments are stored) while old segment bytes stay
         untouched.
         """
+        merged = _merge_create_kwargs(
+            options,
+            segment_packets=segment_packets,
+            segment_span=segment_span,
+            config=config,
+            name=name,
+            backend=backend,
+            level=level,
+        )
+        segment_packets = merged["segment_packets"]
+        segment_span = merged["segment_span"]
+        config, name = merged["config"], merged["name"]
+        backend, level = merged["backend"], merged["level"]
         validate_backend_request(backend, level)
         stream = open(path, "r+b")
         try:
@@ -326,7 +394,13 @@ def build_archive(
     backend: str | None = None,
     level: int | None = None,
 ) -> list[SegmentIndexEntry]:
-    """Compress ``packets`` into a new archive at ``path`` in one call."""
+    """Compress ``packets`` into a new archive at ``path`` in one call.
+
+    .. deprecated:: 1.1  Use :func:`repro.api.create_archive` (or a
+       ``repro.open(source).compress("out.fctca")`` session); this shim
+       produces byte-identical archives and is kept for one release.
+    """
+    warn_deprecated("build_archive", "repro.api.create_archive")
     with ArchiveWriter.create(
         path,
         epoch=epoch,

@@ -1,6 +1,9 @@
 """``repro-trace`` — the command-line face of the library.
 
-Subcommands (full reference in ``docs/CLI.md``)::
+Every subcommand is a thin caller of the :mod:`repro.api` façade — the
+CLI holds argument parsing and printing, nothing else, so CLI and
+library behavior cannot diverge.  Subcommands (full reference in
+``docs/CLI.md``)::
 
     repro-trace generate out.tsh --duration 100 --rate 40 --seed 1
     repro-trace compress in.tsh out.fctc [--stream] [--workers N] [--backend auto]
@@ -17,45 +20,39 @@ Subcommands (full reference in ``docs/CLI.md``)::
     repro-trace archive info day.fctca
     repro-trace query day.fctca --since 10 --until 60 --dst 192.168.0.80
 
-Errors a user can cause (missing files, malformed containers, capacity
-overflows) exit 2 with a one-line message instead of a traceback.
+Exit codes are uniform across every subcommand:
+
+* ``0`` — success;
+* ``1`` — internal error (a bug; set ``REPRO_DEBUG=1`` for the
+  traceback);
+* ``2`` — usage or data errors the user can fix (bad flags, missing
+  files, malformed containers, capacity overflows), reported as a
+  one-line ``error: ...`` message instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
-from repro.core import (
-    CodecError,
-    CompressionError,
-    backend_names,
-    compress_stream_to_bytes,
-    compress_to_bytes,
-    compress_tsh_file_parallel,
-    container_info,
-    deserialize_compressed,
-    report_for_stream,
-    serialize_compressed,
-)
-from repro.archive.writer import DEFAULT_SEGMENT_PACKETS, DEFAULT_SEGMENT_SPAN
-from repro.core.backends import AUTO
-from repro.core.codec import dataset_sizes, validate_backend_request
-from repro.core.pipeline import report_for
-from repro.trace.reader import DEFAULT_CHUNK_PACKETS, iter_tsh_packets
+import repro
+from repro import api
+from repro.api.errors import ReproError
+from repro.core.backends import AUTO, backend_names
+from repro.core.errors import CodecError, CompressionError
 from repro.net.ip import format_ipv4
-from repro.synth import generate_web_trace
-from repro.trace.stats import compute_statistics
-from repro.trace.trace import Trace
+from repro.trace.reader import DEFAULT_CHUNK_PACKETS
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    trace = generate_web_trace(
-        duration=args.duration, flow_rate=args.rate, seed=args.seed
+    result = api.generate(
+        args.output, duration=args.duration, flow_rate=args.rate, seed=args.seed
     )
-    size = trace.save_tsh(args.output)
-    print(f"wrote {len(trace)} packets ({size} B) to {args.output}")
+    print(
+        f"wrote {result.packets} packets ({result.size_bytes} B) to {args.output}"
+    )
     return 0
 
 
@@ -76,57 +73,56 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    name = Path(args.input).stem
-    chunk_size = args.chunk_size or DEFAULT_CHUNK_PACKETS
-    workers = args.workers or 1
-    backend = args.backend
-    # Reject a bad backend/level combination before compressing the
-    # input — serialization is the last step and the trace can be large.
-    validate_backend_request(backend, args.level)
-    if workers > 1:
-        compressed = compress_tsh_file_parallel(
-            args.input, workers, name=name, chunk_size=chunk_size
+    options = api.Options.make(
+        backend=args.backend,
+        level=args.level,
+        stream=args.stream,
+        workers=args.workers,
+        chunk_packets=args.chunk_size,
+    )
+    with api.open(args.input, options=options) as store:
+        report = store.compress(args.output, options=options)
+    if isinstance(report, api.ArchiveBuildReport):
+        print(
+            f"wrote {report.segments_written} segments / {report.packets} "
+            f"packets to {args.output}"
         )
-        data = serialize_compressed(compressed, backend=backend, level=args.level)
-        report = report_for_stream(compressed, data)
-    elif args.stream or args.workers is not None or args.chunk_size is not None:
-        # Any streaming-family flag (--stream, explicit --workers, or
-        # --chunk-size) selects chunked reads; the output is
-        # byte-identical to batch, so honoring them is always safe.
-        data, compressed = compress_stream_to_bytes(
-            iter_tsh_packets(args.input, chunk_size), name=name,
-            backend=backend, level=args.level,
-        )
-        report = report_for_stream(compressed, data)
-    else:
-        trace = Trace.load_tsh(args.input)
-        data, compressed = compress_to_bytes(
-            trace, backend=backend, level=args.level
-        )
-        report = report_for(trace, compressed, data)
-    Path(args.output).write_bytes(data)
+        return 0
     for line in report.summary_lines():
         print(line)
-    if backend is not None and backend != "raw":
-        # Auto may pick a different coder per section — show what landed.
-        chosen = container_info(data)
+    if args.backend is not None and args.backend != "raw":
+        # Auto may pick a different coder per section — show what
+        # landed (framing parse only, no container re-decode).
         picks = " ".join(
-            f"{s.name}={s.backend}" for s in chosen.sections
+            f"{s.name}={s.backend}"
+            for s in api.container_sections(args.output)
         )
         print(f"backends        : {picks}")
     return 0
 
 
-def _cmd_decompress(args: argparse.Namespace) -> int:
-    from repro.core import StreamingDecompressor
-    from repro.trace.export import export_packet_stream
+def _require_kind(store, path, allowed: tuple[str, ...], verb: str) -> None:
+    """Reject inputs a subcommand's contract excludes, with exit 2.
 
-    compressed = deserialize_compressed(Path(args.input).read_bytes())
+    The library's ``export`` happily streams a raw trace (that is the
+    ``convert`` subcommand), but ``decompress``/``replay`` pointed at an
+    uncompressed capture is a user mistake that must not silently
+    succeed as a byte copy.
+    """
+    if store.kind.value not in allowed:
+        raise ReproError(
+            f"{path}: {verb} takes {' or '.join(allowed)} input, "
+            f"not {store.kind.value} (use 'convert' to copy raw traces)"
+        )
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
     # Stream the packets straight to disk: byte-identical to the batch
     # decompressor, but peak memory is the concurrent-flow fan-out plus
     # the (compressed) datasets — never the synthetic trace itself.
-    engine = StreamingDecompressor(compressed)
-    result = export_packet_stream(engine.packets(), args.output)
+    with api.open(args.input) as store:
+        _require_kind(store, args.input, ("container", "archive"), "decompress")
+        result = store.export(args.output)
     print(
         f"wrote {result.packets} packets ({result.size_bytes} B) to {args.output}"
     )
@@ -134,15 +130,11 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro.archive import ArchiveReader
-    from repro.query import MatchAll, QueryEngine, QueryStats
-    from repro.trace.export import export_packet_stream
-
     if args.workers is not None and args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     predicate = _build_predicate(args)
-    filtered = not isinstance(predicate, MatchAll) or args.limit is not None
+    filtered = not isinstance(predicate, api.MatchAll) or args.limit is not None
     workers = args.workers or 1
     if filtered and workers > 1:
         print(
@@ -151,16 +143,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    with ArchiveReader(args.archive) as reader:
-        stats = None
-        if filtered:
-            stats = QueryStats()
-            packets = QueryEngine(reader).stream_packets(
-                predicate, limit=args.limit, stats=stats
-            )
-        else:
-            packets = reader.iter_packets(workers=workers)
-        result = export_packet_stream(packets, args.output)
+    with api.open(args.archive) as store:
+        _require_kind(store, args.archive, ("archive",), "replay")
+        stats = api.QueryStats() if filtered else None
+        result = store.export(
+            args.output,
+            predicate if filtered else None,
+            limit=args.limit,
+            workers=workers,
+            stats=stats,
+        )
         print(
             f"wrote {result.packets} packets ({result.size_bytes} B) "
             f"to {args.output}"
@@ -172,158 +164,107 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = Trace.load_tsh(args.input)
-    stats = compute_statistics(trace)
+    with api.open(args.input) as store:
+        stats = store.stats()
     for line in stats.summary_lines():
         print(line)
     return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    data = Path(args.input).read_bytes()
-    compressed = deserialize_compressed(data)
-    info = container_info(data)
-    sizes = dataset_sizes(compressed, format_version=info.format_version)
-    print(f"name                 : {compressed.name}")
-    print(f"format               : v{info.format_version}")
-    print(f"flows (time-seq)     : {compressed.flow_count()}")
-    print(f"original packets     : {compressed.original_packet_count}")
-    short_count, long_count = compressed.template_counts()
-    print(f"short templates      : {short_count}")
-    print(f"long templates       : {long_count}")
-    print(f"unique destinations  : {len(compressed.addresses)}")
-    total = sizes["total"] or 1
-    print("raw dataset sizes (pre-backend):")
-    for dataset, size in sizes.items():
-        if dataset == "total":
-            print(f"  {dataset:<22}: {size} B")
-        else:
-            print(f"  {dataset:<22}: {size} B ({100.0 * size / total:.1f}%)")
-    stored_total = info.total_bytes or 1
-    print("stored sections:")
-    for section in info.sections:
-        share = 100.0 * section.stored_bytes / stored_total
-        print(
-            f"  {section.name:<22}: {section.stored_bytes} B "
-            f"({section.backend}, {share:.1f}% of file)"
-        )
-    print(f"  {'file total':<22}: {info.total_bytes} B")
-    if args.addresses:
-        for index, address in enumerate(compressed.addresses):
-            print(f"  [{index}] {format_ipv4(address)}")
+    with api.open(args.input) as store:
+        for line in store.info().summary_lines():
+            print(line)
+        if args.addresses:
+            for index, address in enumerate(store.addresses()):
+                print(f"  [{index}] {format_ipv4(address)}")
     return 0
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    from repro.core.generator import TraceModel
-    from repro.core.compressor import compress_trace as _compress
-
-    source = Trace.load_tsh(args.input)
-    model = TraceModel.fit(_compress(source))
-    flow_count = args.flows or int(
-        args.scale * (sum(model.short_usage) + sum(model.long_usage))
+    report = api.synthesize(
+        args.input,
+        args.output,
+        scale=args.scale,
+        flows=args.flows,
+        seed=args.seed,
     )
-    synthetic = model.synthesize(flow_count=flow_count, seed=args.seed)
-    size = synthetic.save_tsh(args.output)
     print(
-        f"fitted {model.template_count()} templates; "
-        f"wrote {len(synthetic)} packets / {flow_count} flows "
-        f"({size} B) to {args.output}"
+        f"fitted {report.templates} templates; "
+        f"wrote {report.packets} packets / {report.flows} flows "
+        f"({report.size_bytes} B) to {args.output}"
     )
     return 0
 
 
 def _cmd_anonymize(args: argparse.Namespace) -> int:
-    from repro.trace.anonymize import anonymize_prefix_preserving
-
-    trace = Trace.load_tsh(args.input)
-    anonymized = anonymize_prefix_preserving(trace, key=args.key)
-    size = anonymized.save_tsh(args.output)
-    print(f"wrote {len(anonymized)} anonymized packets ({size} B) to {args.output}")
+    result = api.anonymize(args.input, args.output, key=args.key)
+    print(
+        f"wrote {result.packets} anonymized packets "
+        f"({result.size_bytes} B) to {args.output}"
+    )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.analysis.summary import compare_traces
-
-    a = Trace.load_tsh(args.first)
-    b = Trace.load_tsh(args.second)
-    comparison = compare_traces(a, b)
+    comparison = api.compare(args.first, args.second)
     print(comparison.render())
-    verdict = comparison.statistically_similar()
     print()
-    print(f"statistically similar: {verdict}")
-    return 0 if verdict else 1
+    print(f"statistically similar: {comparison.statistically_similar()}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    with api.open(args.input) as store:
+        result = store.export(args.output)
+    if result.format == "pcap":
+        print(f"wrote {result.packets} packets to {args.output}")
+    else:
+        print(
+            f"wrote {result.packets} packets ({result.size_bytes} B) "
+            f"to {args.output}"
+        )
+    return 0
+
+
+def _archive_options(args: argparse.Namespace) -> "api.Options":
+    return api.Options.make(
+        backend=args.backend,
+        level=args.level,
+        segment_packets=args.segment_packets,
+        segment_span=args.segment_span,
+    )
 
 
 def _cmd_archive_build(args: argparse.Namespace) -> int:
-    from repro.archive import ArchiveWriter
-
-    writer = ArchiveWriter.create(
-        args.output,
-        segment_packets=args.segment_packets,
-        segment_span=args.segment_span,
-        backend=args.backend,
-        level=args.level,
+    report = api.create_archive(
+        args.output, args.inputs, options=_archive_options(args)
     )
-    with writer:
-        fed = 0
-        for source in args.inputs:
-            fed += writer.feed(iter_tsh_packets(source))
-        entries = writer.close()
     print(
-        f"wrote {len(entries)} segments / {fed} packets to {args.output}"
+        f"wrote {report.segments_written} segments / {report.packets} "
+        f"packets to {args.output}"
     )
     return 0
 
 
 def _cmd_archive_append(args: argparse.Namespace) -> int:
-    from repro.archive import ArchiveWriter
-
-    writer = ArchiveWriter.append(
-        args.archive,
-        segment_packets=args.segment_packets,
-        segment_span=args.segment_span,
-        backend=args.backend,
-        level=args.level,
-    )
-    with writer:
-        before = writer.segment_count
-        fed = 0
-        for source in args.inputs:
-            fed += writer.feed(iter_tsh_packets(source))
-        entries = writer.close()
+    with api.open(args.archive) as store:
+        report = store.append(args.inputs, options=_archive_options(args))
     print(
-        f"appended {len(entries) - before} segments / {fed} packets "
-        f"to {args.archive} ({len(entries)} total)"
+        f"appended {report.segments_written} segments / {report.packets} "
+        f"packets to {args.archive} ({report.segments_total} total)"
     )
     return 0
 
 
 def _cmd_archive_info(args: argparse.Namespace) -> int:
-    from repro.analysis.archive import archive_overview_lines, segment_table
-    from repro.archive import ArchiveReader
-
-    with ArchiveReader(args.archive) as reader:
-        for line in archive_overview_lines(reader):
+    with api.open(args.archive) as store:
+        for line in store.info().summary_lines():
             print(line)
-        if reader.entries:
-            print()
-            print(segment_table(reader))
     return 0
 
 
 def _build_predicate(args: argparse.Namespace):
-    from repro.query import (
-        DestinationAddress,
-        DestinationPrefix,
-        FlowKind,
-        MatchAll,
-        PacketCountRange,
-        RttRange,
-        TimeRange,
-    )
-
     predicate = None
 
     def conjoin(term) -> None:
@@ -332,28 +273,25 @@ def _build_predicate(args: argparse.Namespace):
 
     if args.since is not None or args.until is not None:
         conjoin(
-            TimeRange(
+            api.TimeRange(
                 args.since or 0.0,
                 args.until if args.until is not None else float("inf"),
             )
         )
     if args.dst is not None:
-        conjoin(DestinationAddress(args.dst))
+        conjoin(api.DestinationAddress(args.dst))
     if args.dst_prefix is not None:
-        conjoin(DestinationPrefix(args.dst_prefix))
+        conjoin(api.DestinationPrefix(args.dst_prefix))
     if args.kind is not None:
-        conjoin(FlowKind(args.kind))
+        conjoin(api.FlowKind(args.kind))
     if args.min_packets is not None or args.max_packets is not None:
-        conjoin(PacketCountRange(args.min_packets or 1, args.max_packets))
+        conjoin(api.PacketCountRange(args.min_packets or 1, args.max_packets))
     if args.min_rtt is not None or args.max_rtt is not None:
-        conjoin(RttRange(args.min_rtt or 0.0, args.max_rtt))
-    return predicate if predicate is not None else MatchAll()
+        conjoin(api.RttRange(args.min_rtt or 0.0, args.max_rtt))
+    return predicate if predicate is not None else api.MatchAll()
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.archive import ArchiveReader
-    from repro.query import QueryEngine
-
     if args.output is None and (args.backend is not None or args.level is not None):
         print(
             "error: --backend/--level re-encode the --output sub-archive; "
@@ -362,19 +300,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return 2
     predicate = _build_predicate(args)
-    with ArchiveReader(args.archive) as reader:
-        engine = QueryEngine(reader)
+    with api.open(args.archive) as store:
         if args.output is not None:
-            written, stats = engine.filter_to(
-                args.output, predicate, limit=args.limit,
-                backend=args.backend, level=args.level,
+            options = api.Options.make(backend=args.backend, level=args.level)
+            written, stats = store.filter(
+                args.output, predicate, limit=args.limit, options=options
             )
             print(
                 f"wrote {written} segments / {stats.flows_matched} flows "
                 f"to {args.output}"
             )
         else:
-            result = engine.run(predicate, limit=args.limit)
+            result = store.query(predicate, limit=args.limit)
             for flow in result.flows:
                 print(
                     f"seg={flow.segment:<4d} t={flow.timestamp:<12.4f} "
@@ -385,22 +322,6 @@ def _cmd_query(args: argparse.Namespace) -> int:
             stats = result.stats
         for line in stats.summary_lines():
             print(line)
-    return 0
-
-
-def _cmd_convert(args: argparse.Namespace) -> int:
-    source = Path(args.input)
-    if source.suffix == ".pcap":
-        trace = Trace.load_pcap(source)
-    else:
-        trace = Trace.load_tsh(source)
-    target = Path(args.output)
-    if target.suffix == ".pcap":
-        count = trace.save_pcap(target)
-        print(f"wrote {count} packets to {target}")
-    else:
-        size = trace.save_tsh(target)
-        print(f"wrote {len(trace)} packets ({size} B) to {target}")
     return 0
 
 
@@ -458,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-trace", description="Flow-clustering trace compressor tools."
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="synthesize a Web trace")
@@ -469,7 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     compress = subparsers.add_parser("compress", help="compress a TSH trace")
     compress.add_argument("input", help="input .tsh path")
-    compress.add_argument("output", help="output .fctc path")
+    compress.add_argument(
+        "output", help="output .fctc path (.fctca builds a segmented archive)"
+    )
     compress.add_argument(
         "--stream",
         action="store_true",
@@ -575,15 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--segment-packets",
             type=int,
-            default=DEFAULT_SEGMENT_PACKETS,
-            help=f"rotate after this many packets (default {DEFAULT_SEGMENT_PACKETS})",
+            default=None,
+            help="rotate after this many packets (default 65536)",
         )
         sub.add_argument(
             "--segment-span",
             type=float,
-            default=DEFAULT_SEGMENT_SPAN,
-            help="rotate after this many seconds of trace time "
-            f"(default {DEFAULT_SEGMENT_SPAN:g})",
+            default=None,
+            help="rotate after this many seconds of trace time (default 60)",
         )
 
     archive_build = archive_sub.add_parser(
@@ -634,19 +561,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits on --help/--version (0) and usage errors (2);
+        # normalize so main() always *returns* a uniform code.
+        code = exc.code
+        return code if isinstance(code, int) else (0 if code is None else 2)
     try:
         return args.handler(args)
     except FileNotFoundError as exc:
         name = exc.filename if exc.filename is not None else exc
         print(f"error: {name}: no such file", file=sys.stderr)
         return 2
-    except (CodecError, CompressionError, OSError, ValueError) as exc:
+    except (ReproError, CodecError, CompressionError, OSError, ValueError) as exc:
         # User-caused failures (malformed containers, capacity overflows,
         # truncated traces, bad flag values) end with a message, not a
-        # traceback; programming errors still propagate.
+        # traceback; programming errors land in the handler below.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:  # noqa: BLE001 — the uniform "internal" exit
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(
+            f"internal error: {exc!r} (set REPRO_DEBUG=1 for the traceback)",
+            file=sys.stderr,
+        )
+        return 1
 
 
 if __name__ == "__main__":

@@ -3,6 +3,18 @@
 Ties the compressor, codec and decompressor together and produces the
 size/ratio report used throughout the evaluation (Figure 1 compares
 compressed file sizes against the original TSH file size).
+
+.. deprecated:: 1.1
+    The one-shot entry points of this module (:func:`compress_to_bytes`,
+    :func:`compress_stream_to_bytes`, :func:`decompress_from_bytes`,
+    :func:`roundtrip`) are superseded by the :mod:`repro.api` façade —
+    ``repro.open(path)`` sessions and :func:`repro.api.roundtrip`.  They
+    remain as thin shims for one release: each emits a
+    :class:`DeprecationWarning` and produces byte-identical output to
+    the façade (pinned by ``tests/api/test_shim_compat.py``).  The
+    report types (:class:`CompressionReport`, :func:`report_for`,
+    :func:`report_for_stream`) are *not* deprecated — the façade returns
+    them.
 """
 
 from __future__ import annotations
@@ -11,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.codec import dataset_sizes, deserialize_compressed, serialize_compressed
+from repro.core.errors import warn_deprecated
 from repro.core.compressor import CompressorConfig, compress_trace
 from repro.core.datasets import CompressedTrace
 from repro.core.decompressor import DecompressorConfig, decompress_trace
@@ -70,11 +83,15 @@ def compress_to_bytes(
 ) -> tuple[bytes, CompressedTrace]:
     """Compress a trace and serialize the result.
 
+    .. deprecated:: 1.1  Use a ``repro.open(path).compress(dest)``
+       session or the engine primitives directly.
+
     ``backend``/``level`` select the section backend codec for the
     container (``None`` = ``raw``, the paper's format; ``"auto"`` trials
     each registered backend per section) — see
     :mod:`repro.core.backends`.
     """
+    warn_deprecated("compress_to_bytes", "repro.open(...).compress(...)")
     compressed = compress_trace(trace, config)
     return serialize_compressed(compressed, backend=backend, level=level), compressed
 
@@ -89,10 +106,16 @@ def compress_stream_to_bytes(
 ) -> tuple[bytes, CompressedTrace]:
     """Compress a packet iterable and serialize, without materializing it.
 
+    .. deprecated:: 1.1  Use a ``repro.open(path).compress(dest)``
+       session (stream mode) or :func:`repro.core.streaming.compress_stream`.
+
     Byte-identical to :func:`compress_to_bytes` on the same packet
     sequence, name and backend — both paths run the same compressor and
     the same serializer.
     """
+    warn_deprecated(
+        "compress_stream_to_bytes", "repro.open(...).compress(...) stream mode"
+    )
     compressed = compress_stream(packets, config, name=name)
     return serialize_compressed(compressed, backend=backend, level=level), compressed
 
@@ -100,7 +123,12 @@ def compress_stream_to_bytes(
 def decompress_from_bytes(
     data: bytes, config: DecompressorConfig | None = None
 ) -> Trace:
-    """Deserialize and decompress a container into a synthetic trace."""
+    """Deserialize and decompress a container into a synthetic trace.
+
+    .. deprecated:: 1.1  Use ``repro.open(path).export(dest)`` /
+       ``.packets()`` or the engine primitives directly.
+    """
+    warn_deprecated("decompress_from_bytes", "repro.open(...).export/.packets")
     return decompress_trace(deserialize_compressed(data), config)
 
 
@@ -143,9 +171,22 @@ def roundtrip(
 ) -> tuple[Trace, CompressionReport]:
     """Compress then decompress a trace; returns (trace', report).
 
+    .. deprecated:: 1.1  Use :func:`repro.api.roundtrip`, which takes
+       one layered :class:`repro.api.Options` instead of two configs.
+
     The output trace is *statistically* similar to the input (that is the
     paper's claim, validated in section 6), not byte-identical.
     """
-    data, compressed = compress_to_bytes(trace, compressor_config)
-    decompressed = decompress_from_bytes(data, decompressor_config)
-    return decompressed, report_for(trace, compressed, data)
+    warn_deprecated("roundtrip", "repro.api.roundtrip")
+    # Delegate to the canonical façade implementation (same primitives,
+    # same output) — import deferred because repro.api imports us.
+    from repro.api.options import Options
+    from repro.api.ops import roundtrip as api_roundtrip
+
+    return api_roundtrip(
+        trace,
+        Options(
+            compressor=compressor_config or CompressorConfig(),
+            decompressor=decompressor_config or DecompressorConfig(),
+        ),
+    )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core import DecompressorConfig, roundtrip
+from repro.api.ops import roundtrip
 from repro.memsim import CacheConfig
 from repro.synth import generate_web_trace, generate_fracexp_trace, randomize_destinations
 from repro.trace.trace import Trace
@@ -78,9 +78,7 @@ def standard_trace(config: ExperimentConfig) -> Trace:
 def standard_traces(config: ExperimentConfig) -> FourTraces:
     """Build all four section 6 traces from the standard workload."""
     original = standard_trace(config)
-    decompressed, _report = roundtrip(
-        original, decompressor_config=DecompressorConfig()
-    )
+    decompressed, _report = roundtrip(original)
     return FourTraces(
         original=original,
         decompressed=decompressed,

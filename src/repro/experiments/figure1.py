@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.analysis.report import ascii_curve, format_table
 from repro.baselines import GzipCodec, PeuhkuriCodec, VanJacobsonCodec
-from repro.core import compress_to_bytes
+from repro.core import compress_trace, serialize_compressed
 from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
 from repro.trace.filters import select_elapsed
 
@@ -54,7 +54,7 @@ def run(
         gzip_size = len(gzip_codec.compress(prefix))
         vj_size = len(vj_codec.compress(prefix))
         peuhkuri_size = len(peuhkuri_codec.compress(prefix))
-        proposed_bytes, _ = compress_to_bytes(prefix)
+        proposed_bytes = serialize_compressed(compress_trace(prefix))
         proposed_size = len(proposed_bytes)
 
         rows.append(

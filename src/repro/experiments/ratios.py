@@ -23,7 +23,7 @@ from repro.baselines import (
     vj_model,
 )
 from repro.baselines.models import paper_reference_distribution
-from repro.core import compress_to_bytes
+from repro.core import compress_trace, serialize_compressed
 from repro.experiments.common import ExperimentConfig, ExperimentResult, standard_trace
 from repro.trace.stats import compute_statistics
 
@@ -55,7 +55,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
     }
 
     original = trace.stored_size_bytes()
-    proposed_bytes, _ = compress_to_bytes(trace)
+    proposed_bytes = serialize_compressed(compress_trace(trace))
     measured = {
         "gzip": len(GzipCodec().compress(trace)) / original,
         "van-jacobson": VanJacobsonCodec().ratio(trace),

@@ -38,6 +38,7 @@ from repro.core.backends import backend_for_tag
 from repro.core.codec import SECTION_NAMES, validate_backend_request
 from repro.core.datasets import CompressedTrace, DatasetId, TimeSeqRecord
 from repro.core.decompressor import DecompressorConfig, FlowSpec, flow_specs
+from repro.core.errors import warn_deprecated
 from repro.core.replay import merge_packet_stream
 from repro.net.packet import PacketRecord
 from repro.query.predicates import MatchAll, Predicate
@@ -95,12 +96,13 @@ def flow_summaries(
 ) -> Iterator[FlowSummary]:
     """Resolve every time-seq record of one decoded segment."""
     for record in compressed.time_seq:
-        yield _summarize(segment, compressed, record)
+        yield summarize_record(segment, compressed, record)
 
 
-def _summarize(
+def summarize_record(
     segment: int, compressed: CompressedTrace, record: TimeSeqRecord
 ) -> FlowSummary:
+    """Resolve one ``time-seq`` record into its :class:`FlowSummary` row."""
     return FlowSummary(
         segment=segment,
         timestamp=record.timestamp,
@@ -167,6 +169,7 @@ class QueryEngine:
         limit: int | None = None,
         config: DecompressorConfig | None = None,
         stats: QueryStats | None = None,
+        options=None,
     ) -> Iterator[PacketRecord]:
         """Replay the flows matching ``predicate`` as a packet stream.
 
@@ -181,6 +184,10 @@ class QueryEngine:
         in as the stream is consumed.
         """
         predicate = predicate or MatchAll()
+        if config is None:
+            # The façade's layered Options threads through here; an
+            # explicit config still wins (duck-typed — no api import).
+            config = options.decompressor if options is not None else None
         config = config or DecompressorConfig()
         if stats is None:
             stats = QueryStats()
@@ -203,7 +210,7 @@ class QueryEngine:
                 stats.flows_scanned += 1
                 if limit is not None and stats.flows_matched >= limit:
                     return False
-                if predicate.match_flow(_summarize(segment, compressed, record)):
+                if predicate.match_flow(summarize_record(segment, compressed, record)):
                     stats.flows_matched += 1
                     return True
                 return False
@@ -232,6 +239,7 @@ class QueryEngine:
         name: str | None = None,
         backend: str | None = None,
         level: int | None = None,
+        options=None,
     ) -> tuple[int, QueryStats]:
         """Write the flows matching ``predicate`` as a new sub-archive.
 
@@ -244,6 +252,12 @@ class QueryEngine:
         index entry recorded (v1 sources re-pack as raw).  Returns
         (segments written, query statistics).
         """
+        if options is not None:
+            # Options threads the façade's codec layer through; explicit
+            # keywords win, exactly as on ArchiveWriter.create.
+            name = name if name is not None else options.name
+            backend = backend if backend is not None else options.codec.backend
+            level = level if level is not None else options.codec.level
         # Fail fast on a bad backend/level request: the writer only sees
         # the backend per segment (each write_segment call carries its
         # own spec), so validate before out_path is truncated and before
@@ -267,7 +281,7 @@ class QueryEngine:
                 matched: list[TimeSeqRecord] = []
                 for record in compressed.time_seq:
                     stats.flows_scanned += 1
-                    if predicate.match_flow(_summarize(index, compressed, record)):
+                    if predicate.match_flow(summarize_record(index, compressed, record)):
                         matched.append(record)
                         if limit is not None and stats.flows_matched + len(matched) >= limit:
                             break
@@ -292,7 +306,11 @@ def query_archive(
     *,
     limit: int | None = None,
 ) -> QueryResult:
-    """Open ``path``, run one query, close — the one-shot convenience."""
+    """Open ``path``, run one query, close — the one-shot convenience.
+
+    .. deprecated:: 1.1  Use ``repro.open(path).query(predicate)``.
+    """
+    warn_deprecated("query_archive", "repro.open(...).query(...)")
     with ArchiveReader(path) as reader:
         return QueryEngine(reader).run(predicate, limit=limit)
 
@@ -307,7 +325,11 @@ def filter_archive(
     backend: str | None = None,
     level: int | None = None,
 ) -> tuple[int, QueryStats]:
-    """Open ``path``, write the matching sub-archive to ``out_path``."""
+    """Open ``path``, write the matching sub-archive to ``out_path``.
+
+    .. deprecated:: 1.1  Use ``repro.open(path).filter(out_path, ...)``.
+    """
+    warn_deprecated("filter_archive", "repro.open(...).filter(...)")
     with ArchiveReader(path) as reader:
         return QueryEngine(reader).filter_to(
             out_path, predicate, limit=limit, name=name,

@@ -1,0 +1,47 @@
+"""Shared fixtures for the façade tests: one small workload, all formats."""
+
+import pytest
+
+from repro import api
+from repro.synth import generate_web_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_web_trace(duration=3.0, flow_rate=40.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("api")
+
+
+@pytest.fixture(scope="module")
+def tsh_path(workdir, trace):
+    path = workdir / "t.tsh"
+    trace.save_tsh(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def pcap_path(workdir, trace):
+    path = workdir / "t.pcap"
+    trace.save_pcap(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def fctc_path(workdir, tsh_path):
+    path = workdir / "t.fctc"
+    with api.open(tsh_path) as store:
+        store.compress(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def fctca_path(workdir, tsh_path):
+    path = workdir / "t.fctca"
+    api.create_archive(
+        path, [tsh_path], options=api.Options.make(segment_span=1.0)
+    )
+    return path

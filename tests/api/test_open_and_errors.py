@@ -1,0 +1,114 @@
+"""`repro.open` sniffing and the typed error contract of the façade.
+
+The satellite requirement pinned here: a missing file, a truncated
+``.fctc``, a wrong-suffix file and an empty trace must raise typed
+:mod:`repro.api.errors` exceptions — never a bare ``OSError`` /
+``struct.error`` escaping from the codec layer.
+"""
+
+import pytest
+
+import repro
+from repro import api
+from repro.api import errors
+from repro.api.sniff import SourceKind, sniff_kind
+
+
+class TestSniffing:
+    def test_tsh_by_content(self, tsh_path):
+        assert sniff_kind(tsh_path) is SourceKind.TSH
+
+    def test_pcap_by_content(self, pcap_path):
+        assert sniff_kind(pcap_path) is SourceKind.PCAP
+
+    def test_container_by_content(self, fctc_path):
+        assert sniff_kind(fctc_path) is SourceKind.CONTAINER
+
+    def test_archive_by_content(self, fctca_path):
+        assert sniff_kind(fctca_path) is SourceKind.ARCHIVE
+
+    def test_content_wins_over_missing_suffix(self, workdir, fctc_path):
+        # A container under a neutral name still opens as a container.
+        renamed = workdir / "container-no-suffix"
+        renamed.write_bytes(fctc_path.read_bytes())
+        assert sniff_kind(renamed) is SourceKind.CONTAINER
+        assert isinstance(api.open(renamed), api.ContainerStore)
+
+    def test_open_returns_matching_store(self, tsh_path, fctc_path, fctca_path):
+        assert isinstance(api.open(tsh_path), api.TraceFileStore)
+        assert isinstance(api.open(fctc_path), api.ContainerStore)
+        with api.open(fctca_path) as store:
+            assert isinstance(store, api.ArchiveStore)
+
+    def test_repro_open_is_the_facade(self, tsh_path):
+        store = repro.open(tsh_path)
+        assert isinstance(store, api.TraceStore)
+
+
+class TestTypedErrors:
+    def test_missing_file(self, workdir):
+        with pytest.raises(errors.MissingInputError) as excinfo:
+            api.open(workdir / "does-not-exist.tsh")
+        # Also a FileNotFoundError, so pre-façade handlers keep working.
+        assert isinstance(excinfo.value, FileNotFoundError)
+        assert excinfo.value.filename == str(workdir / "does-not-exist.tsh")
+
+    def test_empty_trace(self, workdir):
+        empty = workdir / "empty.tsh"
+        empty.write_bytes(b"")
+        with pytest.raises(errors.EmptyTraceError):
+            api.open(empty)
+
+    def test_empty_pcap_no_packets(self, workdir, trace):
+        header_only = workdir / "hdr.pcap"
+        full = workdir / "full-tmp.pcap"
+        trace.save_pcap(full)
+        header_only.write_bytes(full.read_bytes()[:24])  # global header only
+        with pytest.raises(errors.EmptyTraceError):
+            api.open(header_only)
+
+    def test_truncated_container(self, workdir, fctc_path):
+        truncated = workdir / "trunc.fctc"
+        truncated.write_bytes(fctc_path.read_bytes()[:-7])
+        with pytest.raises(errors.CorruptInputError) as excinfo:
+            api.open(truncated)
+        assert "truncated" in str(excinfo.value)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_truncated_archive(self, workdir, fctca_path):
+        truncated = workdir / "trunc.fctca"
+        truncated.write_bytes(fctca_path.read_bytes()[:-11])
+        with pytest.raises(errors.CorruptInputError):
+            api.open(truncated)
+
+    def test_wrong_suffix_container(self, workdir):
+        bogus = workdir / "bogus.fctc"
+        bogus.write_bytes(b"this is not a container")
+        with pytest.raises(errors.UnknownFormatError) as excinfo:
+            api.open(bogus)
+        assert "magic" in str(excinfo.value)
+
+    def test_wrong_suffix_crossed_formats(self, workdir, fctca_path):
+        # Archive bytes under a container suffix: mismatch, not a guess.
+        crossed = workdir / "crossed.fctc"
+        crossed.write_bytes(fctca_path.read_bytes())
+        with pytest.raises(errors.UnknownFormatError) as excinfo:
+            api.open(crossed)
+        assert "suffix" in str(excinfo.value)
+
+    def test_unaligned_garbage(self, workdir):
+        garbage = workdir / "garbage.tsh"
+        garbage.write_bytes(b"\x00" * 50)  # not a multiple of 44
+        with pytest.raises(errors.UnknownFormatError):
+            api.open(garbage)
+
+    def test_every_error_is_a_repro_error(self):
+        for klass in (
+            errors.MissingInputError,
+            errors.UnknownFormatError,
+            errors.CorruptInputError,
+            errors.EmptyTraceError,
+            errors.CapabilityError,
+            errors.OptionsError,
+        ):
+            assert issubclass(klass, errors.ReproError)

@@ -1,20 +1,24 @@
 #!/usr/bin/env python
-"""Docs health check: link validation + CLI example smoke-run.
+"""Docs health check: link validation + CLI and API example smoke-runs.
 
-Two passes, pure stdlib, run as the CI ``docs`` job:
+Three passes, pure stdlib, run as the CI ``docs`` job:
 
 1. **Link check** — every inline markdown link in ``README.md`` and
    ``docs/*.md`` is resolved: relative paths must exist in the repo,
    ``#fragments`` must match a heading slug in the target document.
    External ``http(s)`` links are skipped (no network in the check, by
    design — it must give the same verdict offline).
-2. **Example smoke-run** — every fenced ```` ```sh ```` block in
+2. **CLI example smoke-run** — every fenced ```` ```sh ```` block in
    ``docs/CLI.md`` is executed, in document order, in one shared
    temporary directory.  The blocks are written as a single coherent
    pipeline (generate → compress → … → replay), so later examples
    consume earlier outputs; a doc edit that breaks the pipeline breaks
    this check.  Blocks fenced as ```` ```text ```` (or any other
    language) are illustrative and not executed.
+3. **API example smoke-run** — every fenced ```` ```python ```` block
+   in ``docs/API.md`` runs the same way (document order, one shared
+   directory), with ``DeprecationWarning`` promoted to an error so the
+   façade reference can never drift onto a deprecated entry point.
 
 ``repro-trace`` resolves through a shim that executes
 ``python -m repro.cli`` with ``PYTHONPATH=src``, so the check passes
@@ -38,6 +42,7 @@ _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 _SH_BLOCK = re.compile(r"```sh\n(.*?)```", re.DOTALL)
+_PY_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
 def github_slug(heading: str) -> str:
@@ -117,11 +122,52 @@ def run_cli_examples() -> list[str]:
     return errors
 
 
+def run_api_examples() -> list[str]:
+    """Execute every ```python block of docs/API.md, in order.
+
+    One shared working directory (later blocks consume earlier outputs),
+    ``PYTHONPATH=src`` so the check works on a bare source tree, and
+    ``-W error::DeprecationWarning`` so a reference example that routes
+    through a 1.1 shim fails the docs job.
+    """
+    api_md = REPO / "docs" / "API.md"
+    blocks = _PY_BLOCK.findall(api_md.read_text("utf-8"))
+    if not blocks:
+        return [f"{api_md.relative_to(REPO)}: no ```python blocks found"]
+    errors = []
+    with tempfile.TemporaryDirectory(prefix="api-md-smoke-") as workdir:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            f"{REPO / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+            if env.get("PYTHONPATH")
+            else str(REPO / "src")
+        )
+        for index, block in enumerate(blocks, start=1):
+            proc = subprocess.run(
+                [sys.executable, "-W", "error::DeprecationWarning", "-c", block],
+                cwd=workdir,
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                errors.append(
+                    f"docs/API.md example block {index} exited "
+                    f"{proc.returncode}:\n{block}\n--- stderr ---\n"
+                    f"{proc.stderr.strip()}"
+                )
+                break  # later blocks depend on this one's outputs
+            print(f"docs/API.md block {index}: ok")
+    return errors
+
+
 def main() -> int:
     errors = check_links()
     print(f"link check: {len(DOC_FILES)} documents, {len(errors)} errors")
     if not errors:
         errors += run_cli_examples()
+    if not errors:
+        errors += run_api_examples()
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0
