@@ -15,20 +15,82 @@ documented as indicative.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import sys
 import time
+from pathlib import Path
 
 from repro.core.backends import AUTO, backend_names
 from repro.core.codec import deserialize_compressed, serialize_compressed
 from repro.core.compressor import compress_trace
 from repro.synth import generate_fracexp_trace, generate_p2p_trace, generate_web_trace
+from repro.trace.trace import Trace
 from repro.trace.tsh import tsh_file_size
 
+_GENERATORS = {
+    "web": generate_web_trace,
+    "p2p": generate_p2p_trace,
+    "fracexp": generate_fracexp_trace,
+}
+
+# Workloads as (name, generator, params) so the cache key below can see
+# every knob that shapes the trace — a lambda would hide them.
 WORKLOADS = (
-    ("web", lambda: generate_web_trace(duration=60.0, flow_rate=40.0, seed=1)),
-    ("p2p", lambda: generate_p2p_trace(duration=60.0, session_rate=8.0, seed=77)),
-    ("fracexp", lambda: generate_fracexp_trace(20_000, seed=4242)),
+    ("web", "web", {"duration": 60.0, "flow_rate": 40.0, "seed": 1}),
+    ("p2p", "p2p", {"duration": 60.0, "session_rate": 8.0, "seed": 77}),
+    ("fracexp", "fracexp", {"packet_count": 20_000, "seed": 4242}),
 )
+
+
+def cache_dir() -> Path:
+    """Where generated workload TSH files are kept between runs.
+
+    Defaults to ``benchmarks/.cache``; override with ``REPRO_BENCH_CACHE``
+    (CI points it at a per-job scratch directory).
+    """
+    return Path(
+        os.environ.get("REPRO_BENCH_CACHE", Path(__file__).parent / ".cache")
+    )
+
+
+def workload_digest(generator: str, params: dict) -> str:
+    """A cache key covering everything that shapes the generated trace.
+
+    The digest is over the generator name and the *sorted* JSON of its
+    parameters, so any change to duration/rate/seed (or adding a new
+    knob) yields a new key — the cache can never serve a trace built
+    from different parameters under the same name.
+    """
+    payload = json.dumps(
+        {"generator": generator, "params": params}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def workload_path(name: str, generator: str, params: dict) -> Path:
+    return cache_dir() / f"{name}-{workload_digest(generator, params)}.tsh"
+
+
+def load_workload(name: str, generator: str, params: dict) -> Trace:
+    """Load the cached workload, regenerating when the key is stale.
+
+    Files for the same workload name under an *old* digest are deleted
+    on regeneration, so the cache directory cannot silently accumulate —
+    or worse, serve — traces from earlier parameter sets.
+    """
+    path = workload_path(name, generator, params)
+    if not path.exists():
+        trace = _GENERATORS[generator](**params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for stale in path.parent.glob(f"{name}-*.tsh"):
+            if stale != path:
+                stale.unlink()
+        trace.save_tsh(path)
+    # Always measure the TSH-loaded form: its microsecond-quantized
+    # timestamps make results identical on cold and warm cache alike.
+    return Trace.load_tsh(path)
 
 
 def _mib_per_s(byte_count: int, seconds: float) -> float:
@@ -38,8 +100,8 @@ def _mib_per_s(byte_count: int, seconds: float) -> float:
 def sweep(repeats: int = 3) -> list[dict]:
     """One row per (workload, backend): ratio + encode/decode speed."""
     rows = []
-    for workload, build in WORKLOADS:
-        trace = build()
+    for workload, generator, params in WORKLOADS:
+        trace = load_workload(workload, generator, params)
         original = tsh_file_size(len(trace))
         compressed = compress_trace(trace)
         for backend in (*backend_names(), AUTO):

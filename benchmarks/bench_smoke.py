@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: columnar must stay faster than scalar.
+
+Runs the streaming compressor over a small generated workload with both
+engines, checks byte identity, and fails (exit 1) if the columnar
+speedup drops below the floor recorded in ``BENCH_streaming.json``.
+Pure stdlib + the library itself, so the CI job needs no test deps::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py
+
+Skips (exit 0, with a message) when numpy is unavailable — the fallback
+backend is intentionally not faster than scalar, only compatible.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.codec import serialize_compressed
+from repro.core.streaming import compress_tsh_file
+from repro.net.columns import numpy_or_none
+from repro.synth import generate_web_trace
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_streaming.json"
+ROUNDS = 3
+
+
+def _best_of(run):
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def main() -> int:
+    if numpy_or_none() is None:
+        print("bench-smoke: numpy unavailable, columnar == scalar; skipping")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())
+    workload = baseline["workload"]
+    chunk_size = baseline["chunk_size"]
+    floor = baseline["columnar_min_speedup"]
+
+    trace = generate_web_trace(
+        duration=workload["duration"],
+        flow_rate=workload["flow_rate"],
+        seed=workload["seed"],
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "smoke.tsh"
+        trace.save_tsh(path)
+        scalar, scalar_seconds = _best_of(
+            lambda: compress_tsh_file(path, chunk_size=chunk_size, engine="scalar")
+        )
+        columnar, columnar_seconds = _best_of(
+            lambda: compress_tsh_file(
+                path, chunk_size=chunk_size, engine="columnar"
+            )
+        )
+
+    packets = len(trace)
+    speedup = scalar_seconds / columnar_seconds
+    print(
+        f"bench-smoke: {packets} packets | scalar "
+        f"{packets / scalar_seconds:,.0f} pps | columnar "
+        f"{packets / columnar_seconds:,.0f} pps | speedup x{speedup:.2f} "
+        f"(floor x{floor})"
+    )
+
+    if serialize_compressed(columnar.output) != serialize_compressed(scalar.output):
+        print("bench-smoke: engines disagree on output bytes", file=sys.stderr)
+        return 1
+    if speedup < floor:
+        print(
+            f"bench-smoke: columnar speedup x{speedup:.2f} fell below the "
+            f"x{floor} floor in {BASELINE.name}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -157,3 +157,52 @@ class TestParallelSpeedup:
             # double file read make the race a coin flip at this workload
             # size, so only guard against pathological overhead.
             assert parallel_seconds < batch_seconds * 5
+
+
+class TestColumnarSpeedup:
+    """The vectorized engine's throughput pin: >= 3x over scalar.
+
+    Measured ~8.6x on this workload (see benchmarks/BENCH_streaming.json
+    for the smoke baseline); 3x leaves room for slow CI runners while
+    still failing loudly if the hot path ever falls back to per-packet
+    Python.  Identity is asserted on the same run — a fast-but-wrong
+    engine must not pass.
+    """
+
+    @staticmethod
+    def _best_of(run, rounds=3):
+        timings = []
+        result = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = run()
+            timings.append(time.perf_counter() - start)
+        return result, min(timings)
+
+    def test_columnar_at_least_3x_scalar(self, large_tsh):
+        pytest.importorskip("numpy")
+        from repro.core.codec import serialize_compressed
+
+        scalar, scalar_seconds = self._best_of(
+            lambda: compress_tsh_file(
+                large_tsh, chunk_size=STREAM_CHUNK, engine="scalar"
+            )
+        )
+        columnar, columnar_seconds = self._best_of(
+            lambda: compress_tsh_file(
+                large_tsh, chunk_size=STREAM_CHUNK, engine="columnar"
+            )
+        )
+
+        packets = large_tsh.stat().st_size // 44
+        speedup = scalar_seconds / columnar_seconds
+        print(
+            f"\n{packets} packets | scalar {scalar_seconds:.3f}s "
+            f"({packets / scalar_seconds:,.0f} pps) | columnar "
+            f"{columnar_seconds:.3f}s ({packets / columnar_seconds:,.0f} pps) "
+            f"| speedup x{speedup:.2f}"
+        )
+        assert serialize_compressed(columnar.output) == serialize_compressed(
+            scalar.output
+        )
+        assert speedup >= 3.0

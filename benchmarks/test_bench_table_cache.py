@@ -1,0 +1,77 @@
+"""The backend-table workload cache must never serve stale parameters.
+
+`benchmarks/backend_table.py` caches its generated TSH workloads between
+runs.  The cache is keyed on the generator parameters themselves, so a
+changed duration/rate/seed — or a brand-new knob — always misses, and a
+regeneration deletes same-name files written under older keys.  These
+tests pin that contract; without it a parameter tweak would silently
+re-measure last month's trace.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from backend_table import (  # noqa: E402
+    WORKLOADS,
+    load_workload,
+    workload_digest,
+    workload_path,
+)
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+    return tmp_path
+
+
+PARAMS = {"duration": 0.5, "flow_rate": 20.0, "seed": 9}
+
+
+def test_digest_covers_every_parameter():
+    base = workload_digest("web", PARAMS)
+    assert workload_digest("web", {**PARAMS, "seed": 10}) != base
+    assert workload_digest("web", {**PARAMS, "duration": 0.6}) != base
+    assert workload_digest("web", {**PARAMS, "new_knob": 1}) != base
+    assert workload_digest("p2p", PARAMS) != base
+    # ...but not dict ordering: the digest is over sorted JSON.
+    reordered = dict(reversed(list(PARAMS.items())))
+    assert workload_digest("web", reordered) == base
+
+
+def test_cache_roundtrip_is_deterministic(cache):
+    first = load_workload("web", "web", PARAMS)
+    assert workload_path("web", "web", PARAMS).exists()
+    second = load_workload("web", "web", PARAMS)
+    assert second.packets == first.packets
+
+
+def test_changed_parameters_invalidate_stale_file(cache):
+    load_workload("web", "web", PARAMS)
+    stale = workload_path("web", "web", PARAMS)
+    assert stale.exists()
+
+    changed = {**PARAMS, "seed": 10}
+    load_workload("web", "web", changed)
+    assert workload_path("web", "web", changed).exists()
+    assert not stale.exists(), "stale same-name workload must be removed"
+
+
+def test_stale_file_under_same_name_is_not_served(cache):
+    """Even a hand-planted wrong-key file cannot be picked up."""
+    planted = cache / "web-deadbeefdeadbeef.tsh"
+    planted.write_bytes(b"\x00" * 44)
+    trace = load_workload("web", "web", PARAMS)
+    assert len(trace) > 1
+    assert not planted.exists()
+
+
+def test_declared_workloads_have_distinct_keys():
+    paths = {workload_path(*w) for w in WORKLOADS}
+    assert len(paths) == len(WORKLOADS)

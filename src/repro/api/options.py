@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.api.errors import OptionsError
 from repro.core.backends import backend_names
+from repro.core.columnar import ENGINE_AUTO, ENGINES
 from repro.core.compressor import CompressorConfig
 from repro.core.decompressor import DecompressorConfig
 
@@ -88,17 +89,28 @@ class StreamingOptions:
     forces whole-trace loads.  ``workers > 1`` shards flows across a
     process pool — that path renumbers templates, so it refuses to
     combine with ``mode="stream"``'s byte-identity promise.
+
+    ``engine`` selects the compression hot path: ``"auto"`` (default)
+    runs the vectorized columnar engine when numpy is importable and the
+    scalar engine otherwise; ``"columnar"`` / ``"scalar"`` force one.
+    Both engines emit byte-identical containers — the knob trades
+    nothing but throughput.
     """
 
     mode: str = MODE_AUTO
     chunk_packets: int = DEFAULT_CHUNK_PACKETS
     workers: int = 1
     stream_threshold_packets: int = DEFAULT_STREAM_THRESHOLD_PACKETS
+    engine: str = ENGINE_AUTO
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise OptionsError(
                 f"streaming mode must be one of {'/'.join(_MODES)}: {self.mode!r}"
+            )
+        if self.engine not in ENGINES:
+            raise OptionsError(
+                f"engine must be one of {'/'.join(ENGINES)}: {self.engine!r}"
             )
         if self.chunk_packets < 1:
             raise OptionsError(
@@ -166,6 +178,7 @@ class Options:
         stream: bool = False,
         chunk_packets: int | None = None,
         workers: int | None = None,
+        engine: str | None = None,
         segment_packets: int | None = None,
         segment_span: float | None = None,
         epoch: float | None = None,
@@ -200,6 +213,10 @@ class Options:
             streaming_kwargs["chunk_packets"] = chunk_packets
         if workers is not None:
             streaming_kwargs["workers"] = workers
+        if engine is not None:
+            # Orthogonal to the mode inference: choosing an engine says
+            # nothing about batch-versus-stream.
+            streaming_kwargs["engine"] = engine
         archive_kwargs = {}
         if segment_packets is not None:
             archive_kwargs["segment_packets"] = segment_packets

@@ -42,6 +42,7 @@ from repro.core.compressor import CompressorConfig
 from repro.core.datasets import CompressedTrace
 from repro.core.errors import ArchiveError, warn_deprecated
 from repro.core.streaming import StreamingCompressor
+from repro.net.columns import PacketColumns, tolist
 from repro.net.packet import PacketRecord
 
 DEFAULT_SEGMENT_PACKETS = 65536
@@ -69,6 +70,7 @@ def _merge_create_kwargs(options, **overrides) -> dict:
             "name": options.name,
             "backend": options.codec.backend,
             "level": options.codec.level,
+            "engine": options.streaming.engine,
         }
     else:
         merged = {
@@ -79,6 +81,7 @@ def _merge_create_kwargs(options, **overrides) -> dict:
             "name": None,
             "backend": None,
             "level": None,
+            "engine": None,
         }
     merged.update(
         {key: value for key, value in overrides.items() if value is not _UNSET}
@@ -101,6 +104,7 @@ class ArchiveWriter:
         name: str = "archive",
         backend: str | None = None,
         level: int | None = None,
+        engine: str | None = None,
     ) -> None:
         if segment_packets < 1:
             raise ValueError(f"segment_packets must be >= 1: {segment_packets}")
@@ -115,6 +119,7 @@ class ArchiveWriter:
         self._name = name
         self._backend = backend
         self._level = level
+        self._engine = engine
         self._compressor: StreamingCompressor | None = None
         self._segment_first_ts: float = 0.0
         self._segment_fed = 0
@@ -135,6 +140,7 @@ class ArchiveWriter:
         name: str | None = _UNSET,
         backend: str | None = _UNSET,
         level: int | None = _UNSET,
+        engine: str | None = _UNSET,
     ) -> "ArchiveWriter":
         """Start a new archive at ``path`` (truncating any existing file).
 
@@ -156,6 +162,7 @@ class ArchiveWriter:
             name=name,
             backend=backend,
             level=level,
+            engine=engine,
         )
         validate_backend_request(merged["backend"], merged["level"])
         stream = open(path, "w+b")
@@ -172,6 +179,7 @@ class ArchiveWriter:
             name=merged["name"] or Path(path).stem,
             backend=merged["backend"],
             level=merged["level"],
+            engine=merged["engine"],
         )
 
     @classmethod
@@ -186,6 +194,7 @@ class ArchiveWriter:
         name: str | None = _UNSET,
         backend: str | None = _UNSET,
         level: int | None = _UNSET,
+        engine: str | None = _UNSET,
     ) -> "ArchiveWriter":
         """Extend an existing archive in place.
 
@@ -207,6 +216,7 @@ class ArchiveWriter:
             name=name,
             backend=backend,
             level=level,
+            engine=engine,
         )
         segment_packets = merged["segment_packets"]
         segment_span = merged["segment_span"]
@@ -231,6 +241,7 @@ class ArchiveWriter:
             name=name or Path(path).stem,
             backend=backend,
             level=level,
+            engine=merged["engine"],
         )
 
     # -- feeding ----------------------------------------------------------
@@ -259,23 +270,84 @@ class ArchiveWriter:
         ):
             self._rotate()
         if self._compressor is None:
-            self._compressor = StreamingCompressor(
-                self._config,
-                name=f"{self._name}/seg-{len(self._entries):05d}",
-                base_time=self._epoch,
-            )
-            self._segment_first_ts = packet.timestamp
-            self._segment_fed = 0
+            self._open_segment(packet.timestamp)
         self._compressor.add_packet(packet)
         self._segment_fed += 1
 
-    def feed(self, packets: Iterable[PacketRecord]) -> int:
-        """Feed a packet iterable; returns how many packets were added."""
+    def _open_segment(self, first_timestamp: float) -> None:
+        self._compressor = StreamingCompressor(
+            self._config,
+            name=f"{self._name}/seg-{len(self._entries):05d}",
+            base_time=self._epoch,
+            engine=self._engine,
+        )
+        self._segment_first_ts = first_timestamp
+        self._segment_fed = 0
+
+    def feed(
+        self, packets: Iterable[PacketRecord] | Iterable[PacketColumns]
+    ) -> int:
+        """Feed packets; returns how many were added.
+
+        Accepts a plain packet iterable, a single
+        :class:`~repro.net.columns.PacketColumns` chunk, or an iterable
+        of such chunks — columnar feeds keep the vectorized hot path all
+        the way into each segment's compressor.
+        """
+        if isinstance(packets, PacketColumns):
+            return self.feed_columns(packets)
         count = 0
-        for packet in packets:
-            self.add_packet(packet)
-            count += 1
+        for item in packets:
+            if isinstance(item, PacketColumns):
+                count += self.feed_columns(item)
+            else:
+                self.add_packet(item)
+                count += 1
         return count
+
+    def feed_columns(self, columns: PacketColumns) -> int:
+        """Feed one columnar chunk, splitting it at rotation boundaries.
+
+        Equivalent to :meth:`add_packet` row by row — a segment rotates
+        before the first row that would overflow ``segment_packets`` or
+        land ``segment_span`` seconds past the segment's first packet —
+        but each stretch between boundaries is fed as one vectorized
+        sub-chunk.
+        """
+        if self._closed:
+            raise ArchiveError("archive writer already closed")
+        total = len(columns)
+        if total == 0:
+            return 0
+        timestamps = tolist(columns.timestamps)
+        if self._epoch is None:
+            self._epoch = timestamps[0]
+        start = 0
+        while start < total:
+            if self._compressor is not None and (
+                self._segment_fed >= self._segment_packets
+                or (
+                    self._segment_span is not None
+                    and timestamps[start] - self._segment_first_ts
+                    >= self._segment_span
+                )
+            ):
+                self._rotate()
+            if self._compressor is None:
+                self._open_segment(timestamps[start])
+            # Rows [start:stop) all fit in the open segment: stop at the
+            # packet budget or the first timestamp past the span bound.
+            stop = min(total, start + self._segment_packets - self._segment_fed)
+            if self._segment_span is not None:
+                limit = self._segment_first_ts + self._segment_span
+                for row in range(start, stop):
+                    if timestamps[row] >= limit:
+                        stop = row
+                        break
+            self._compressor.feed_columns(columns.slice(start, stop))
+            self._segment_fed += stop - start
+            start = stop
+        return total
 
     def write_segment(
         self,

@@ -79,6 +79,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         stream=args.stream,
         workers=args.workers,
         chunk_packets=args.chunk_size,
+        engine=args.engine,
     )
     with api.open(args.input, options=options) as store:
         report = store.compress(args.output, options=options)
@@ -417,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="packets decoded per read (implies --stream; "
         f"default {DEFAULT_CHUNK_PACKETS})",
+    )
+    compress.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "columnar"),
+        default=None,
+        help="compression hot path: columnar vectorizes parse/cluster/"
+        "encode (auto picks it when numpy is available); output bytes "
+        "are identical either way",
     )
     _add_backend_flags(compress, default_note="raw", what="the output container")
     compress.set_defaults(handler=_cmd_compress)

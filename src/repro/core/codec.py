@@ -127,23 +127,57 @@ def _pack_short_templates(templates: list[ShortFlowTemplate]) -> bytes:
     return bytes(out)
 
 
+# Sections shorter than this pack with the plain loops — array setup
+# costs more than it saves on a handful of records.
+_VECTOR_MIN = 32
+
+
+def _codec_numpy():
+    """numpy when the vectorized packers should run, else ``None``."""
+    from repro.net.columns import numpy_or_none
+
+    return numpy_or_none()
+
+
 def _pack_long_templates(templates: list[LongFlowTemplate]) -> bytes:
+    np = _codec_numpy()
     out = bytearray()
     for template in templates:
         if template.n > _MAX_U16:
             raise CodecError(f"long template too long for codec: {template.n}")
         out.extend(struct.pack(">H", template.n))
         out.extend(bytes(template.values))
+        if np is not None and template.n >= _VECTOR_MIN:
+            units = np.minimum(
+                np.rint(
+                    np.asarray(template.gaps, dtype=np.float64)
+                    * GAP_UNITS_PER_SECOND
+                ),
+                float(_MAX_U16),
+            )
+            if units.min() >= 0:  # negative gaps: scalar path's struct error
+                out.extend(units.astype(">u2").tobytes())
+                continue
         gap_units = [quantize_gap(gap) for gap in template.gaps]
         out.extend(struct.pack(f">{template.n}H", *gap_units))
     return bytes(out)
 
 
 def _pack_addresses(addresses: AddressTable) -> bytes:
+    np = _codec_numpy()
+    if np is not None and len(addresses) >= _VECTOR_MIN:
+        try:
+            values = np.fromiter(
+                addresses, dtype=np.uint32, count=len(addresses)
+            )
+        except (OverflowError, ValueError):
+            pass  # out-of-range entry: scalar path's struct error
+        else:
+            return values.astype(">u4").tobytes()
     return b"".join(struct.pack(">I", address) for address in addresses)
 
 
-def _pack_time_seq(records: list[TimeSeqRecord]) -> bytes:
+def _pack_time_seq_scalar(records: list[TimeSeqRecord]) -> bytes:
     out = bytearray()
     for record in records:
         timestamp_units = quantize_timestamp(record.timestamp)
@@ -159,6 +193,53 @@ def _pack_time_seq(records: list[TimeSeqRecord]) -> bytes:
             )
         )
     return bytes(out)
+
+
+# The vectorized time-seq record as a structured dtype: the same
+# big-endian u32/u16/u16/u16 layout ``_TIME_SEQ`` packs.
+_TIME_SEQ_DTYPE_FIELDS = [
+    ("ts", ">u4"),
+    ("ref", ">u2"),
+    ("addr", ">u2"),
+    ("rtt", ">u2"),
+]
+
+
+def _pack_time_seq(records: list[TimeSeqRecord]) -> bytes:
+    np = _codec_numpy()
+    if np is None or len(records) < _VECTOR_MIN:
+        return _pack_time_seq_scalar(records)
+    refs = np.array([r.template_index for r in records], dtype=np.int64)
+    bad = np.nonzero(refs > MAX_TEMPLATE_INDEX)[0]
+    if bad.size:
+        # Same first-offender error as the scalar loop.
+        for record in records:
+            if record.template_index > MAX_TEMPLATE_INDEX:
+                raise CodecError(
+                    f"template index too large: {record.template_index}"
+                )
+    addrs = np.array([r.address_index for r in records], dtype=np.int64)
+    if refs.min() < 0 or addrs.min() < 0 or addrs.max() > _MAX_U16:
+        return _pack_time_seq_scalar(records)  # scalar path's struct error
+    timestamps = np.array([r.timestamp for r in records], dtype=np.float64)
+    rtts = np.array([r.rtt for r in records], dtype=np.float64)
+    scaled_ts = timestamps * TIMESTAMP_UNITS_PER_SECOND
+    scaled_rtt = rtts * RTT_UNITS_PER_SECOND
+    if not (np.isfinite(scaled_ts).all() and np.isfinite(scaled_rtt).all()):
+        return _pack_time_seq_scalar(records)
+    ts_units = np.minimum(np.rint(scaled_ts), float(_MAX_U32))
+    rtt_units = np.minimum(np.rint(scaled_rtt), float(_MAX_U16))
+    if ts_units.min() < 0 or rtt_units.min() < 0:
+        return _pack_time_seq_scalar(records)
+    long_flag = np.array(
+        [r.dataset is DatasetId.LONG for r in records], dtype=np.int64
+    )
+    rows = np.empty(len(records), dtype=np.dtype(_TIME_SEQ_DTYPE_FIELDS))
+    rows["ts"] = ts_units.astype(np.uint32)
+    rows["ref"] = (refs | (long_flag << 15)).astype(np.uint16)
+    rows["addr"] = addrs.astype(np.uint16)
+    rows["rtt"] = rtt_units.astype(np.uint16)
+    return rows.tobytes()
 
 
 def _parse_short_templates(

@@ -23,6 +23,7 @@ from repro.trace.reader import (
     iter_tsh_chunks,
     iter_tsh_packets,
     iter_tsh_records,
+    read_columns,
 )
 from repro.trace.pcaplite import read_pcap, write_pcap
 from repro.trace.export import (
@@ -47,6 +48,7 @@ __all__ = [
     "iter_tsh_chunks",
     "iter_tsh_packets",
     "iter_tsh_records",
+    "read_columns",
     "read_pcap",
     "write_pcap",
     "ExportResult",

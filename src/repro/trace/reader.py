@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.net.packet import PacketRecord
-from repro.trace.tsh import TSH_RECORD_BYTES, decode_record
+from repro.trace.tsh import TSH_RECORD_BYTES, decode_columns, decode_record_from
 
 DEFAULT_CHUNK_PACKETS = 8192
 """Packets decoded per read; ~360 KiB of file per chunk."""
@@ -77,10 +77,27 @@ def iter_tsh_chunks(
     is not a multiple of the 44-byte record length.
     """
     for block in _iter_record_blocks(path, chunk_size):
+        # One memoryview per block, decoded in place with unpack_from —
+        # not one sliced byte copy per record.
+        view = memoryview(block)
         yield [
-            decode_record(block[offset : offset + TSH_RECORD_BYTES])
+            decode_record_from(view, offset)
             for offset in range(0, len(block), TSH_RECORD_BYTES)
         ]
+
+
+def read_columns(path: str | Path, chunk_size: int = DEFAULT_CHUNK_PACKETS):
+    """Yield :class:`~repro.net.columns.PacketColumns` chunks of a file.
+
+    The columnar engine's input path: each block of up to ``chunk_size``
+    records is decoded in one vectorized pass
+    (:func:`~repro.trace.tsh.decode_columns`).  Chunk boundaries come
+    from the shared block reader, so they are identical across storage
+    backends and identical to :func:`iter_tsh_chunks`; truncated
+    trailing records raise the same ``ValueError``.
+    """
+    for block in _iter_record_blocks(path, chunk_size):
+        yield decode_columns(block)
 
 
 def iter_tsh_packets(
@@ -120,4 +137,4 @@ def first_tsh_timestamp(path: str | Path) -> float | None:
             f"truncated TSH record: expected {TSH_RECORD_BYTES} bytes, "
             f"got {len(record)}"
         )
-    return decode_record(record).timestamp
+    return decode_record_from(record).timestamp

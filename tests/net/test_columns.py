@@ -1,0 +1,143 @@
+"""PacketColumns container and the columnar flow-key kernels.
+
+Every columnar function here has a scalar reference in the same package;
+each test computes both and asserts element-wise equality, on whichever
+backend (numpy or ``array``) the environment provides — plus explicitly
+on the ``array`` fallback via the ``REPRO_NO_NUMPY`` monkeypatch seam.
+"""
+
+import pytest
+
+from repro.net import columns as columns_module
+from repro.net.columns import (
+    COLUMN_FIELDS,
+    PacketColumns,
+    columns_from_records,
+    empty_columns,
+    numpy_or_none,
+    tolist,
+)
+from repro.net.flowkey import (
+    canonical_key_columns,
+    flow_hash,
+    flow_hash_columns,
+    flow_shard_columns,
+)
+from repro.net.packet import PacketRecord
+from repro.core.streaming import record_shard
+from repro.synth import generate_web_trace
+from repro.trace.tsh import decode_columns, encode_record, write_tsh_bytes
+from repro.trace.reader import read_columns
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return list(generate_web_trace(duration=1.0, flow_rate=40.0, seed=3).packets)
+
+
+@pytest.fixture(params=["native", "fallback"])
+def backend(request, monkeypatch):
+    """Run a test on the environment backend and the forced fallback."""
+    if request.param == "fallback":
+        monkeypatch.setattr(columns_module, "_np", None)
+        monkeypatch.setattr(columns_module, "_numpy_checked", True)
+    return request.param
+
+
+def test_roundtrip_records(packets, backend):
+    cols = columns_from_records(packets)
+    if backend == "fallback":
+        assert cols.backend == "array"
+    assert len(cols) == len(packets)
+    assert cols.to_records() == packets
+
+
+def test_empty_columns(backend):
+    cols = empty_columns()
+    assert len(cols) == 0
+    assert cols.to_records() == []
+
+
+def test_slice_and_select(packets, backend):
+    cols = columns_from_records(packets)
+    assert cols.slice(10, 25).to_records() == packets[10:25]
+    indices = list(range(0, len(packets), 7))
+    assert cols.select(indices).to_records() == [packets[i] for i in indices]
+
+
+def test_column_fields_cover_packet_record(packets):
+    cols = columns_from_records(packets[:4])
+    named = dict(zip(COLUMN_FIELDS, cols.columns()))
+    assert tolist(named["timestamps"]) == [p.timestamp for p in packets[:4]]
+    assert tolist(named["src_ip"]) == [p.src_ip for p in packets[:4]]
+    assert tolist(named["flags"]) == [p.flags for p in packets[:4]]
+
+
+# -- flow-key kernels vs their scalar references ----------------------------
+
+
+def test_canonical_key_columns_matches_five_tuple(packets, backend):
+    cols = columns_from_records(packets)
+    key_lo, key_hi, forward = canonical_key_columns(cols)
+    for packet, lo, hi, fwd in zip(packets, key_lo, key_hi, forward):
+        canon = packet.five_tuple().canonical()
+        assert lo == ((canon.src_ip << 16 | canon.src_port) << 8) | canon.protocol
+        assert hi == (canon.dst_ip << 16) | canon.dst_port
+        assert bool(fwd) == (packet.five_tuple() == canon)
+
+
+def test_flow_hash_columns_matches_flow_hash(packets, backend):
+    cols = columns_from_records(packets)
+    hashes = flow_hash_columns(cols)
+    for packet, value in zip(packets, hashes):
+        assert value == flow_hash(packet.five_tuple())
+
+
+@pytest.mark.parametrize("workers", [2, 3, 8])
+def test_flow_shard_columns_matches_record_shard(packets, workers, backend):
+    cols = columns_from_records(packets)
+    shards = flow_shard_columns(cols, workers)
+    for packet, shard in zip(packets, shards):
+        assert shard == record_shard(encode_record(packet), workers)
+
+
+# -- TSH columnar decode ----------------------------------------------------
+
+
+def test_decode_columns_matches_decode_record(packets, backend):
+    data = write_tsh_bytes(packets)
+    cols = decode_columns(data)
+    decoded = cols.to_records()
+    assert len(decoded) == len(packets)
+    for original, roundtripped in zip(packets, decoded):
+        # TSH quantizes timestamps to microseconds; everything else exact.
+        assert abs(roundtripped.timestamp - original.timestamp) < 1e-5
+        assert roundtripped.src_ip == original.src_ip
+        assert roundtripped.dst_port == original.dst_port
+        assert roundtripped.flags == original.flags
+
+
+def test_decode_columns_rejects_partial_record():
+    data = write_tsh_bytes(
+        [PacketRecord(0.0, 1, 2, 3, 4, 6, 0, 0)]
+    )
+    with pytest.raises(ValueError):
+        decode_columns(data[:-1])
+
+
+# -- satellite 3: identical chunk boundaries on both backends ---------------
+
+
+def test_identical_chunk_boundaries_across_backends(tmp_path, packets, monkeypatch):
+    path = tmp_path / "t.tsh"
+    path.write_bytes(write_tsh_bytes(packets))
+
+    def boundaries():
+        return [len(chunk) for chunk in read_columns(path, chunk_size=97)]
+
+    native = boundaries()
+    monkeypatch.setattr(columns_module, "_np", None)
+    monkeypatch.setattr(columns_module, "_numpy_checked", True)
+    assert numpy_or_none() is None
+    assert boundaries() == native
+    assert sum(native) == len(packets)

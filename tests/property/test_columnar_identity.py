@@ -1,0 +1,232 @@
+"""The differential harness pinning columnar/scalar byte identity.
+
+The columnar engine's only contract is *the same bytes, faster*: for any
+packet sequence, any chunking of the feed, and either storage backend,
+``engine="columnar"`` must produce the exact ``.fctc`` / ``.fctca``
+files the scalar engine does.  This file is the gate — hypothesis-driven
+packet sequences (including out-of-order timestamps that exercise the
+auto-base rebase, unterminated flows closed by idle eviction, and
+degenerate self-loop tuples), generated traffic models, and the on-disk
+fixture corpus all run through both engines and are compared byte for
+byte.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import deserialize_compressed, serialize_compressed
+from repro.core.columnar import ColumnarFlowCompressor
+from repro.core.compressor import CompressorConfig, FlowClusterCompressor
+from repro.core.decompressor import decompress_trace
+from repro.core.streaming import StreamingCompressor
+from repro.net.columns import columns_from_records
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+from repro.synth import generate_p2p_trace, generate_web_trace
+
+from tests.property.test_property_streaming import _unterminated_flow
+
+
+def scalar_bytes(packets, config=None, name="t"):
+    engine = FlowClusterCompressor(config, name=name)
+    for packet in packets:
+        engine.add_packet(packet)
+    return serialize_compressed(engine.finish())
+
+
+def columnar_bytes(packets, config=None, name="t", chunks=None, seed=0):
+    """Feed through the columnar engine in randomized chunk sizes."""
+    engine = ColumnarFlowCompressor(config, name=name)
+    rng = random.Random(seed)
+    packets = list(packets)
+    start = 0
+    while start < len(packets):
+        size = chunks if chunks is not None else rng.randint(1, 400)
+        engine.feed_columns(columns_from_records(packets[start : start + size]))
+        start += size
+    return serialize_compressed(engine.finish())
+
+
+# -- hypothesis packet sequences -------------------------------------------
+
+
+_FLAG_CHOICES = (
+    TCP_SYN,
+    TCP_SYN | TCP_ACK,
+    TCP_ACK,
+    TCP_ACK | TCP_FIN,
+    TCP_RST,
+    TCP_FIN,
+    0,
+)
+
+_packet = st.builds(
+    PacketRecord,
+    timestamp=st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    src_ip=st.integers(min_value=1, max_value=8),
+    dst_ip=st.integers(min_value=1, max_value=8),
+    src_port=st.integers(min_value=1, max_value=5),
+    dst_port=st.integers(min_value=1, max_value=5),
+    protocol=st.sampled_from((6, 17)),
+    flags=st.sampled_from(_FLAG_CHOICES),
+    payload_len=st.sampled_from((0, 1, 500, 501, 1460)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    packets=st.lists(_packet, min_size=0, max_size=120),
+    chunk_size=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_arbitrary_packet_sequences(packets, chunk_size, seed):
+    """Tiny 5-tuple space → heavy key collisions, reordering → rebases.
+
+    Unsorted hypothesis timestamps drive the auto-base rebase path;
+    FIN/RST mixes drive mid-chunk closes; the cramped address space
+    forces flow reuse after termination.
+    """
+    expected = scalar_bytes(packets)
+    assert columnar_bytes(packets, chunks=chunk_size) == expected
+    assert columnar_bytes(packets, seed=seed) == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    chunk_size=st.integers(min_value=1, max_value=700),
+)
+def test_web_trace_identity(seed, chunk_size):
+    trace = generate_web_trace(duration=1.5, flow_rate=25.0, seed=seed)
+    assert columnar_bytes(trace.packets, chunks=chunk_size) == scalar_bytes(
+        trace.packets
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    chunk_size=st.integers(min_value=1, max_value=700),
+)
+def test_p2p_trace_identity(seed, chunk_size):
+    trace = generate_p2p_trace(duration=1.5, session_rate=6.0, seed=seed)
+    assert columnar_bytes(trace.packets, chunks=chunk_size) == scalar_bytes(
+        trace.packets
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    idle_timeout=st.floats(min_value=0.5, max_value=10.0, allow_nan=False),
+    gap=st.floats(min_value=0.1, max_value=30.0, allow_nan=False),
+    chunk_size=st.integers(min_value=1, max_value=16),
+)
+def test_idle_eviction_identity(idle_timeout, gap, chunk_size):
+    """Idle eviction fires (or not) mid-chunk identically on both engines."""
+    packets = _unterminated_flow(0.0, 2000) + _unterminated_flow(gap, 2001)
+    config = CompressorConfig(idle_timeout=idle_timeout)
+    assert columnar_bytes(packets, config, chunks=chunk_size) == scalar_bytes(
+        packets, config
+    )
+
+
+# -- fixture corpus ---------------------------------------------------------
+
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
+
+
+@pytest.mark.parametrize("fixture", ["v1.fctc"])
+def test_fixture_corpus_identity(fixture):
+    """Replay the on-disk corpus and recompress through both engines."""
+    compressed = deserialize_compressed((FIXTURES / fixture).read_bytes())
+    packets = decompress_trace(compressed).packets
+    assert packets, "fixture decodes to packets"
+    assert columnar_bytes(packets) == scalar_bytes(packets)
+
+
+# -- the full streaming facade over both engines ---------------------------
+
+
+def test_streaming_facade_feed_shapes_identical():
+    """records-to-scalar, records-to-columnar, columns-to-either: one output."""
+    trace = generate_web_trace(duration=3.0, flow_rate=30.0, seed=21)
+    packets = list(trace.packets)
+    outputs = []
+    for engine, columnar_feed in (
+        ("scalar", False),
+        ("scalar", True),
+        ("columnar", False),
+        ("columnar", True),
+    ):
+        compressor = StreamingCompressor(name="t", engine=engine)
+        for start in range(0, len(packets), 333):
+            chunk = packets[start : start + 333]
+            if columnar_feed:
+                compressor.feed(columns_from_records(chunk))
+            else:
+                compressor.feed(chunk)
+        outputs.append(serialize_compressed(compressor.finish()))
+    assert len(set(outputs)) == 1
+
+
+@pytest.fixture(scope="module")
+def tsh_path(tmp_path_factory):
+    trace = generate_web_trace(duration=4.0, flow_rate=40.0, seed=33)
+    path = tmp_path_factory.mktemp("columnar-identity") / "t.tsh"
+    trace.save_tsh(path)
+    return path
+
+
+def _compress_file(tsh_path, dest_dir, engine, **make_kwargs):
+    """Same dest *filename* per engine: the trace name is serialized."""
+    from repro import api
+
+    dest = dest_dir / "out.fctc"
+    with api.open(tsh_path) as store:
+        store.compress(dest, options=api.Options.make(engine=engine, **make_kwargs))
+    return dest.read_bytes()
+
+
+@pytest.mark.parametrize("mode_kwargs", [{}, {"stream": True}, {"workers": 2}])
+def test_fctc_file_identity(tsh_path, tmp_path, mode_kwargs):
+    """Facade batch/stream/parallel paths: one ``.fctc`` per input."""
+    (tmp_path / "s").mkdir()
+    (tmp_path / "c").mkdir()
+    scalar = _compress_file(tsh_path, tmp_path / "s", "scalar", **mode_kwargs)
+    columnar = _compress_file(tsh_path, tmp_path / "c", "columnar", **mode_kwargs)
+    assert columnar == scalar
+
+
+def test_fctca_archive_identity(tsh_path, tmp_path):
+    """Segment rotation splits chunks at the same rows on both engines."""
+    from repro import api
+
+    paths = {}
+    for engine in ("scalar", "columnar"):
+        dest = tmp_path / engine / "out.fctca"
+        dest.parent.mkdir()
+        api.create_archive(
+            dest,
+            [tsh_path],
+            options=api.Options.make(engine=engine, segment_span=1.0),
+        )
+        paths[engine] = dest.read_bytes()
+    assert paths["columnar"] == paths["scalar"]
+
+
+def test_fallback_backend_identity(monkeypatch):
+    """With numpy gated off, the columnar engine still matches — exactly."""
+    from repro.net import columns
+
+    trace = generate_web_trace(duration=1.5, flow_rate=30.0, seed=5)
+    expected = scalar_bytes(trace.packets)
+    assert columnar_bytes(trace.packets, chunks=257) == expected
+
+    monkeypatch.setattr(columns, "_np", None)
+    monkeypatch.setattr(columns, "_numpy_checked", True)
+    assert columns_from_records(trace.packets[:3]).backend == "array"
+    assert columnar_bytes(trace.packets, chunks=257) == expected

@@ -9,6 +9,7 @@ from repro.trace.reader import (
     iter_tsh_chunks,
     iter_tsh_packets,
     iter_tsh_records,
+    read_columns,
 )
 from repro.trace.trace import Trace
 from repro.trace.tsh import TSH_RECORD_BYTES
@@ -60,6 +61,45 @@ class TestIterChunks:
         chunks = list(iter_tsh_chunks(tsh_file, 10**6))
         assert len(chunks) == 1
         assert chunks[0] == Trace.load_tsh(tsh_file).packets
+
+    def test_truncated_final_record_raises(self, tsh_file, tmp_path):
+        """A sub-record tail carried past the last read must still raise.
+
+        Regression guard for the memoryview-hoisted decode loop: the
+        truncation check lives in the shared block reader, and a chunk
+        size that leaves the partial record as the carried ``pending``
+        tail (rather than inside a block) is the corner that loop never
+        sees.
+        """
+        path = tmp_path / "cut.tsh"
+        path.write_bytes(tsh_file.read_bytes()[:-1])
+        with pytest.raises(ValueError, match="truncated"):
+            list(iter_tsh_chunks(path, 100))
+        # Whole-record chunks: the 43-byte tail is pure carry-over.
+        with pytest.raises(ValueError, match="truncated"):
+            list(iter_tsh_chunks(path, 1))
+
+
+class TestReadColumns:
+    @pytest.mark.parametrize("chunk_size", [1, 97, 8192])
+    def test_matches_scalar_chunks(self, tsh_file, chunk_size):
+        scalar = list(iter_tsh_chunks(tsh_file, chunk_size))
+        columnar = list(read_columns(tsh_file, chunk_size))
+        assert [len(chunk) for chunk in columnar] == [
+            len(chunk) for chunk in scalar
+        ]
+        assert [c.to_records() for c in columnar] == scalar
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsh"
+        path.write_bytes(b"")
+        assert list(read_columns(path)) == []
+
+    def test_truncated_final_record_raises(self, tsh_file, tmp_path):
+        path = tmp_path / "cut.tsh"
+        path.write_bytes(tsh_file.read_bytes()[:-7])
+        with pytest.raises(ValueError, match="truncated"):
+            list(read_columns(path, 100))
 
 
 class TestIterRecords:
