@@ -1,15 +1,21 @@
 #!/usr/bin/env python
-"""CI smoke benchmark: columnar must stay faster than scalar.
+"""CI smoke benchmark: columnar must stay faster than scalar,
+and metrics must stay near-free.
 
 Runs the streaming compressor over a small generated workload with both
 engines, checks byte identity, and fails (exit 1) if the columnar
 speedup drops below the floor recorded in ``BENCH_streaming.json``.
-Pure stdlib + the library itself, so the CI job needs no test deps::
+A second guard times the same workload with the :mod:`repro.obs`
+registry enabled versus disabled and fails when the enabled run is more
+than ``metrics_max_overhead`` slower — the instrumentation's "near-zero
+overhead" claim, enforced.  Pure stdlib + the library itself, so the CI
+job needs no test deps::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py
 
-Skips (exit 0, with a message) when numpy is unavailable — the fallback
-backend is intentionally not faster than scalar, only compatible.
+Skips the speedup floor (exit 0, with a message) when numpy is
+unavailable — the fallback backend is intentionally not faster than
+scalar, only compatible.  The metrics-overhead guard runs either way.
 """
 
 from __future__ import annotations
@@ -23,40 +29,83 @@ from pathlib import Path
 from repro.core.codec import serialize_compressed
 from repro.core.streaming import compress_tsh_file
 from repro.net.columns import numpy_or_none
+from repro.obs import MetricsRegistry, scoped
 from repro.synth import generate_web_trace
 
 BASELINE = Path(__file__).resolve().parent / "BENCH_streaming.json"
 ROUNDS = 3
+OVERHEAD_ROUNDS = 5
 
 
-def _best_of(run):
+def _best_of(run, rounds=ROUNDS):
     best = float("inf")
     result = None
-    for _ in range(ROUNDS):
+    for _ in range(rounds):
         start = time.perf_counter()
         result = run()
         best = min(best, time.perf_counter() - start)
     return result, best
 
 
-def main() -> int:
-    if numpy_or_none() is None:
-        print("bench-smoke: numpy unavailable, columnar == scalar; skipping")
-        return 0
+def _check_metrics_overhead(path, chunk_size, max_overhead) -> list[str]:
+    """Enabled-vs-disabled streaming throughput, best-of-N each way.
 
+    The disabled run scopes a disabled registry (what ``REPRO_NO_METRICS=1``
+    does process-wide); the enabled run scopes a fresh live one.  Scalar
+    engine on purpose: it is the slower, pure-Python hot path, where any
+    per-chunk instrumentation cost is *largest* relative to useful work.
+    """
+
+    def disabled():
+        with scoped(None):
+            return compress_tsh_file(path, chunk_size=chunk_size, engine="scalar")
+
+    def enabled():
+        with scoped(MetricsRegistry()):
+            return compress_tsh_file(path, chunk_size=chunk_size, engine="scalar")
+
+    _, off_seconds = _best_of(disabled, OVERHEAD_ROUNDS)
+    _, on_seconds = _best_of(enabled, OVERHEAD_ROUNDS)
+    overhead = on_seconds / off_seconds - 1.0
+    print(
+        f"bench-smoke: metrics overhead {overhead * 100.0:+.2f}% "
+        f"(disabled {off_seconds * 1000.0:.1f} ms, enabled "
+        f"{on_seconds * 1000.0:.1f} ms, cap {max_overhead * 100.0:.0f}%)"
+    )
+    if overhead > max_overhead:
+        return [
+            f"bench-smoke: metrics-enabled run is {overhead * 100.0:.2f}% "
+            f"slower than disabled; cap is {max_overhead * 100.0:.0f}% "
+            f"in {BASELINE.name}"
+        ]
+    return []
+
+
+def main() -> int:
     baseline = json.loads(BASELINE.read_text())
     workload = baseline["workload"]
     chunk_size = baseline["chunk_size"]
     floor = baseline["columnar_min_speedup"]
+    max_overhead = baseline["metrics_max_overhead"]
 
     trace = generate_web_trace(
         duration=workload["duration"],
         flow_rate=workload["flow_rate"],
         seed=workload["seed"],
     )
+    errors = []
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "smoke.tsh"
         trace.save_tsh(path)
+        errors += _check_metrics_overhead(path, chunk_size, max_overhead)
+        if numpy_or_none() is None:
+            print(
+                "bench-smoke: numpy unavailable, columnar == scalar; "
+                "skipping the speedup floor"
+            )
+            for error in errors:
+                print(error, file=sys.stderr)
+            return 1 if errors else 0
         scalar, scalar_seconds = _best_of(
             lambda: compress_tsh_file(path, chunk_size=chunk_size, engine="scalar")
         )
@@ -76,16 +125,15 @@ def main() -> int:
     )
 
     if serialize_compressed(columnar.output) != serialize_compressed(scalar.output):
-        print("bench-smoke: engines disagree on output bytes", file=sys.stderr)
-        return 1
+        errors.append("bench-smoke: engines disagree on output bytes")
     if speedup < floor:
-        print(
+        errors.append(
             f"bench-smoke: columnar speedup x{speedup:.2f} fell below the "
-            f"x{floor} floor in {BASELINE.name}",
-            file=sys.stderr,
+            f"x{floor} floor in {BASELINE.name}"
         )
-        return 1
-    return 0
+    for error in errors:
+        print(error, file=sys.stderr)
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

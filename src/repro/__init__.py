@@ -26,8 +26,13 @@ eagerly.
 from __future__ import annotations
 
 import importlib
+import logging
 
 __version__ = "1.1.0"
+
+# Library-standard logging posture: the package logger stays silent
+# unless the application (or the CLI's -v/-q flags) attaches a handler.
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 # name → (module, attribute) resolved on first access.
 _LAZY_EXPORTS = {

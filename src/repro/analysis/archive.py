@@ -55,6 +55,54 @@ def archive_overview_lines(reader: ArchiveReader) -> list[str]:
     ]
 
 
+def backend_usage_lines(reader: ArchiveReader) -> list[str]:
+    """Per-backend aggregates across the index: segments and byte share."""
+    usage: dict[str, list[int]] = {}
+    for entry in reader.entries:
+        counts = usage.setdefault(segment_backend_label(entry), [0, 0])
+        counts[0] += 1
+        counts[1] += entry.length
+    if not usage:
+        return []
+    total = sum(size for _, size in usage.values()) or 1
+    lines = ["backend usage:"]
+    for label in sorted(usage):
+        count, size = usage[label]
+        lines.append(
+            f"  {label:<20} : {count} segment(s), {size} B "
+            f"({100.0 * size / total:.1f}% of data)"
+        )
+    return lines
+
+
+def prune_probe_lines(reader: ArchiveReader) -> list[str]:
+    """Index-prune statistics from a dry-run query — no segment decoded.
+
+    Probes the middle half of the archive's time span (the shape of a
+    typical window query) against the footer index alone and reports how
+    many segments — and how many bytes — the index rules out before any
+    decode.  Empty and single-segment archives skip the probe: there is
+    nothing an index could prune.
+    """
+    from repro.query.engine import QueryEngine
+    from repro.query.predicates import TimeRange
+
+    bounds = reader.time_bounds()
+    if not bounds or reader.segment_count < 2:
+        return []
+    start, end = bounds
+    low = start + (end - start) / 4.0
+    high = start + 3.0 * (end - start) / 4.0
+    stats = QueryEngine(reader).index_probe(TimeRange(low, high))
+    pruned = stats.segments_total - stats.segments_matched
+    return [
+        f"index prune probe    : window {low:.4f} .. {high:.4f} s (dry run)",
+        f"  segments pruned    : {pruned}/{stats.segments_total} "
+        f"({100.0 * pruned / stats.segments_total:.1f}%) without decoding",
+        f"  bytes to decode    : {stats.bytes_decoded}/{stats.bytes_total} B",
+    ]
+
+
 def segment_table(reader: ArchiveReader) -> str:
     """One row per segment: byte range, time bounds, flow mix, addresses."""
     rows = []

@@ -167,6 +167,15 @@ class Options:
     compressor: CompressorConfig = field(default_factory=CompressorConfig)
     decompressor: DecompressorConfig = field(default_factory=DecompressorConfig)
     name: str | None = None
+    metrics: bool = True
+    """Record :mod:`repro.obs` metrics during façade verbs.
+
+    ``False`` scopes a disabled registry around each verb, reducing the
+    instrumentation to no-op factory calls — the knob the overhead
+    benchmark and metrics-averse embedders use.  Reports
+    (``compress(..., report=True)``) force their own scoped registry
+    regardless, since a report without metrics would be empty.
+    """
 
     @classmethod
     def make(

@@ -64,6 +64,7 @@ from repro.core.replay import (
 from repro.core.decompressor import flow_specs
 from repro.core.generator import TraceModel
 from repro.net.packet import PacketRecord
+from repro.obs import RunReport, record_run, scoped as obs_scoped
 from repro.query.engine import (
     FlowSummary,
     QueryEngine,
@@ -176,7 +177,43 @@ class TraceStore:
         raise NotImplementedError
 
     def compress(
-        self, dest: str | Path, *, options: Options | None = None
+        self,
+        dest: str | Path,
+        *,
+        options: Options | None = None,
+        report: bool = False,
+    ) -> CompressionReport | ArchiveBuildReport | RunReport:
+        """Compress (or re-encode) this source into ``dest``.
+
+        With ``report=True`` the whole run records into a private
+        :mod:`repro.obs` registry and the structured
+        :class:`~repro.obs.RunReport` is returned instead of the
+        kind-specific build report — every counter, stage timer and
+        high-water mark of the run, ready for ``to_json()``.  With
+        ``report=False`` (default) metrics land in the ambient registry,
+        unless ``options.metrics`` is False, which scopes a disabled
+        registry around the verb.  The engine path taken is the same in
+        all three cases.
+        """
+        options = options or self.options
+        if report:
+            with record_run(
+                "compress",
+                meta={
+                    "source": str(self.path),
+                    "dest": str(Path(dest)),
+                    "source_kind": self.kind.value,
+                },
+            ) as run:
+                self._compress(dest, options=options)
+            return run.report
+        if not options.metrics:
+            with obs_scoped(None):
+                return self._compress(dest, options=options)
+        return self._compress(dest, options=options)
+
+    def _compress(
+        self, dest: str | Path, *, options: Options
     ) -> CompressionReport | ArchiveBuildReport:
         raise NotImplementedError
 
@@ -373,8 +410,8 @@ class TraceFileStore(TraceStore):
 
     # -- compressing -------------------------------------------------------
 
-    def compress(
-        self, dest: str | Path, *, options: Options | None = None
+    def _compress(
+        self, dest: str | Path, *, options: Options
     ) -> CompressionReport | ArchiveBuildReport:
         """Compress into ``dest`` — ``.fctca`` builds a segmented archive,
         anything else a single ``.fctc`` container.
@@ -388,7 +425,6 @@ class TraceFileStore(TraceStore):
         paper's one-shot path.  Batch and stream produce byte-identical
         containers.
         """
-        options = options or self.options
         dest = Path(dest)
         if options.streaming.workers > 1 and (
             dest.suffix.lower() == ".fctca" or self.kind is not SourceKind.TSH
@@ -578,8 +614,8 @@ class ContainerStore(TraceStore):
         )
         return result
 
-    def compress(
-        self, dest: str | Path, *, options: Options | None = None
+    def _compress(
+        self, dest: str | Path, *, options: Options
     ) -> CompressionReport | ArchiveBuildReport:
         """Re-encode: same datasets, different section backends.
 
@@ -589,7 +625,6 @@ class ContainerStore(TraceStore):
         the container as a one-segment archive instead (epoch 0 —
         container timestamps are already relative to their base time).
         """
-        options = options or self.options
         dest = Path(dest)
         backend = options.codec.backend
         if backend is None:
@@ -657,9 +692,11 @@ class ContainerStore(TraceStore):
         lines.append("stored sections:")
         for section in info.sections:
             share = 100.0 * section.stored_bytes / stored_total
+            ratio = 100.0 * section.stored_bytes / (section.raw_bytes or 1)
             lines.append(
                 f"  {section.name:<22}: {section.stored_bytes} B "
-                f"({section.backend}, {share:.1f}% of file)"
+                f"({section.backend}, {share:.1f}% of file, "
+                f"{ratio:.1f}% of raw)"
             )
         lines.append(f"  {'file total':<22}: {info.total_bytes} B")
         return StoreInfo(
@@ -761,11 +798,10 @@ class ArchiveStore(TraceStore):
             dest, predicate, limit=limit, options=options
         )
 
-    def compress(
-        self, dest: str | Path, *, options: Options | None = None
+    def _compress(
+        self, dest: str | Path, *, options: Options
     ) -> CompressionReport | ArchiveBuildReport:
         """Re-encode every segment through ``options.codec`` into ``dest``."""
-        options = options or self.options
         dest = Path(dest)
         if dest.suffix.lower() != ".fctca":
             raise self._unsupported(
@@ -821,9 +857,16 @@ class ArchiveStore(TraceStore):
         )
 
     def info(self) -> StoreInfo:
-        from repro.analysis.archive import archive_overview_lines, segment_table
+        from repro.analysis.archive import (
+            archive_overview_lines,
+            backend_usage_lines,
+            prune_probe_lines,
+            segment_table,
+        )
 
         lines = list(archive_overview_lines(self.reader))
+        lines.extend(backend_usage_lines(self.reader))
+        lines.extend(prune_probe_lines(self.reader))
         if self.reader.entries:
             lines.append("")
             lines.extend(segment_table(self.reader).splitlines())

@@ -54,6 +54,7 @@ from repro.core.decompressor import (
 from repro.core.errors import ArchiveError, CodecError
 from repro.core.replay import ReplayStats, merge_packet_stream
 from repro.net.packet import PacketRecord
+from repro.obs import current as obs_current
 
 
 def parse_archive_tail(
@@ -170,6 +171,13 @@ class ArchiveReader:
             raise ArchiveError(f"segment {index}: {exc}") from exc
         self.segments_decoded += 1
         self.bytes_decoded += entry.length
+        registry = obs_current()
+        registry.counter(
+            "archive.segments_decoded", "archive segments decoded"
+        ).inc()
+        registry.counter(
+            "archive.bytes_decoded", "serialized segment bytes decoded"
+        ).inc(entry.length)
         return compressed
 
     def iter_segments(self) -> Iterator[tuple[int, CompressedTrace]]:

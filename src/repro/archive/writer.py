@@ -24,6 +24,7 @@ archive header so appended captures must share the original time base.
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
 from typing import BinaryIO, Iterable
 
@@ -44,6 +45,9 @@ from repro.core.errors import ArchiveError, warn_deprecated
 from repro.core.streaming import StreamingCompressor
 from repro.net.columns import PacketColumns, tolist
 from repro.net.packet import PacketRecord
+from repro.obs import current as obs_current
+
+_log = logging.getLogger(__name__)
 
 DEFAULT_SEGMENT_PACKETS = 65536
 DEFAULT_SEGMENT_SPAN = 60.0
@@ -383,6 +387,9 @@ class ArchiveWriter:
             compressed, offset, result.length, result.backend_tags
         )
         self._entries.append(entry)
+        obs_current().counter(
+            "archive.segment_bytes", "serialized segment bytes landed"
+        ).inc(result.length)
         return entry
 
     # -- closing ----------------------------------------------------------
@@ -403,24 +410,50 @@ class ArchiveWriter:
         partial bytes of a failed segment write — the footer simply
         starts there and no index entry references the dead space.
         """
-        footer_offset = self._stream.tell()
-        footer = pack_footer(self._entries)
-        self._stream.write(footer)
-        self._stream.write(TRAILER.pack(footer_offset, len(footer), TRAILER_MAGIC))
-        self._stream.seek(0)
-        self._stream.write(
-            HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, self._epoch or 0.0)
+        registry = obs_current()
+        with registry.timer(
+            "archive.seal", "wall time writing footer, trailer, and final header"
+        ).time():
+            footer_offset = self._stream.tell()
+            footer = pack_footer(self._entries)
+            self._stream.write(footer)
+            self._stream.write(
+                TRAILER.pack(footer_offset, len(footer), TRAILER_MAGIC)
+            )
+            self._stream.seek(0)
+            self._stream.write(
+                HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, self._epoch or 0.0)
+            )
+            self._stream.close()
+            self._closed = True
+        registry.counter("archive.index_bytes", "footer index bytes written").inc(
+            len(footer)
         )
-        self._stream.close()
-        self._closed = True
+        _log.debug(
+            "sealed archive: %d segment(s), %d index byte(s)",
+            len(self._entries),
+            len(footer),
+        )
 
     def _rotate(self) -> None:
         if self._compressor is None:
             return
         compressed = self._compressor.finish()
+        fed = self._segment_fed
         self._compressor = None
         if compressed.time_seq:
-            self.write_segment(compressed)
+            entry = self.write_segment(compressed)
+            obs_current().counter(
+                "archive.segments_rotated", "segments closed and landed on disk"
+            ).inc()
+            if _log.isEnabledFor(logging.DEBUG):
+                _log.debug(
+                    "rotated segment %d: %d packet(s), %d flow(s), %d byte(s)",
+                    len(self._entries) - 1,
+                    fed,
+                    len(compressed.time_seq),
+                    entry.length,
+                )
 
     def __enter__(self) -> "ArchiveWriter":
         return self

@@ -33,6 +33,7 @@ Exit codes are uniform across every subcommand:
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from pathlib import Path
@@ -43,7 +44,10 @@ from repro.api.errors import ReproError
 from repro.core.backends import AUTO, backend_names
 from repro.core.errors import CodecError, CompressionError
 from repro.net.ip import format_ipv4
+from repro.obs import record_run
 from repro.trace.reader import DEFAULT_CHUNK_PACKETS
+
+_log = logging.getLogger(__name__)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -58,19 +62,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
-        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        _log.error("error: --workers must be >= 1, got %s", args.workers)
         return 2
     if args.chunk_size is not None and args.chunk_size < 1:
-        print(
-            f"error: --chunk-size must be >= 1, got {args.chunk_size}",
-            file=sys.stderr,
-        )
+        _log.error("error: --chunk-size must be >= 1, got %s", args.chunk_size)
         return 2
     if args.stream and args.workers is not None and args.workers > 1:
-        print(
+        _log.error(
             "error: --stream promises byte-identical output, which the "
-            "parallel merge cannot; drop one of --stream/--workers",
-            file=sys.stderr,
+            "parallel merge cannot; drop one of --stream/--workers"
         )
         return 2
     options = api.Options.make(
@@ -132,16 +132,15 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
-        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        _log.error("error: --workers must be >= 1, got %s", args.workers)
         return 2
     predicate = _build_predicate(args)
     filtered = not isinstance(predicate, api.MatchAll) or args.limit is not None
     workers = args.workers or 1
     if filtered and workers > 1:
-        print(
+        _log.error(
             "error: --workers parallelizes full-archive replay only; "
-            "drop the flow filters/--limit or --workers",
-            file=sys.stderr,
+            "drop the flow filters/--limit or --workers"
         )
         return 2
     with api.open(args.archive) as store:
@@ -294,10 +293,9 @@ def _build_predicate(args: argparse.Namespace):
 
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.output is None and (args.backend is not None or args.level is not None):
-        print(
+        _log.error(
             "error: --backend/--level re-encode the --output sub-archive; "
-            "pass --output or drop them",
-            file=sys.stderr,
+            "pass --output or drop them"
         )
         return 2
     predicate = _build_predicate(args)
@@ -376,6 +374,43 @@ def _add_predicate_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--max-rtt", type=float, default=None, help="seconds")
 
 
+def _common_flags() -> argparse.ArgumentParser:
+    """The global flags every subcommand shares, as a parent parser.
+
+    Attached via ``parents=`` on each subparser (never duplicated on the
+    root — a subparser's default would silently override the root's
+    parsed value), so ``repro-trace compress -v ...`` and
+    ``repro-trace archive build --metrics ...`` both work.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("diagnostics")
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
+    group.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="log errors only (overrides -v)",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics table to stderr when done",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's metrics as a JSON run report to FILE",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-trace", description="Flow-clustering trace compressor tools."
@@ -385,16 +420,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="version",
         version=f"%(prog)s {repro.__version__}",
     )
+    common = _common_flags()
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    generate = subparsers.add_parser("generate", help="synthesize a Web trace")
+    generate = subparsers.add_parser(
+        "generate", help="synthesize a Web trace", parents=[common]
+    )
     generate.add_argument("output", help="output .tsh path")
     generate.add_argument("--duration", type=float, default=100.0)
     generate.add_argument("--rate", type=float, default=40.0, help="flows/second")
     generate.add_argument("--seed", type=int, default=1)
     generate.set_defaults(handler=_cmd_generate)
 
-    compress = subparsers.add_parser("compress", help="compress a TSH trace")
+    compress = subparsers.add_parser(
+        "compress", help="compress a TSH trace", parents=[common]
+    )
     compress.add_argument("input", help="input .tsh path")
     compress.add_argument(
         "output", help="output .fctc path (.fctca builds a segmented archive)"
@@ -430,7 +470,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flags(compress, default_note="raw", what="the output container")
     compress.set_defaults(handler=_cmd_compress)
 
-    decompress = subparsers.add_parser("decompress", help="rebuild a trace")
+    decompress = subparsers.add_parser(
+        "decompress", help="rebuild a trace", parents=[common]
+    )
     decompress.add_argument("input", help="input .fctc path")
     decompress.add_argument(
         "output", help="output .tsh path (.pcap writes pcap-lite instead)"
@@ -440,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay = subparsers.add_parser(
         "replay",
         help="stream an archive back into a synthetic trace file",
+        parents=[common],
     )
     replay.add_argument("archive", help=".fctca path")
     replay.add_argument(
@@ -458,24 +501,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.set_defaults(handler=_cmd_replay)
 
-    stats = subparsers.add_parser("stats", help="flow statistics of a trace")
+    stats = subparsers.add_parser(
+        "stats", help="flow statistics of a trace", parents=[common]
+    )
     stats.add_argument("input", help="input .tsh path")
     stats.set_defaults(handler=_cmd_stats)
 
-    inspect = subparsers.add_parser("inspect", help="examine a compressed file")
+    inspect = subparsers.add_parser(
+        "inspect", help="examine a compressed file", parents=[common]
+    )
     inspect.add_argument("input", help="input .fctc path")
     inspect.add_argument(
         "--addresses", action="store_true", help="list the address dataset"
     )
     inspect.set_defaults(handler=_cmd_inspect)
 
-    convert = subparsers.add_parser("convert", help="convert between tsh/pcap")
+    convert = subparsers.add_parser(
+        "convert", help="convert between tsh/pcap", parents=[common]
+    )
     convert.add_argument("input", help="input .tsh or .pcap path")
     convert.add_argument("output", help="output .tsh or .pcap path")
     convert.set_defaults(handler=_cmd_convert)
 
     synthesize = subparsers.add_parser(
-        "synthesize", help="fit a model and synthesize a scaled trace"
+        "synthesize",
+        help="fit a model and synthesize a scaled trace",
+        parents=[common],
     )
     synthesize.add_argument("input", help="source .tsh path")
     synthesize.add_argument("output", help="output .tsh path")
@@ -489,7 +540,9 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.set_defaults(handler=_cmd_synthesize)
 
     anonymize = subparsers.add_parser(
-        "anonymize", help="prefix-preserving address anonymization"
+        "anonymize",
+        help="prefix-preserving address anonymization",
+        parents=[common],
     )
     anonymize.add_argument("input", help="input .tsh path")
     anonymize.add_argument("output", help="output .tsh path")
@@ -497,7 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.set_defaults(handler=_cmd_anonymize)
 
     compare = subparsers.add_parser(
-        "compare", help="semantic comparison of two traces"
+        "compare", help="semantic comparison of two traces", parents=[common]
     )
     compare.add_argument("first", help="first .tsh path")
     compare.add_argument("second", help="second .tsh path")
@@ -523,7 +576,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     archive_build = archive_sub.add_parser(
-        "build", help="compress one or more .tsh captures into a new archive"
+        "build",
+        help="compress one or more .tsh captures into a new archive",
+        parents=[common],
     )
     archive_build.add_argument("output", help="output .fctca path")
     archive_build.add_argument("inputs", nargs="+", help="input .tsh paths, in time order")
@@ -532,7 +587,9 @@ def build_parser() -> argparse.ArgumentParser:
     archive_build.set_defaults(handler=_cmd_archive_build)
 
     archive_append = archive_sub.add_parser(
-        "append", help="append captures to an existing archive in place"
+        "append",
+        help="append captures to an existing archive in place",
+        parents=[common],
     )
     archive_append.add_argument("archive", help="existing .fctca path")
     archive_append.add_argument("inputs", nargs="+", help="input .tsh paths")
@@ -541,7 +598,9 @@ def build_parser() -> argparse.ArgumentParser:
     archive_append.set_defaults(handler=_cmd_archive_append)
 
     archive_info = archive_sub.add_parser(
-        "info", help="print the archive overview and per-segment index"
+        "info",
+        help="print the archive overview and per-segment index",
+        parents=[common],
     )
     archive_info.add_argument("archive", help=".fctca path")
     archive_info.set_defaults(handler=_cmd_archive_info)
@@ -549,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser(
         "query",
         help="query flows in an archive without decoding unrelated segments",
+        parents=[common],
     )
     query.add_argument("archive", help=".fctca path")
     _add_predicate_flags(query)
@@ -569,6 +629,62 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """Point the ``repro`` logger at the *current* stderr for this run.
+
+    The handler is rebuilt on every :func:`main` call rather than once at
+    import, because test harnesses (and some embedders) swap
+    ``sys.stderr`` between invocations; a cached stream would write into
+    the void.  Handlers from previous runs are tagged and removed so
+    repeated ``main()`` calls never double-print.  Messages pass through
+    verbatim (``%(message)s``) — the one-line ``error: ...`` contract of
+    the exit-code table depends on it.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger.setLevel(level)
+
+
+def _run_handler(args: argparse.Namespace) -> int:
+    """Dispatch to the subcommand, recording a run report when asked.
+
+    ``--metrics`` / ``--metrics-out`` wrap the handler in
+    :func:`repro.obs.record_run` — a fresh scoped registry, so the
+    report covers exactly this invocation.  Without either flag the
+    handler runs bare and pays nothing.
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    show_metrics = getattr(args, "metrics", False)
+    if not metrics_out and not show_metrics:
+        return args.handler(args)
+    command = args.command
+    sub = getattr(args, "archive_command", None)
+    if sub:
+        command = f"{command}.{sub}"
+    with record_run(command) as run:
+        code = args.handler(args)
+    if metrics_out:
+        run.report.write(metrics_out)
+    if show_metrics:
+        for line in run.report.summary_lines():
+            print(line, file=sys.stderr)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         args = build_parser().parse_args(argv)
@@ -577,24 +693,24 @@ def main(argv: list[str] | None = None) -> int:
         # normalize so main() always *returns* a uniform code.
         code = exc.code
         return code if isinstance(code, int) else (0 if code is None else 2)
+    _configure_logging(getattr(args, "verbose", 0), getattr(args, "quiet", False))
     try:
-        return args.handler(args)
+        return _run_handler(args)
     except FileNotFoundError as exc:
         name = exc.filename if exc.filename is not None else exc
-        print(f"error: {name}: no such file", file=sys.stderr)
+        _log.error("error: %s: no such file", name)
         return 2
     except (ReproError, CodecError, CompressionError, OSError, ValueError) as exc:
         # User-caused failures (malformed containers, capacity overflows,
         # truncated traces, bad flag values) end with a message, not a
         # traceback; programming errors land in the handler below.
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     except Exception as exc:  # noqa: BLE001 — the uniform "internal" exit
         if os.environ.get("REPRO_DEBUG"):
             raise
-        print(
-            f"internal error: {exc!r} (set REPRO_DEBUG=1 for the traceback)",
-            file=sys.stderr,
+        _log.error(
+            "internal error: %r (set REPRO_DEBUG=1 for the traceback)", exc
         )
         return 1
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.backends.base import BackendCodec, get_backend
+from repro.obs import current as obs_current
 
 AUTO = "auto"
 """The reserved spec name that triggers per-section trial selection."""
@@ -49,7 +50,9 @@ def _trial(
     sample = bytes(data[:sample_bytes])
     covered = len(sample) == len(data)
     if not sample:
-        return get_backend("raw"), b"", covered
+        winner = get_backend("raw")
+        _count_selection(winner.name)
+        return winner, b"", covered
     best: BackendCodec | None = None
     best_payload = b""
     for name in names:
@@ -57,7 +60,16 @@ def _trial(
         trial = codec.compress(sample, codec.advisory_level(level))
         if best is None or len(trial) < len(best_payload):
             best, best_payload = codec, trial
+    _count_selection(best.name)
     return best, best_payload, covered
+
+
+def _count_selection(winner: str) -> None:
+    """Record one trial outcome — which backend the selection picked."""
+    obs_current().counter(
+        f"backend.auto.selected.{winner}",
+        "auto-selection trials won by this backend",
+    ).inc()
 
 
 def choose_backend(

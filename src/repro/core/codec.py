@@ -60,6 +60,7 @@ from repro.core.datasets import (
     TimeSeqRecord,
 )
 from repro.core.errors import CodecError
+from repro.obs import current as obs_current
 
 MAGIC = b"FCTC"
 VERSION_V1 = 2  # legacy layout: untagged, raw sections
@@ -436,32 +437,43 @@ def write_container(
     """
     _check_counts(compressed)
     spec = resolve_backend_spec(backend)
-    bodies = _section_bodies(compressed)
-    # A plain backend name is an explicit request: a level it cannot
-    # honor is an error.  Under auto / per-section mappings / the raw
-    # default the level is advisory — it applies where a leveled codec
-    # ends up and is ignored by the rest (raw).
-    strict_level = isinstance(backend, str) and backend != AUTO
-    sections: list[SectionInfo] = []
-    payloads: list[bytes] = []
-    for section, body in zip(SECTION_NAMES, bodies):
-        name = spec[section]
-        if name == AUTO:
-            codec, payload = encode_auto(body, level=level)
-        else:
-            codec = get_backend(name)
-            payload = codec.compress(
-                body, level if strict_level else codec.advisory_level(level)
+    registry = obs_current()
+    with registry.timer(
+        "stage.encode", "wall time packing and backend-coding sections"
+    ).time():
+        bodies = _section_bodies(compressed)
+        # A plain backend name is an explicit request: a level it cannot
+        # honor is an error.  Under auto / per-section mappings / the raw
+        # default the level is advisory — it applies where a leveled codec
+        # ends up and is ignored by the rest (raw).
+        strict_level = isinstance(backend, str) and backend != AUTO
+        sections: list[SectionInfo] = []
+        payloads: list[bytes] = []
+        for section, body in zip(SECTION_NAMES, bodies):
+            name = spec[section]
+            if name == AUTO:
+                codec, payload = encode_auto(body, level=level)
+            else:
+                codec = get_backend(name)
+                payload = codec.compress(
+                    body, level if strict_level else codec.advisory_level(level)
+                )
+            sections.append(
+                SectionInfo(
+                    name=section,
+                    backend=codec.name,
+                    stored_bytes=len(payload),
+                    raw_bytes=len(body),
+                )
             )
-        sections.append(
-            SectionInfo(
-                name=section,
-                backend=codec.name,
-                stored_bytes=len(payload),
-                raw_bytes=len(body),
-            )
-        )
-        payloads.append(payload)
+            payloads.append(payload)
+    registry.counter("codec.containers", "v2 containers written").inc()
+    registry.counter("codec.bytes_raw", "section bytes before backend coding").inc(
+        sum(info.raw_bytes for info in sections)
+    )
+    registry.counter("codec.bytes_stored", "section bytes after backend coding").inc(
+        sum(info.stored_bytes for info in sections)
+    )
 
     start = stream.tell()
     stream.write(_pack_header(compressed, VERSION_V2))

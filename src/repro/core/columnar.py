@@ -33,8 +33,10 @@ fallback backend — slower, same bytes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import replace
 
+from repro.obs import current as obs_current
 from repro.core.compressor import (
     CompressorConfig,
     CompressorStats,
@@ -51,6 +53,8 @@ from repro.net.columns import PacketColumns, numpy_or_none, tolist
 from repro.net.flowkey import canonical_key_columns
 from repro.net.packet import PacketRecord
 from repro.net.tcp import TCP_FIN, TCP_RST, classify_flags
+
+_log = logging.getLogger(__name__)
 
 ENGINE_AUTO = "auto"
 ENGINE_SCALAR = "scalar"
@@ -117,6 +121,11 @@ class ColumnarFlowCompressor:
         self._earliest_seen: float | None = None
         self._peak_active = 0
         self._finished = False
+        kernel = "numpy" if numpy_or_none() is not None else "fallback"
+        obs_current().counter(
+            f"columnar.kernel.{kernel}",
+            "columnar compressors instantiated on this kernel backend",
+        ).inc()
 
     @property
     def output(self) -> CompressedTrace:
@@ -142,6 +151,9 @@ class ColumnarFlowCompressor:
         count = len(columns)
         if count == 0:
             return 0
+        obs_current().histogram(
+            "columnar.chunk_packets", "rows per columnar chunk fed"
+        ).observe(count)
         timestamps, keys, forwards, base_values, terminators, dst_ips = (
             self._derive(columns)
         )
@@ -350,6 +362,15 @@ class ColumnarFlowCompressor:
             short_max = self.config.short_flow_max
             for key in stale:
                 self._close(flows.pop(key), short_max)
+            self.stats.flows_evicted += len(stale)
+            if _log.isEnabledFor(logging.DEBUG):
+                _log.debug(
+                    "idle eviction at t=%.6f: closed %d stale flow(s), "
+                    "%d active",
+                    now,
+                    len(stale),
+                    len(flows),
+                )
         self._earliest_seen = min(
             (state[_LAST_SEEN] for state in flows.values()), default=None
         )

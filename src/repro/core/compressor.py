@@ -26,6 +26,7 @@ is only defined for equal lengths.
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass, replace
 from typing import Iterable
@@ -51,6 +52,8 @@ from repro.net.packet import PacketRecord
 from repro.net.tcp import is_flow_terminator
 from repro.trace.trace import Trace
 
+_log = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class CompressorConfig:
@@ -71,7 +74,16 @@ class CompressorConfig:
 
 @dataclass
 class CompressorStats:
-    """Counters for introspection and the evaluation harness."""
+    """Counters for introspection and the evaluation harness.
+
+    Plain ints on purpose: these are bumped on the per-packet hot path,
+    so they must stay cheaper than any registry lookup.  The streaming
+    front-end folds them into the :mod:`repro.obs` registry once, at
+    ``finish()`` — the counters stay exact and the hot path stays free.
+    ``flows_evicted`` counts flows closed by the idle-eviction scan (a
+    subset of ``flows_closed``); both engines maintain it identically,
+    which the engine-parity metrics test pins.
+    """
 
     packets: int = 0
     flows_closed: int = 0
@@ -79,11 +91,42 @@ class CompressorStats:
     long_flows: int = 0
     template_hits: int = 0
     template_misses: int = 0
+    flows_evicted: int = 0
 
     def hit_ratio(self) -> float:
         """Fraction of short flows absorbed by an existing template."""
         total = self.template_hits + self.template_misses
         return self.template_hits / total if total else 0.0
+
+    def publish(self, registry) -> None:
+        """Fold these totals into a :class:`~repro.obs.MetricsRegistry`.
+
+        Called exactly once per compression run by whichever front-end
+        owns the run (batch ``compress_trace``, the streaming
+        compressor's ``finish``, or a parallel shard) — never by the
+        engine itself, so wrapped engines cannot double-publish.
+        """
+        registry.counter("compress.packets", "packets compressed").inc(
+            self.packets
+        )
+        registry.counter("compress.flows", "flows closed (short + long)").inc(
+            self.flows_closed
+        )
+        registry.counter(
+            "compress.flows.short", "flows routed to the short-flow dataset"
+        ).inc(self.short_flows)
+        registry.counter(
+            "compress.flows.long", "flows routed to the long-flow dataset"
+        ).inc(self.long_flows)
+        registry.counter(
+            "compress.template.hits", "short flows absorbed by an existing template"
+        ).inc(self.template_hits)
+        registry.counter(
+            "compress.template.misses", "short flows founding a new template"
+        ).inc(self.template_misses)
+        registry.counter(
+            "compress.evictions", "flows closed by the idle-eviction scan"
+        ).inc(self.flows_evicted)
 
 
 class TemplateMatcher:
@@ -252,8 +295,16 @@ class FlowClusterCompressor:
             node = self._active.find(key)
             if node is not None:
                 self._active.remove(node)
+                self.stats.flows_evicted += 1
                 self._close_flow(node)
             del self._last_seen[key]
+        if stale and _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "idle eviction at t=%.6f: closed %d stale flow(s), %d active",
+                now,
+                len(stale),
+                len(self._active),
+            )
         self._earliest_seen = min(self._last_seen.values(), default=None)
 
     def _close_flow(self, node: FlowNode) -> None:
@@ -311,9 +362,15 @@ def compress_trace(
     trace: Trace | Iterable[PacketRecord], config: CompressorConfig | None = None
 ) -> CompressedTrace:
     """Compress a whole trace in one call."""
+    from repro.obs import current as obs_current
+
     name = trace.name if isinstance(trace, Trace) else "compressed"
     compressor = FlowClusterCompressor(config, name=name)
     packets = trace.packets if isinstance(trace, Trace) else trace
     for packet in packets:
         compressor.add_packet(packet)
-    return compressor.finish()
+    output = compressor.finish()
+    # This front-end owns the run, so the batch path reports the same
+    # compress.* counters the streaming front-end does.
+    compressor.stats.publish(obs_current())
+    return output

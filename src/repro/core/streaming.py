@@ -31,6 +31,7 @@ materialization:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from dataclasses import dataclass
 from itertools import islice
@@ -54,6 +55,12 @@ from repro.core.datasets import CompressedTrace, DatasetId, TimeSeqRecord
 from repro.net.columns import PacketColumns, columns_from_records
 from repro.net.flowkey import flow_shard_columns
 from repro.net.packet import PacketRecord
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    current as obs_current,
+    scoped as obs_scoped,
+)
 from repro.trace.reader import (
     DEFAULT_CHUNK_PACKETS,
     first_tsh_timestamp,
@@ -62,6 +69,20 @@ from repro.trace.reader import (
     read_columns,
 )
 from repro.trace.tsh import decode_record
+
+_log = logging.getLogger(__name__)
+
+
+def _publish_compressor_stats(registry: MetricsRegistry, stats: CompressorStats) -> None:
+    """Fold a finished engine's per-packet counters into the registry.
+
+    The engines bump plain ints on the hot path (see
+    :class:`~repro.core.compressor.CompressorStats`); this one-shot fold
+    at finish time is what makes them visible to reports and exporters.
+    Zero increments still register the counters, so a run's metric set
+    is stable regardless of the trace content.
+    """
+    stats.publish(registry)
 
 
 @dataclass
@@ -101,6 +122,11 @@ class StreamingCompressor:
         )
         self._engine = engine_cls(config, name=name, base_time=base_time)
         self.streaming_stats = StreamingStats()
+        self._published = False
+        obs_current().counter(
+            f"stream.engine.{self.engine}",
+            "streaming compressors built on this engine",
+        ).inc()
 
     @property
     def config(self) -> CompressorConfig:
@@ -161,8 +187,26 @@ class StreamingCompressor:
         return count
 
     def finish(self) -> CompressedTrace:
-        """Flush open flows and return the completed datasets."""
-        return self._engine.finish()
+        """Flush open flows and return the completed datasets.
+
+        The first call also publishes the run's counters to the active
+        :mod:`repro.obs` registry (idempotent — ``finish`` may be called
+        again, e.g. via :meth:`to_bytes`).
+        """
+        output = self._engine.finish()
+        if not self._published:
+            self._published = True
+            registry = obs_current()
+            _publish_compressor_stats(registry, self._engine.stats)
+            feed = self.streaming_stats
+            registry.counter("stream.chunks", "chunks fed to the compressor").inc(
+                feed.chunks_fed
+            )
+            registry.gauge(
+                "stream.active_flows.peak",
+                "high-water mark of concurrently open flows",
+            ).set_max(feed.peak_active_flows)
+        return output
 
     def to_bytes(
         self, *, backend: str | None = None, level: int | None = None
@@ -223,12 +267,32 @@ def compress_tsh_file(
     compressor = StreamingCompressor(
         config, name=name or Path(path).stem, engine=engine
     )
-    if compressor.engine == ENGINE_COLUMNAR:
-        for columns in read_columns(path, chunk_size):
-            compressor.feed_columns(columns)
-    else:
-        for chunk in iter_tsh_chunks(path, chunk_size):
-            compressor.feed(chunk)
+    registry = obs_current()
+    # Decode happens lazily inside the chunk generator, so timing the
+    # ``next`` call captures read+decode and the feed call captures
+    # clustering — two timer observations per chunk, nothing per packet.
+    decode_timer = registry.timer(
+        "stage.decode", "wall time reading and decoding TSH chunks"
+    )
+    cluster_timer = registry.timer(
+        "stage.cluster", "wall time clustering decoded chunks"
+    )
+    columnar = compressor.engine == ENGINE_COLUMNAR
+    chunks = (
+        read_columns(path, chunk_size)
+        if columnar
+        else iter_tsh_chunks(path, chunk_size)
+    )
+    while True:
+        with decode_timer.time():
+            chunk = next(chunks, None)
+        if chunk is None:
+            break
+        with cluster_timer.time():
+            if columnar:
+                compressor.feed_columns(chunk)
+            else:
+                compressor.feed(chunk)
     compressor.finish()
     return compressor
 
@@ -270,7 +334,7 @@ def record_shard(record: bytes, workers: int) -> int:
     return crc32(key + record[17:18]) % workers
 
 
-def _compress_shard(task: _ShardTask) -> CompressedTrace:
+def _compress_shard(task: _ShardTask) -> tuple[CompressedTrace, MetricsSnapshot]:
     """Worker body: compress the packets whose flow hashes to ``shard``.
 
     Each worker reads the file itself (no packet pickling between
@@ -278,29 +342,40 @@ def _compress_shard(task: _ShardTask) -> CompressedTrace:
     own residue class — decode cost stays ~1/workers per process.
     ``base_time`` anchors every shard to the trace start — shard-local
     first packets would otherwise skew the time-seq clocks.
+
+    Metrics are recorded into a *fresh* scoped registry, never the
+    process default: a forked worker inherits the parent's default
+    registry state, and snapshotting that would ship the parent's
+    pre-fork counts back ``workers`` times over.  The shard's own
+    snapshot rides back with the output for the parent to merge.
     """
     workers = task.workers
     shard = task.shard
-    if task.engine == ENGINE_COLUMNAR:
-        engine = ColumnarFlowCompressor(
-            task.config, name=f"shard-{task.shard}", base_time=task.base_time
-        )
-        for columns in read_columns(task.path, task.chunk_size):
-            # flow_shard_columns matches record_shard row for row, so a
-            # columnar worker selects exactly the records a
-            # record-filtering worker would decode.
-            shards = flow_shard_columns(columns, workers)
-            mine = [row for row, value in enumerate(shards) if value == shard]
-            if mine:
-                engine.feed_columns(columns.select(mine))
-        return engine.finish()
-    engine = FlowClusterCompressor(
-        task.config, name=f"shard-{task.shard}", base_time=task.base_time
-    )
-    for record in iter_tsh_records(task.path, task.chunk_size):
-        if record_shard(record, workers) == shard:
-            engine.add_packet(decode_record(record))
-    return engine.finish()
+    registry = MetricsRegistry()
+    with obs_scoped(registry):
+        if task.engine == ENGINE_COLUMNAR:
+            engine = ColumnarFlowCompressor(
+                task.config, name=f"shard-{task.shard}", base_time=task.base_time
+            )
+            for columns in read_columns(task.path, task.chunk_size):
+                # flow_shard_columns matches record_shard row for row, so a
+                # columnar worker selects exactly the records a
+                # record-filtering worker would decode.
+                shards = flow_shard_columns(columns, workers)
+                mine = [row for row, value in enumerate(shards) if value == shard]
+                if mine:
+                    engine.feed_columns(columns.select(mine))
+            output = engine.finish()
+        else:
+            engine = FlowClusterCompressor(
+                task.config, name=f"shard-{task.shard}", base_time=task.base_time
+            )
+            for record in iter_tsh_records(task.path, task.chunk_size):
+                if record_shard(record, workers) == shard:
+                    engine.add_packet(decode_record(record))
+            output = engine.finish()
+        _publish_compressor_stats(registry, engine.stats)
+    return output, registry.snapshot()
 
 
 def merge_compressed(
@@ -385,5 +460,10 @@ def compress_tsh_file_parallel(
         for shard in range(workers)
     ]
     with multiprocessing.Pool(workers) as pool:
-        shards = pool.map(_compress_shard, tasks)
-    return merge_compressed(shards, name=trace_name, config=config)
+        results = pool.map(_compress_shard, tasks)
+    registry = obs_current()
+    for _, snapshot in results:
+        registry.merge(snapshot)
+    return merge_compressed(
+        (shard for shard, _ in results), name=trace_name, config=config
+    )

@@ -1,0 +1,84 @@
+"""Prometheus text exposition for a metrics registry.
+
+:func:`render_prometheus` turns a registry into the text format a
+``/metrics`` endpoint serves (version 0.0.4 — the format every
+Prometheus scraper accepts).  The future ingest daemon mounts this
+unchanged; until then it is also handy for piping ``--metrics`` output
+into promtool.
+
+Naming: dotted metric names (``stream.packets``) become underscore
+names under one namespace prefix (``repro_stream_packets``); counters
+get the conventional ``_total`` suffix; timers render as two series
+(``_seconds_total``, ``_calls_total``); histograms render cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count``, exactly as a
+native Prometheus histogram would.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+)
+
+NAMESPACE = "repro"
+
+
+def metric_name(name: str, *, namespace: str = NAMESPACE) -> str:
+    """``stream.packets`` → ``repro_stream_packets`` (charset-safe)."""
+    safe = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name.replace(".", "_")
+    )
+    return f"{namespace}_{safe}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    registry: MetricsRegistry | None = None, *, namespace: str = NAMESPACE
+) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    ``None`` renders the process-default registry — what ``/metrics``
+    on the ingest daemon will serve.
+    """
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for metric in registry:
+        base = metric_name(metric.name, namespace=namespace)
+        help_text = metric.help or metric.name
+        if isinstance(metric, Counter):
+            lines.append(f"# HELP {base}_total {help_text}")
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {metric.value}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {base} {help_text}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(float(metric.value))}")
+        elif isinstance(metric, Timer):
+            lines.append(f"# HELP {base}_seconds_total {help_text}")
+            lines.append(f"# TYPE {base}_seconds_total counter")
+            lines.append(f"{base}_seconds_total {repr(metric.total_seconds)}")
+            lines.append(f"# HELP {base}_calls_total {help_text} (call count)")
+            lines.append(f"# TYPE {base}_calls_total counter")
+            lines.append(f"{base}_calls_total {metric.count}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {base} {help_text}")
+            lines.append(f"# TYPE {base} histogram")
+            for bound, cumulative in metric.buckets():
+                lines.append(
+                    f'{base}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{base}_sum {repr(metric.sum)}")
+            lines.append(f"{base}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

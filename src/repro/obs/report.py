@@ -1,0 +1,221 @@
+"""Structured run reports: one JSON document per instrumented run.
+
+A :class:`RunReport` is the serializable face of a
+:class:`~repro.obs.metrics.MetricsRegistry`: every counter, gauge,
+timer and histogram the run touched, plus identifying metadata and the
+wall-clock duration.  The document shape is a stability contract
+(``SCHEMA`` / :data:`RUN_REPORT_SCHEMA`, pinned by
+``tests/obs/test_report_schema.py``): dashboards and the future ingest
+daemon parse these files, so fields are added, never renamed.
+
+:func:`record_run` is the convenience wrapper the façade and the CLI
+use::
+
+    with record_run(command="compress", meta={"input": str(path)}) as run:
+        ...instrumented work...
+    run.report.write("metrics.json")
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    scoped,
+)
+
+SCHEMA = "repro.obs/run-report/v1"
+
+RUN_REPORT_SCHEMA = {
+    "schema": str,
+    "command": str,
+    "started_at": float,  # seconds since the epoch (time.time)
+    "duration_seconds": float,
+    "meta": dict,  # str -> str | int | float | bool | None
+    "counters": dict,  # str -> int
+    "gauges": dict,  # str -> float
+    "timers": dict,  # str -> {count, total_seconds, min_seconds, max_seconds}
+    "histograms": dict,  # str -> {count, sum, buckets: {le -> cumulative}}
+}
+"""Top-level document shape — the keys and value types ``to_dict`` emits.
+
+A hand-rolled schema (no jsonschema dependency): each key maps to the
+exact Python type the field must carry.  The stability test walks it.
+"""
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything one instrumented run measured, ready to serialize."""
+
+    command: str
+    started_at: float
+    duration_seconds: float
+    meta: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    timers: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: MetricsRegistry,
+        *,
+        command: str,
+        started_at: float,
+        duration_seconds: float,
+        meta: dict | None = None,
+    ) -> "RunReport":
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        timers: dict[str, dict] = {}
+        histograms: dict[str, dict] = {}
+        for metric in registry:
+            if isinstance(metric, Counter):
+                counters[metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = float(metric.value)
+            elif isinstance(metric, Timer):
+                timers[metric.name] = {
+                    "count": metric.count,
+                    "total_seconds": metric.total_seconds,
+                    "min_seconds": metric.min_seconds,
+                    "max_seconds": metric.max_seconds,
+                }
+            elif isinstance(metric, Histogram):
+                histograms[metric.name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": {
+                        ("+Inf" if bound == float("inf") else repr(bound)): count
+                        for bound, count in metric.buckets()
+                    },
+                }
+        return cls(
+            command=command,
+            started_at=started_at,
+            duration_seconds=duration_seconds,
+            meta=dict(meta or {}),
+            counters=counters,
+            gauges=gauges,
+            timers=timers,
+            histograms=histograms,
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "command": self.command,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration_seconds,
+            "meta": dict(self.meta),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {name: dict(value) for name, value in self.timers.items()},
+            "histograms": {
+                name: {**value, "buckets": dict(value["buckets"])}
+                for name, value in self.histograms.items()
+            },
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "RunReport":
+        if document.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a run report (schema={document.get('schema')!r}, "
+                f"expected {SCHEMA!r})"
+            )
+        return cls(
+            command=document["command"],
+            started_at=document["started_at"],
+            duration_seconds=document["duration_seconds"],
+            meta=document.get("meta", {}),
+            counters=document.get("counters", {}),
+            gauges=document.get("gauges", {}),
+            timers=document.get("timers", {}),
+            histograms=document.get("histograms", {}),
+        )
+
+    # -- presentation ------------------------------------------------------
+
+    def summary_lines(self) -> list[str]:
+        """The stderr table behind the CLI's ``--metrics`` flag."""
+        lines = [
+            f"-- metrics: {self.command} "
+            f"({self.duration_seconds * 1000.0:.1f} ms) --"
+        ]
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name:<36s} {value}")
+        for name, value in sorted(self.gauges.items()):
+            rendered = f"{value:g}"
+            lines.append(f"{name:<36s} {rendered}")
+        for name, stats in sorted(self.timers.items()):
+            lines.append(
+                f"{name:<36s} {stats['total_seconds'] * 1000.0:.1f} ms "
+                f"/ {stats['count']} call(s)"
+            )
+        for name, stats in sorted(self.histograms.items()):
+            mean = stats["sum"] / stats["count"] if stats["count"] else 0.0
+            lines.append(
+                f"{name:<36s} n={stats['count']} mean={mean:g}"
+            )
+        return lines
+
+
+class _RunRecorder:
+    """What :func:`record_run` yields: the live registry + final report."""
+
+    def __init__(self, registry: MetricsRegistry, command: str, meta: dict) -> None:
+        self.registry = registry
+        self.command = command
+        self.meta = meta
+        self.report: RunReport | None = None
+
+
+@contextmanager
+def record_run(
+    command: str,
+    *,
+    meta: dict | None = None,
+    registry: MetricsRegistry | None = None,
+):
+    """Scope a fresh registry around a block and report what it measured.
+
+    Everything instrumented inside the ``with`` records into a private
+    registry (the process default is untouched); on exit the recorder's
+    ``report`` holds the finished :class:`RunReport`.  ``meta`` entries
+    may be appended to (``run.meta[...] = ...``) until the block exits.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    recorder = _RunRecorder(registry, command, dict(meta or {}))
+    started_at = time.time()
+    start = time.perf_counter()
+    with scoped(registry):
+        yield recorder
+    recorder.report = RunReport.from_registry(
+        registry,
+        command=command,
+        started_at=started_at,
+        duration_seconds=time.perf_counter() - start,
+        meta=recorder.meta,
+    )

@@ -27,6 +27,7 @@ exactly the packets the full replay would for those flows.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
@@ -41,7 +42,10 @@ from repro.core.decompressor import DecompressorConfig, FlowSpec, flow_specs
 from repro.core.errors import warn_deprecated
 from repro.core.replay import merge_packet_stream
 from repro.net.packet import PacketRecord
+from repro.obs import current as obs_current
 from repro.query.predicates import MatchAll, Predicate
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,26 @@ class QueryStats:
             f"bytes decoded    : {self.bytes_decoded}/{self.bytes_total}",
             f"flows matched    : {self.flows_matched}/{self.flows_scanned} scanned",
         ]
+
+    def publish(self) -> None:
+        """Fold this query's work accounting into the active obs registry."""
+        registry = obs_current()
+        registry.counter("query.runs", "queries evaluated").inc()
+        registry.counter(
+            "query.segments_pruned", "segments the index ruled out undecoded"
+        ).inc(self.segments_total - self.segments_matched)
+        registry.counter(
+            "query.segments_decoded", "segments decoded to answer queries"
+        ).inc(self.segments_decoded)
+        registry.counter(
+            "query.bytes_decoded", "segment bytes decoded to answer queries"
+        ).inc(self.bytes_decoded)
+        registry.counter("query.flows_scanned", "flow records evaluated").inc(
+            self.flows_scanned
+        )
+        registry.counter("query.flows_matched", "flow records matched").inc(
+            self.flows_matched
+        )
 
 
 @dataclass
@@ -146,21 +170,47 @@ class QueryEngine:
             bytes_total=sum(entry.length for entry in self.reader.entries),
         )
         result = QueryResult(stats=stats)
-        for index, entry in enumerate(self.reader.entries):
-            if not predicate.match_segment(entry):
-                continue
-            stats.segments_matched += 1
-            compressed = self.reader.load_segment(index)
-            stats.segments_decoded += 1
-            stats.bytes_decoded += entry.length
-            for flow in flow_summaries(index, compressed):
-                stats.flows_scanned += 1
-                if predicate.match_flow(flow):
-                    stats.flows_matched += 1
-                    result.flows.append(flow)
-                    if limit is not None and stats.flows_matched >= limit:
-                        return result
-        return result
+        try:
+            for index, entry in enumerate(self.reader.entries):
+                if not predicate.match_segment(entry):
+                    _log.debug("query: index pruned segment %d", index)
+                    continue
+                stats.segments_matched += 1
+                compressed = self.reader.load_segment(index)
+                stats.segments_decoded += 1
+                stats.bytes_decoded += entry.length
+                for flow in flow_summaries(index, compressed):
+                    stats.flows_scanned += 1
+                    if predicate.match_flow(flow):
+                        stats.flows_matched += 1
+                        result.flows.append(flow)
+                        if limit is not None and stats.flows_matched >= limit:
+                            return result
+            return result
+        finally:
+            stats.publish()
+
+    def index_probe(self, predicate: Predicate | None = None) -> QueryStats:
+        """Dry-run ``predicate`` against the footer index alone.
+
+        Evaluates only the segment-level test — no segment is decoded,
+        no flow scanned, and (being a probe, not a query) nothing is
+        published to the metrics registry.  ``segments_matched`` is what
+        a real run would have to decode; ``bytes_decoded`` carries the
+        matched segments' byte total so callers can report how much I/O
+        the index saves.  This backs ``repro-trace archive info``'s
+        prune statistics.
+        """
+        predicate = predicate or MatchAll()
+        stats = QueryStats(
+            segments_total=self.reader.segment_count,
+            bytes_total=sum(entry.length for entry in self.reader.entries),
+        )
+        for entry in self.reader.entries:
+            if predicate.match_segment(entry):
+                stats.segments_matched += 1
+                stats.bytes_decoded += entry.length
+        return stats
 
     def stream_packets(
         self,
@@ -228,7 +278,17 @@ class QueryEngine:
             spec_source,
             halt=halt,
         )
-        return merge_packet_stream(feed, config)
+
+        def stream() -> Iterator[PacketRecord]:
+            # The stats fill in lazily as the stream is consumed, so they
+            # are published when the stream ends (or is closed early) —
+            # the one point where the accounting is final.
+            try:
+                yield from merge_packet_stream(feed, config)
+            finally:
+                stats.publish()
+
+        return stream()
 
     def filter_to(
         self,
@@ -273,6 +333,7 @@ class QueryEngine:
         ) as writer:
             for index, entry in enumerate(self.reader.entries):
                 if not predicate.match_segment(entry):
+                    _log.debug("filter: index pruned segment %d", index)
                     continue
                 stats.segments_matched += 1
                 compressed = self.reader.load_segment(index)
@@ -297,6 +358,7 @@ class QueryEngine:
                     break
             written = writer.segment_count
             writer.close()
+        stats.publish()
         return written, stats
 
 

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.net.packet import PacketRecord
+from repro.obs import current as obs_current
 from repro.trace.tsh import TSH_RECORD_BYTES, decode_columns, decode_record_from
 
 DEFAULT_CHUNK_PACKETS = 8192
@@ -36,21 +37,36 @@ def _iter_record_blocks(path: str | Path, chunk_size: int) -> Iterator[bytes]:
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
     read_bytes = chunk_size * TSH_RECORD_BYTES
+    # Metric handles resolved once per file, bumped once per block — the
+    # per-record loop below stays untouched.
+    registry = obs_current()
+    bytes_read = registry.counter(
+        "trace.read.bytes", "TSH bytes read from disk"
+    )
+    records_read = registry.counter(
+        "trace.read.records", "whole 44-byte TSH records decoded"
+    )
     with open(path, "rb") as stream:
         pending = b""
         while True:
             data = stream.read(read_bytes)
             if not data:
                 if pending:
+                    registry.counter(
+                        "trace.read.truncated_records",
+                        "reads ending in a partial TSH record",
+                    ).inc()
                     raise ValueError(
                         f"truncated TSH record: expected {TSH_RECORD_BYTES} "
                         f"bytes, got {len(pending)}"
                     )
                 return
+            bytes_read.inc(len(data))
             buffer = pending + data
             usable = len(buffer) - len(buffer) % TSH_RECORD_BYTES
             pending = buffer[usable:]
             if usable:
+                records_read.inc(usable // TSH_RECORD_BYTES)
                 yield buffer[:usable]
 
 

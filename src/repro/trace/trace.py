@@ -127,8 +127,20 @@ class Trace:
     @classmethod
     def load_tsh(cls, path: str | Path, name: str | None = None) -> "Trace":
         """Read a ``.tsh`` file."""
+        from repro.obs import current as obs_current
+
         data = Path(path).read_bytes()
-        return cls.from_tsh_bytes(data, name=name or Path(path).stem)
+        trace = cls.from_tsh_bytes(data, name=name or Path(path).stem)
+        # Same read accounting as the chunked reader, so batch and
+        # streaming runs report identical trace.read.* totals.
+        registry = obs_current()
+        registry.counter("trace.read.bytes", "TSH bytes read from disk").inc(
+            len(data)
+        )
+        registry.counter(
+            "trace.read.records", "whole 44-byte TSH records decoded"
+        ).inc(len(trace.packets))
+        return trace
 
     def save_pcap(self, path: str | Path) -> int:
         """Write a header-only pcap file; returns the packet count."""

@@ -1,0 +1,98 @@
+"""RunReport document-shape stability and the record_run wrapper.
+
+The JSON document is a contract: dashboards and the future ingest
+daemon parse these files, so the top-level keys and their value types
+must never change within schema v1.
+"""
+
+import json
+
+from repro.obs import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    current,
+    get_registry,
+    record_run,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import SCHEMA
+
+
+def _one_of_each() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("c", "a counter").inc(3)
+    registry.gauge("g", "a gauge").set(4.5)
+    registry.timer("t", "a timer").observe(0.25)
+    registry.histogram("h", "a histogram", bounds=(1.0, 10.0)).observe(5.0)
+    return registry
+
+
+def _report() -> RunReport:
+    return RunReport.from_registry(
+        _one_of_each(),
+        command="test",
+        started_at=1700000000.0,
+        duration_seconds=0.5,
+        meta={"source": "a.tsh"},
+    )
+
+
+class TestSchemaStability:
+    def test_document_matches_pinned_schema(self):
+        document = _report().to_dict()
+        assert set(document) == set(RUN_REPORT_SCHEMA)
+        for key, expected_type in RUN_REPORT_SCHEMA.items():
+            assert isinstance(document[key], expected_type), key
+
+    def test_schema_marker(self):
+        assert _report().to_dict()["schema"] == SCHEMA == "repro.obs/run-report/v1"
+
+    def test_value_shapes(self):
+        document = _report().to_dict()
+        assert document["counters"] == {"c": 3}
+        assert document["gauges"] == {"g": 4.5}
+        timer = document["timers"]["t"]
+        assert set(timer) == {
+            "count", "total_seconds", "min_seconds", "max_seconds",
+        }
+        histogram = document["histograms"]["h"]
+        assert set(histogram) == {"count", "sum", "buckets"}
+        assert histogram["buckets"] == {"1.0": 0, "10.0": 1, "+Inf": 1}
+
+    def test_json_round_trip(self):
+        report = _report()
+        clone = RunReport.from_dict(json.loads(report.to_json()))
+        assert clone.to_dict() == report.to_dict()
+
+    def test_write_reads_back(self, tmp_path):
+        path = _report().write(tmp_path / "run.json")
+        document = json.loads(path.read_text())
+        assert document["command"] == "test"
+        assert document["meta"] == {"source": "a.tsh"}
+
+
+class TestSummaryLines:
+    def test_covers_every_metric(self):
+        lines = _report().summary_lines()
+        text = "\n".join(lines)
+        assert lines[0].startswith("-- metrics: test")
+        for name in ("c", "g", "t", "h"):
+            assert any(line.startswith(name) for line in lines[1:]), name
+        assert "500.0 ms" in text
+
+
+class TestRecordRun:
+    def test_scopes_a_private_registry(self):
+        before = get_registry().value("recorded.inside", default=0)
+        with record_run("probe") as run:
+            assert current() is run.registry
+            current().counter("recorded.inside").inc(9)
+        assert run.report.counters == {"recorded.inside": 9}
+        assert run.report.command == "probe"
+        assert run.report.duration_seconds >= 0.0
+        assert get_registry().value("recorded.inside", default=0) == before
+
+    def test_meta_appendable_until_exit(self):
+        with record_run("probe", meta={"a": 1}) as run:
+            run.meta["b"] = 2
+        assert run.report.meta == {"a": 1, "b": 2}

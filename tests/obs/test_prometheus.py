@@ -1,0 +1,47 @@
+"""Prometheus text-exposition rendering."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import metric_name, render_prometheus
+
+
+def test_metric_name_sanitizes():
+    assert metric_name("stream.packets") == "repro_stream_packets"
+    assert metric_name("weird-name!", namespace="x") == "x_weird_name_"
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_counter_gauge_rendering():
+    registry = MetricsRegistry()
+    registry.counter("a.hits", "hit count").inc(3)
+    registry.gauge("a.depth", "queue depth").set(2.0)
+    text = render_prometheus(registry)
+    assert "# TYPE repro_a_depth gauge" in text
+    assert "repro_a_depth 2" in text
+    assert "# TYPE repro_a_hits_total counter" in text
+    assert "# HELP repro_a_hits_total hit count" in text
+    assert "repro_a_hits_total 3" in text
+    assert text.endswith("\n")
+
+
+def test_timer_renders_two_series():
+    registry = MetricsRegistry()
+    registry.timer("stage.decode").observe(0.25)
+    text = render_prometheus(registry)
+    assert "repro_stage_decode_seconds_total 0.25" in text
+    assert "repro_stage_decode_calls_total 1" in text
+
+
+def test_histogram_renders_native_shape():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h", bounds=(1.0, 10.0))
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    text = render_prometheus(registry)
+    assert 'repro_h_bucket{le="1"} 1' in text
+    assert 'repro_h_bucket{le="10"} 2' in text
+    assert 'repro_h_bucket{le="+Inf"} 2' in text
+    assert "repro_h_sum 5.5" in text
+    assert "repro_h_count 2" in text

@@ -16,9 +16,10 @@ Three passes, pure stdlib, run as the CI ``docs`` job:
    this check.  Blocks fenced as ```` ```text ```` (or any other
    language) are illustrative and not executed.
 3. **API example smoke-run** — every fenced ```` ```python ```` block
-   in ``docs/API.md`` runs the same way (document order, one shared
-   directory), with ``DeprecationWarning`` promoted to an error so the
-   façade reference can never drift onto a deprecated entry point.
+   in ``docs/API.md`` and ``docs/OBSERVABILITY.md`` runs the same way
+   (document order, one shared directory per document), with
+   ``DeprecationWarning`` promoted to an error so the reference docs
+   can never drift onto a deprecated entry point.
 
 ``repro-trace`` resolves through a shim that executes
 ``python -m repro.cli`` with ``PYTHONPATH=src``, so the check passes
@@ -122,20 +123,20 @@ def run_cli_examples() -> list[str]:
     return errors
 
 
-def run_api_examples() -> list[str]:
-    """Execute every ```python block of docs/API.md, in order.
+def run_python_examples(doc_name: str) -> list[str]:
+    """Execute every ```python block of one document, in order.
 
     One shared working directory (later blocks consume earlier outputs),
     ``PYTHONPATH=src`` so the check works on a bare source tree, and
     ``-W error::DeprecationWarning`` so a reference example that routes
     through a 1.1 shim fails the docs job.
     """
-    api_md = REPO / "docs" / "API.md"
-    blocks = _PY_BLOCK.findall(api_md.read_text("utf-8"))
+    doc_md = REPO / "docs" / doc_name
+    blocks = _PY_BLOCK.findall(doc_md.read_text("utf-8"))
     if not blocks:
-        return [f"{api_md.relative_to(REPO)}: no ```python blocks found"]
+        return [f"{doc_md.relative_to(REPO)}: no ```python blocks found"]
     errors = []
-    with tempfile.TemporaryDirectory(prefix="api-md-smoke-") as workdir:
+    with tempfile.TemporaryDirectory(prefix="docs-md-smoke-") as workdir:
         env = dict(os.environ)
         env["PYTHONPATH"] = (
             f"{REPO / 'src'}{os.pathsep}{env['PYTHONPATH']}"
@@ -152,12 +153,12 @@ def run_api_examples() -> list[str]:
             )
             if proc.returncode != 0:
                 errors.append(
-                    f"docs/API.md example block {index} exited "
+                    f"docs/{doc_name} example block {index} exited "
                     f"{proc.returncode}:\n{block}\n--- stderr ---\n"
                     f"{proc.stderr.strip()}"
                 )
                 break  # later blocks depend on this one's outputs
-            print(f"docs/API.md block {index}: ok")
+            print(f"docs/{doc_name} block {index}: ok")
     return errors
 
 
@@ -167,7 +168,9 @@ def main() -> int:
     if not errors:
         errors += run_cli_examples()
     if not errors:
-        errors += run_api_examples()
+        errors += run_python_examples("API.md")
+    if not errors:
+        errors += run_python_examples("OBSERVABILITY.md")
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0
