@@ -46,6 +46,10 @@ _LAZY_EXPORTS = {
     "CodecOptions": ("repro.api.options", "CodecOptions"),
     "StreamingOptions": ("repro.api.options", "StreamingOptions"),
     "ArchiveOptions": ("repro.api.options", "ArchiveOptions"),
+    "ServeOptions": ("repro.api.options", "ServeOptions"),
+    # the ingest daemon
+    "serve": ("repro.serve.daemon", "serve"),
+    "ServeReport": ("repro.serve.daemon", "ServeReport"),
     # one-shot operations
     "container_sections": ("repro.api.ops", "container_sections"),
     "generate": ("repro.api.ops", "generate"),

@@ -14,6 +14,8 @@ accepts:
   (:class:`StreamingOptions`)
 * ``options.archive`` — segment rotation bounds + epoch
   (:class:`ArchiveOptions`)
+* ``options.serve`` — ingest-daemon sources, queue bounds, drain policy
+  (:class:`ServeOptions`)
 * ``options.compressor`` / ``options.decompressor`` — the paper's
   algorithm tunables, unchanged.
 
@@ -36,6 +38,7 @@ from repro.core.decompressor import DecompressorConfig
 
 # Mirrored defaults (imported, not copied) so Options and the underlying
 # modules can never disagree about what "default" means.
+from repro.trace.framing import DEFAULT_MAX_FRAME_BYTES
 from repro.trace.reader import DEFAULT_CHUNK_PACKETS
 from repro.archive.writer import DEFAULT_SEGMENT_PACKETS, DEFAULT_SEGMENT_SPAN
 
@@ -149,6 +152,92 @@ class ArchiveOptions:
             )
 
 
+DEFAULT_QUEUE_CHUNKS = 64
+"""Per-source ingest queue bound, in decoded packet chunks.
+
+Each queue slot holds one decoded payload chunk (at most one socket
+frame or one tail read — a few thousand packets); the bound is what
+keeps daemon memory independent of how fast a source bursts.
+"""
+
+DEFAULT_DRAIN_TIMEOUT = 10.0
+"""Seconds a draining daemon waits for queued packets to compress."""
+
+DEFAULT_TAIL_POLL_SECONDS = 0.25
+"""How often a ``tail:`` source polls its file for growth."""
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """The ingest-daemon layer: sources, queue bounds, drain policy.
+
+    ``sources`` are ``scheme:target[+format]`` strings (see
+    :func:`repro.serve.sources.parse_source` for the grammar); rotation
+    bounds stay where they always lived, in :class:`ArchiveOptions` —
+    this layer only adds what a long-running service needs on top:
+    ``rotate_seconds`` force-flushes quiet sources on a wall clock,
+    ``queue_chunks`` bounds each source's ingest queue (backpressure
+    beyond it), ``drain_timeout`` caps the graceful SIGTERM/SIGINT
+    drain, ``stop_after_packets`` turns the daemon into a bounded run
+    (smoke tests, benchmarks), and ``prometheus_port`` mounts the text
+    exposition endpoint (0 picks an ephemeral port).
+    """
+
+    sources: tuple[str, ...] = ()
+    rotate_seconds: float | None = None
+    queue_chunks: int = DEFAULT_QUEUE_CHUNKS
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
+    stop_after_packets: int | None = None
+    prometheus_port: int | None = None
+    tail_poll_seconds: float = DEFAULT_TAIL_POLL_SECONDS
+
+    def __post_init__(self) -> None:
+        # Lazy: the parser is pure and import-light, but keeping the
+        # serve package out of this module's import graph preserves the
+        # façade's fast startup.
+        from repro.serve.sources import parse_source
+
+        if not isinstance(self.sources, tuple):
+            object.__setattr__(self, "sources", tuple(self.sources))
+        for spec in self.sources:
+            try:
+                parse_source(spec)
+            except ValueError as exc:
+                raise OptionsError(str(exc)) from exc
+        if self.rotate_seconds is not None and self.rotate_seconds <= 0:
+            raise OptionsError(
+                f"rotate_seconds must be positive: {self.rotate_seconds}"
+            )
+        if self.queue_chunks < 1:
+            raise OptionsError(
+                f"queue_chunks must be >= 1: {self.queue_chunks}"
+            )
+        if self.max_frame_bytes < 44:
+            raise OptionsError(
+                "max_frame_bytes must hold at least one 44-byte record: "
+                f"{self.max_frame_bytes}"
+            )
+        if self.drain_timeout <= 0:
+            raise OptionsError(
+                f"drain_timeout must be positive: {self.drain_timeout}"
+            )
+        if self.stop_after_packets is not None and self.stop_after_packets < 1:
+            raise OptionsError(
+                f"stop_after_packets must be >= 1: {self.stop_after_packets}"
+            )
+        if self.prometheus_port is not None and not (
+            0 <= self.prometheus_port <= 65535
+        ):
+            raise OptionsError(
+                f"prometheus_port out of range: {self.prometheus_port}"
+            )
+        if self.tail_poll_seconds <= 0:
+            raise OptionsError(
+                f"tail_poll_seconds must be positive: {self.tail_poll_seconds}"
+            )
+
+
 @dataclass(frozen=True)
 class Options:
     """Every knob of the compression system, in one validated value.
@@ -164,6 +253,7 @@ class Options:
     codec: CodecOptions = field(default_factory=CodecOptions)
     streaming: StreamingOptions = field(default_factory=StreamingOptions)
     archive: ArchiveOptions = field(default_factory=ArchiveOptions)
+    serve: ServeOptions = field(default_factory=ServeOptions)
     compressor: CompressorConfig = field(default_factory=CompressorConfig)
     decompressor: DecompressorConfig = field(default_factory=DecompressorConfig)
     name: str | None = None

@@ -25,8 +25,10 @@ archive header so appended captures must share the original time base.
 from __future__ import annotations
 
 import logging
+import os
+import threading
 from pathlib import Path
-from typing import BinaryIO, Iterable
+from typing import BinaryIO, Callable, Iterable
 
 from repro.archive.format import (
     ARCHIVE_MAGIC,
@@ -53,6 +55,226 @@ DEFAULT_SEGMENT_PACKETS = 65536
 DEFAULT_SEGMENT_SPAN = 60.0
 
 _UNSET = object()  # sentinel: distinguish "not passed" from an explicit None
+
+
+class EpochRef:
+    """A shared, late-bound time base.
+
+    Every compressor that feeds one archive must anchor its relative
+    clock to the same instant, but that instant is only known when the
+    first packet (from *whichever* stream wins) arrives.  An
+    ``EpochRef`` is the one mutable cell they all hold: :meth:`anchor`
+    installs the first candidate timestamp and returns the epoch ever
+    after.  The archive writer and every :class:`SegmentFeeder` draining
+    into it share one ref.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float | None = None) -> None:
+        self.value = value
+
+    def anchor(self, timestamp: float) -> float:
+        if self.value is None:
+            self.value = timestamp
+        return self.value
+
+
+class SegmentFeeder:
+    """Rotation policy for one packet stream, sealing into a sink.
+
+    The per-stream half of archive building, extracted from
+    :class:`ArchiveWriter` so it can be instantiated *per source*: a
+    feeder owns one :class:`~repro.core.streaming.StreamingCompressor`,
+    applies the packet-count / trace-time rotation bounds, and hands
+    each sealed :class:`~repro.core.datasets.CompressedTrace` to
+    ``sink`` (typically :meth:`ArchiveWriter.write_segment`).  The
+    writer itself runs exactly one feeder; ``repro serve`` runs one per
+    ingest source, all sharing the writer's :class:`EpochRef` so their
+    segment clocks stay comparable.
+
+    A segment rotates *before* the first packet that would overflow
+    ``segment_packets`` or land ``segment_span`` seconds of trace time
+    past the segment's first packet — the boundary rule the offline
+    writer has always used, preserved bit-for-bit so a live-ingested
+    stream segments exactly like the same capture compressed offline.
+
+    Not thread-safe: one feeder belongs to one feeding task.  The sink
+    is invoked synchronously from the feed call that closed the
+    segment.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[CompressedTrace], object],
+        *,
+        epoch: EpochRef,
+        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+        segment_span: float | None = DEFAULT_SEGMENT_SPAN,
+        config: CompressorConfig | None = None,
+        name: str = "segment",
+        engine: str | None = None,
+        segment_name: Callable[[int], str] | None = None,
+    ) -> None:
+        if segment_packets < 1:
+            raise ValueError(f"segment_packets must be >= 1: {segment_packets}")
+        if segment_span is not None and segment_span <= 0:
+            raise ValueError(f"segment_span must be positive: {segment_span}")
+        self._sink = sink
+        self._epoch = epoch
+        self._segment_packets = segment_packets
+        self._segment_span = segment_span
+        self._config = config
+        self._name = name
+        self._engine = engine
+        self._segment_name = segment_name or (
+            lambda ordinal: f"{name}/seg-{ordinal:05d}"
+        )
+        self._compressor: StreamingCompressor | None = None
+        self._segment_first_ts = 0.0
+        self._segment_fed = 0
+        self._sealed = 0
+        self._closed = False
+
+    @property
+    def packets_pending(self) -> int:
+        """Packets fed into the open (unsealed) segment so far."""
+        return self._segment_fed
+
+    @property
+    def segments_sealed(self) -> int:
+        return self._sealed
+
+    @property
+    def compressor(self) -> StreamingCompressor | None:
+        """The live compressor (``None`` until the first packet)."""
+        return self._compressor
+
+    def add_packet(self, packet: PacketRecord) -> None:
+        """Feed one packet, sealing a segment at the configured bounds."""
+        if self._closed:
+            raise ArchiveError("segment feeder already closed")
+        if self._segment_fed and (
+            self._segment_fed >= self._segment_packets
+            or (
+                self._segment_span is not None
+                and packet.timestamp - self._segment_first_ts
+                >= self._segment_span
+            )
+        ):
+            self._seal()
+        if not self._segment_fed:
+            self._open_segment(packet.timestamp)
+        self._compressor.add_packet(packet)
+        self._segment_fed += 1
+
+    def feed(
+        self, packets: Iterable[PacketRecord] | Iterable[PacketColumns]
+    ) -> int:
+        """Feed records, columnar chunks, or a mix; returns the count."""
+        if isinstance(packets, PacketColumns):
+            return self.feed_columns(packets)
+        count = 0
+        for item in packets:
+            if isinstance(item, PacketColumns):
+                count += self.feed_columns(item)
+            else:
+                self.add_packet(item)
+                count += 1
+        return count
+
+    def feed_columns(self, columns: PacketColumns) -> int:
+        """Feed one columnar chunk, splitting it at rotation boundaries.
+
+        Equivalent to :meth:`add_packet` row by row, but each stretch
+        between boundaries is fed as one vectorized sub-chunk.
+        """
+        if self._closed:
+            raise ArchiveError("segment feeder already closed")
+        total = len(columns)
+        if total == 0:
+            return 0
+        timestamps = tolist(columns.timestamps)
+        start = 0
+        while start < total:
+            if self._segment_fed and (
+                self._segment_fed >= self._segment_packets
+                or (
+                    self._segment_span is not None
+                    and timestamps[start] - self._segment_first_ts
+                    >= self._segment_span
+                )
+            ):
+                self._seal()
+            if not self._segment_fed:
+                self._open_segment(timestamps[start])
+            # Rows [start:stop) all fit in the open segment: stop at the
+            # packet budget or the first timestamp past the span bound.
+            stop = min(total, start + self._segment_packets - self._segment_fed)
+            if self._segment_span is not None:
+                limit = self._segment_first_ts + self._segment_span
+                for row in range(start, stop):
+                    if timestamps[row] >= limit:
+                        stop = row
+                        break
+            self._compressor.feed_columns(columns.slice(start, stop))
+            self._segment_fed += stop - start
+            start = stop
+        return total
+
+    def flush(self) -> bool:
+        """Seal the open segment now, regardless of the rotation bounds.
+
+        The wall-clock rotation hook of the ingest daemon (a quiet
+        source must still land what it holds) and the drain path.
+        Returns whether a segment was written.
+        """
+        if self._closed:
+            raise ArchiveError("segment feeder already closed")
+        return self._seal()
+
+    def close(self) -> int:
+        """Flush the open segment and retire the feeder; returns seals."""
+        if not self._closed:
+            self._seal()
+            if self._compressor is not None:
+                # Publish the trailing (empty) engine's counters so a
+                # feeder's metric set is stable regardless of where the
+                # last rotation boundary fell.
+                self._compressor.finish()
+            self._closed = True
+        return self._sealed
+
+    def _open_segment(self, first_timestamp: float) -> None:
+        if self._compressor is None:
+            self._compressor = StreamingCompressor(
+                self._config,
+                name=self._segment_name(0),
+                base_time=self._epoch.anchor(first_timestamp),
+                engine=self._engine,
+            )
+        self._segment_first_ts = first_timestamp
+
+    def _seal(self) -> bool:
+        if not self._segment_fed or self._compressor is None:
+            return False
+        fed = self._segment_fed
+        self._segment_fed = 0
+        compressed = self._compressor.flush_segment(
+            name=self._segment_name(self._sealed)
+        )
+        if compressed is None:
+            return False
+        self._sealed += 1
+        self._sink(compressed)
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "rotated segment %s: %d packet(s), %d flow(s)",
+                compressed.name,
+                fed,
+                len(compressed.time_seq),
+            )
+        return True
 
 
 def _merge_create_kwargs(options, **overrides) -> dict:
@@ -116,7 +338,7 @@ class ArchiveWriter:
             raise ValueError(f"segment_span must be positive: {segment_span}")
         self._stream = stream
         self._entries = entries
-        self._epoch = epoch
+        self._epoch_ref = EpochRef(epoch)
         self._segment_packets = segment_packets
         self._segment_span = segment_span
         self._config = config
@@ -124,10 +346,13 @@ class ArchiveWriter:
         self._backend = backend
         self._level = level
         self._engine = engine
-        self._compressor: StreamingCompressor | None = None
-        self._segment_first_ts: float = 0.0
-        self._segment_fed = 0
+        self._feeder: SegmentFeeder | None = None
         self._closed = False
+        # Serializes segment landing and sealing: the ingest daemon's
+        # per-source feeders all sink into one writer, and although its
+        # event loop is single-threaded, the container append must stay
+        # atomic under any driver (threads included).
+        self._lock = threading.Lock()
 
     # -- construction -----------------------------------------------------
 
@@ -252,41 +477,53 @@ class ArchiveWriter:
 
     @property
     def epoch(self) -> float | None:
-        return self._epoch
+        return self._epoch_ref.value
+
+    @property
+    def epoch_ref(self) -> EpochRef:
+        """The shared time-base cell external feeders must anchor to."""
+        return self._epoch_ref
+
+    def ensure_epoch(self, timestamp: float) -> float:
+        """Anchor the archive epoch to ``timestamp`` if still unset."""
+        return self._epoch_ref.anchor(timestamp)
 
     @property
     def segment_count(self) -> int:
         """Segments landed so far (the open segment is not counted)."""
         return len(self._entries)
 
-    def add_packet(self, packet: PacketRecord) -> None:
-        """Feed one packet, rotating segments at the configured bounds."""
+    def _ensure_feeder(self) -> SegmentFeeder:
         if self._closed:
             raise ArchiveError("archive writer already closed")
-        if self._epoch is None:
-            self._epoch = packet.timestamp
-        if self._compressor is not None and (
-            self._segment_fed >= self._segment_packets
-            or (
-                self._segment_span is not None
-                and packet.timestamp - self._segment_first_ts >= self._segment_span
+        if self._feeder is None:
+            self._feeder = SegmentFeeder(
+                self._land_segment,
+                epoch=self._epoch_ref,
+                segment_packets=self._segment_packets,
+                segment_span=self._segment_span,
+                config=self._config,
+                name=self._name,
+                engine=self._engine,
+                # The archive-global ordinal, not the feeder-local one:
+                # segment names have always counted landed entries, and
+                # they are serialized into the container bytes.
+                segment_name=lambda _ordinal: (
+                    f"{self._name}/seg-{len(self._entries):05d}"
+                ),
             )
-        ):
-            self._rotate()
-        if self._compressor is None:
-            self._open_segment(packet.timestamp)
-        self._compressor.add_packet(packet)
-        self._segment_fed += 1
+        return self._feeder
 
-    def _open_segment(self, first_timestamp: float) -> None:
-        self._compressor = StreamingCompressor(
-            self._config,
-            name=f"{self._name}/seg-{len(self._entries):05d}",
-            base_time=self._epoch,
-            engine=self._engine,
-        )
-        self._segment_first_ts = first_timestamp
-        self._segment_fed = 0
+    def _land_segment(self, compressed: CompressedTrace) -> SegmentIndexEntry:
+        entry = self.write_segment(compressed)
+        obs_current().counter(
+            "archive.segments_rotated", "segments closed and landed on disk"
+        ).inc()
+        return entry
+
+    def add_packet(self, packet: PacketRecord) -> None:
+        """Feed one packet, rotating segments at the configured bounds."""
+        self._ensure_feeder().add_packet(packet)
 
     def feed(
         self, packets: Iterable[PacketRecord] | Iterable[PacketColumns]
@@ -298,16 +535,7 @@ class ArchiveWriter:
         of such chunks — columnar feeds keep the vectorized hot path all
         the way into each segment's compressor.
         """
-        if isinstance(packets, PacketColumns):
-            return self.feed_columns(packets)
-        count = 0
-        for item in packets:
-            if isinstance(item, PacketColumns):
-                count += self.feed_columns(item)
-            else:
-                self.add_packet(item)
-                count += 1
-        return count
+        return self._ensure_feeder().feed(packets)
 
     def feed_columns(self, columns: PacketColumns) -> int:
         """Feed one columnar chunk, splitting it at rotation boundaries.
@@ -318,40 +546,7 @@ class ArchiveWriter:
         but each stretch between boundaries is fed as one vectorized
         sub-chunk.
         """
-        if self._closed:
-            raise ArchiveError("archive writer already closed")
-        total = len(columns)
-        if total == 0:
-            return 0
-        timestamps = tolist(columns.timestamps)
-        if self._epoch is None:
-            self._epoch = timestamps[0]
-        start = 0
-        while start < total:
-            if self._compressor is not None and (
-                self._segment_fed >= self._segment_packets
-                or (
-                    self._segment_span is not None
-                    and timestamps[start] - self._segment_first_ts
-                    >= self._segment_span
-                )
-            ):
-                self._rotate()
-            if self._compressor is None:
-                self._open_segment(timestamps[start])
-            # Rows [start:stop) all fit in the open segment: stop at the
-            # packet budget or the first timestamp past the span bound.
-            stop = min(total, start + self._segment_packets - self._segment_fed)
-            if self._segment_span is not None:
-                limit = self._segment_first_ts + self._segment_span
-                for row in range(start, stop):
-                    if timestamps[row] >= limit:
-                        stop = row
-                        break
-            self._compressor.feed_columns(columns.slice(start, stop))
-            self._segment_fed += stop - start
-            start = stop
-        return total
+        return self._ensure_feeder().feed_columns(columns)
 
     def write_segment(
         self,
@@ -376,17 +571,18 @@ class ArchiveWriter:
             raise ArchiveError("archive writer already closed")
         if not compressed.time_seq:
             raise ArchiveError("refusing to write an empty segment")
-        offset = self._stream.tell()
-        result = write_container(
-            self._stream,
-            compressed,
-            backend=backend if backend is not None else self._backend,
-            level=level if level is not None else self._level,
-        )
-        entry = index_entry_for(
-            compressed, offset, result.length, result.backend_tags
-        )
-        self._entries.append(entry)
+        with self._lock:
+            offset = self._stream.tell()
+            result = write_container(
+                self._stream,
+                compressed,
+                backend=backend if backend is not None else self._backend,
+                level=level if level is not None else self._level,
+            )
+            entry = index_entry_for(
+                compressed, offset, result.length, result.backend_tags
+            )
+            self._entries.append(entry)
         obs_current().counter(
             "archive.segment_bytes", "serialized segment bytes landed"
         ).inc(result.length)
@@ -398,34 +594,43 @@ class ArchiveWriter:
         """Flush the open segment, write footer + trailer, close the file."""
         if self._closed:
             return self._entries
-        self._rotate()
+        if self._feeder is not None:
+            self._feeder.close()
         self._seal()
         return self._entries
 
     def _seal(self) -> None:
-        """Write footer + trailer + final header and close the stream.
+        """Write footer + trailer + final header, fsync, close the stream.
 
         Also the error-path salvage: whatever segments fully landed are
         sealed into a valid archive.  The stream position may sit after
         partial bytes of a failed segment write — the footer simply
         starts there and no index entry references the dead space.
+
+        Durability: the file *and its directory* are fsynced before the
+        handle closes, so a sealed archive survives a crash or power cut
+        right after :meth:`close` returns — the contract a long-running
+        capture daemon hands its operators.  Streams without a real file
+        descriptor (in-memory buffers) skip the sync.
         """
         registry = obs_current()
         with registry.timer(
             "archive.seal", "wall time writing footer, trailer, and final header"
         ).time():
-            footer_offset = self._stream.tell()
-            footer = pack_footer(self._entries)
-            self._stream.write(footer)
-            self._stream.write(
-                TRAILER.pack(footer_offset, len(footer), TRAILER_MAGIC)
-            )
-            self._stream.seek(0)
-            self._stream.write(
-                HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, self._epoch or 0.0)
-            )
-            self._stream.close()
-            self._closed = True
+            with self._lock:
+                footer_offset = self._stream.tell()
+                footer = pack_footer(self._entries)
+                self._stream.write(footer)
+                self._stream.write(
+                    TRAILER.pack(footer_offset, len(footer), TRAILER_MAGIC)
+                )
+                self._stream.seek(0)
+                self._stream.write(
+                    HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, self.epoch or 0.0)
+                )
+                _fsync_stream_and_dir(self._stream)
+                self._stream.close()
+                self._closed = True
         registry.counter("archive.index_bytes", "footer index bytes written").inc(
             len(footer)
         )
@@ -434,26 +639,6 @@ class ArchiveWriter:
             len(self._entries),
             len(footer),
         )
-
-    def _rotate(self) -> None:
-        if self._compressor is None:
-            return
-        compressed = self._compressor.finish()
-        fed = self._segment_fed
-        self._compressor = None
-        if compressed.time_seq:
-            entry = self.write_segment(compressed)
-            obs_current().counter(
-                "archive.segments_rotated", "segments closed and landed on disk"
-            ).inc()
-            if _log.isEnabledFor(logging.DEBUG):
-                _log.debug(
-                    "rotated segment %d: %d packet(s), %d flow(s), %d byte(s)",
-                    len(self._entries) - 1,
-                    fed,
-                    len(compressed.time_seq),
-                    entry.length,
-                )
 
     def __enter__(self) -> "ArchiveWriter":
         return self
@@ -472,6 +657,38 @@ class ArchiveWriter:
             except OSError:
                 self._stream.close()
                 self._closed = True
+
+
+def _fsync_stream_and_dir(stream: BinaryIO) -> None:
+    """Flush ``stream`` to stable storage, then its directory entry.
+
+    The two-step seal durability: ``fsync`` on the file makes the bytes
+    durable, ``fsync`` on the containing directory makes the *name*
+    durable (a freshly created archive is otherwise lost if the
+    directory inode never lands).  Both steps degrade to no-ops for
+    streams without a real descriptor (``BytesIO`` raises
+    ``UnsupportedOperation``, which is both ``OSError`` and
+    ``ValueError``).
+    """
+    try:
+        stream.flush()
+        os.fsync(stream.fileno())
+    except (AttributeError, OSError, ValueError):
+        return
+    name = getattr(stream, "name", None)
+    if not isinstance(name, (str, bytes, os.PathLike)):
+        return
+    directory = os.path.dirname(os.path.abspath(os.fspath(name)))
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _read_tail(stream: BinaryIO) -> tuple[float, list[SegmentIndexEntry], int]:

@@ -19,6 +19,7 @@ library behavior cannot diverge.  Subcommands (full reference in
     repro-trace archive append day.fctca in3.tsh
     repro-trace archive info day.fctca
     repro-trace query day.fctca --since 10 --until 60 --dst 192.168.0.80
+    repro-trace serve day.fctca --source unix:/run/repro.sock --source tail:/data/live.tsh
 
 Exit codes are uniform across every subcommand:
 
@@ -36,6 +37,7 @@ import argparse
 import logging
 import os
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import repro
@@ -261,6 +263,37 @@ def _cmd_archive_info(args: argparse.Namespace) -> int:
     with api.open(args.archive) as store:
         for line in store.info().summary_lines():
             print(line)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    serve_kwargs = {"sources": tuple(args.source)}
+    if args.rotate_seconds is not None:
+        serve_kwargs["rotate_seconds"] = args.rotate_seconds
+    if args.queue_chunks is not None:
+        serve_kwargs["queue_chunks"] = args.queue_chunks
+    if args.drain_timeout is not None:
+        serve_kwargs["drain_timeout"] = args.drain_timeout
+    if args.stop_after is not None:
+        serve_kwargs["stop_after_packets"] = args.stop_after
+    if args.prometheus_port is not None:
+        serve_kwargs["prometheus_port"] = args.prometheus_port
+    if args.tail_poll is not None:
+        serve_kwargs["tail_poll_seconds"] = args.tail_poll
+    options = replace(
+        api.Options.make(
+            backend=args.backend,
+            level=args.level,
+            engine=args.engine,
+            segment_packets=args.segment_packets,
+            segment_span=args.segment_span,
+            epoch=args.epoch,
+        ),
+        serve=api.ServeOptions(**serve_kwargs),
+    )
+    report = api.serve(args.output, options)
+    for line in report.summary_lines():
+        print(line)
     return 0
 
 
@@ -604,6 +637,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     archive_info.add_argument("archive", help=".fctca path")
     archive_info.set_defaults(handler=_cmd_archive_info)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the live-capture ingest daemon into a .fctca archive",
+        parents=[common],
+    )
+    serve.add_argument("output", help="output .fctca archive path")
+    serve.add_argument(
+        "--source",
+        action="append",
+        required=True,
+        metavar="SPEC",
+        help="ingest source scheme:target[+format], repeatable: "
+        "unix:/path.sock and tcp:host:port accept length-framed streams, "
+        "tail:/path follows a growing capture file; '+pcap' switches the "
+        "payload format (default tsh)",
+    )
+    serve.add_argument(
+        "--segment-packets",
+        type=int,
+        default=None,
+        help="rotate a source's segment after this many packets (default 65536)",
+    )
+    serve.add_argument(
+        "--segment-span",
+        type=float,
+        default=None,
+        help="rotate after this many seconds of trace time (default 60)",
+    )
+    serve.add_argument(
+        "--epoch",
+        type=float,
+        default=None,
+        help="pin the archive time base (seconds); without it the first "
+        "packet from whichever source wins anchors the epoch",
+    )
+    serve.add_argument(
+        "--rotate-seconds",
+        type=float,
+        default=None,
+        help="also flush quiet sources every N wall-clock seconds",
+    )
+    serve.add_argument(
+        "--queue-chunks",
+        type=int,
+        default=None,
+        help="per-source ingest queue bound in decoded chunks; a full "
+        "queue backpressures the source (default 64)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="seconds a SIGTERM/SIGINT drain may take before queued "
+        "data is cut (default 10)",
+    )
+    serve.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="PACKETS",
+        help="stop (with a clean drain) once this many packets were "
+        "ingested — bounded runs for tests and benchmarks",
+    )
+    serve.add_argument(
+        "--prometheus-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus text metrics on 127.0.0.1:PORT (0 picks "
+        "an ephemeral port, logged at startup)",
+    )
+    serve.add_argument(
+        "--tail-poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="poll interval for tail: sources (default 0.25)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "columnar"),
+        default=None,
+        help="compression hot path per source (auto picks columnar when "
+        "numpy is available); output bytes are identical either way",
+    )
+    _add_backend_flags(serve, default_note="raw", what="every segment")
+    serve.set_defaults(handler=_cmd_serve)
 
     query = subparsers.add_parser(
         "query",

@@ -115,14 +115,16 @@ class StreamingCompressor:
         # byte-identical output (the differential harness pins this), so
         # the choice is purely a throughput knob.
         self.engine = ENGINE_SCALAR if engine is None else resolve_engine(engine)
-        engine_cls = (
+        self._engine_cls = (
             ColumnarFlowCompressor
             if self.engine == ENGINE_COLUMNAR
             else FlowClusterCompressor
         )
-        self._engine = engine_cls(config, name=name, base_time=base_time)
+        self._name = name
+        self._engine = self._engine_cls(config, name=name, base_time=base_time)
         self.streaming_stats = StreamingStats()
         self._published = False
+        self._segments_flushed = 0
         obs_current().counter(
             f"stream.engine.{self.engine}",
             "streaming compressors built on this engine",
@@ -145,6 +147,17 @@ class StreamingCompressor:
     def active_flows(self) -> int:
         """Flows currently open — the streaming working-set size."""
         return self._engine.active_flows
+
+    @property
+    def base_time(self) -> float | None:
+        """The engine's time anchor (resolved from the first packet when
+        not given explicitly); ``None`` until a packet has been fed."""
+        return self._engine._base_time
+
+    @property
+    def segments_flushed(self) -> int:
+        """How many sealed segments :meth:`flush_segment` has emitted."""
+        return self._segments_flushed
 
     def add_packet(self, packet: PacketRecord) -> None:
         """Process one packet (timestamp order across all feeds)."""
@@ -207,6 +220,42 @@ class StreamingCompressor:
                 "high-water mark of concurrently open flows",
             ).set_max(feed.peak_active_flows)
         return output
+
+    def flush_segment(self, name: str | None = None) -> CompressedTrace | None:
+        """Seal everything fed since the last flush; keep accepting feeds.
+
+        The live-capture primitive: closes every open flow, returns the
+        finished :class:`~repro.core.datasets.CompressedTrace` (``None``
+        when nothing was fed since the last flush), and swaps in a fresh
+        engine anchored to the *same* time base — so a long-running
+        feed can rotate sealed segments into an archive without ever
+        calling :meth:`finish`.  Output is identical to compressing each
+        inter-flush packet run with its own compressor on a shared
+        ``base_time``, which is exactly how the archive writer has
+        always built segments.  ``name`` labels the sealed segment
+        (default: the compressor's name plus a running ordinal).
+        """
+        outgoing = self._engine
+        output = outgoing.finish()
+        sealed = bool(output.time_seq)
+        if sealed:
+            if name is not None:
+                output.name = name
+            self._segments_flushed += 1
+            _publish_compressor_stats(obs_current(), outgoing.stats)
+        # A fresh engine rather than an in-place reset — even for an
+        # empty flush, because ``finish`` is terminal on an engine.
+        # Segment equality with the batch path depends on starting from
+        # pristine matcher/dataset state, and the constructor is the one
+        # place that state is defined.  The carried base_time keeps the
+        # segment clocks comparable — the property the archive time
+        # index relies on.
+        self._engine = self._engine_cls(
+            outgoing.config,
+            name=f"{self._name}+{self._segments_flushed}",
+            base_time=outgoing._base_time,
+        )
+        return output if sealed else None
 
     def to_bytes(
         self, *, backend: str | None = None, level: int | None = None

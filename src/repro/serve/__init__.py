@@ -1,0 +1,42 @@
+"""repro.serve — the live-capture ingest daemon (``repro-trace serve``).
+
+Every other entry point is file-to-file; this package is the
+long-running service mode: an asyncio event loop that accepts packet
+streams from several concurrent **sources** — unix / TCP sockets
+speaking the length-framed TSH/pcap protocol of
+:mod:`repro.trace.framing`, and growing capture files tailed in place —
+and drains them all into one shared ``.fctca`` archive.
+
+Layering (nothing here re-implements compression or container logic):
+
+* each source owns a :class:`~repro.archive.writer.SegmentFeeder`, the
+  same rotation policy the offline :class:`~repro.archive.writer.ArchiveWriter`
+  runs, driving one :class:`~repro.core.streaming.StreamingCompressor`
+  via its incremental ``flush_segment`` API;
+* all feeders share the writer's :class:`~repro.archive.writer.EpochRef`,
+  so segment clocks stay comparable across sources;
+* sealed segments land through the writer's single, lock-guarded
+  ``write_segment`` path, and the archive seals durably (fsync of file
+  and directory) on drain — a SIGTERM'd daemon leaves a valid,
+  crash-safe archive that the existing reader/query stack opens
+  unchanged;
+* per-source ``serve.source.*`` metrics record into :mod:`repro.obs`,
+  optionally exposed over HTTP with the Prometheus text renderer.
+
+Configuration is :class:`repro.api.options.ServeOptions` (the ``serve``
+layer of :class:`repro.api.Options`); the protocol, rotation and
+backpressure semantics, and metric catalog live in ``docs/SERVE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.daemon import ServeReport, SourceReport, serve
+from repro.serve.sources import SourceSpec, parse_source
+
+__all__ = [
+    "ServeReport",
+    "SourceReport",
+    "SourceSpec",
+    "parse_source",
+    "serve",
+]

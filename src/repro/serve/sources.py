@@ -1,0 +1,89 @@
+"""Ingest source specifications for ``repro serve``.
+
+A source is written as one compact string the CLI and
+:class:`~repro.api.options.ServeOptions` share::
+
+    unix:/run/repro.sock            a unix socket (length-framed TSH)
+    tcp:127.0.0.1:7400              a TCP listener (length-framed TSH)
+    tail:/data/live.tsh             a growing capture file, tailed
+    unix:/run/pcap.sock+pcap        '+pcap' switches the payload format
+
+The grammar is ``scheme:target[+format]``: ``scheme`` is one of
+``unix``/``tcp``/``tail``, ``target`` a filesystem path (``unix``,
+``tail``) or ``host:port`` (``tcp``), and the optional ``+format``
+suffix one of :data:`~repro.trace.framing.STREAM_FORMATS` (default
+``tsh``).  Parsing is pure and import-light so the options layer can
+validate specs eagerly without pulling in the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.framing import FORMAT_TSH, STREAM_FORMATS
+
+SCHEME_UNIX = "unix"
+SCHEME_TCP = "tcp"
+SCHEME_TAIL = "tail"
+SCHEMES = (SCHEME_UNIX, SCHEME_TCP, SCHEME_TAIL)
+
+SOCKET_SCHEMES = (SCHEME_UNIX, SCHEME_TCP)
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One parsed ingest source."""
+
+    scheme: str
+    target: str
+    format: str = FORMAT_TSH
+
+    @property
+    def is_socket(self) -> bool:
+        return self.scheme in SOCKET_SCHEMES
+
+    def tcp_address(self) -> tuple[str, int]:
+        """The (host, port) of a ``tcp`` spec."""
+        host, _, port = self.target.rpartition(":")
+        return host, int(port)
+
+    def __str__(self) -> str:
+        suffix = "" if self.format == FORMAT_TSH else f"+{self.format}"
+        return f"{self.scheme}:{self.target}{suffix}"
+
+
+def parse_source(spec: str) -> SourceSpec:
+    """Parse one ``scheme:target[+format]`` source string.
+
+    Raises ``ValueError`` with a message naming the offending spec —
+    the options layer re-raises it as
+    :class:`~repro.api.errors.OptionsError`.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"source spec must be a non-empty string: {spec!r}")
+    scheme, separator, rest = spec.partition(":")
+    if not separator or scheme not in SCHEMES:
+        raise ValueError(
+            f"source spec {spec!r} must start with one of "
+            f"{'/'.join(SCHEMES)} followed by ':'"
+        )
+    target, _, suffix = rest.rpartition("+")
+    if target and suffix in STREAM_FORMATS:
+        format = suffix
+    else:
+        target, format = rest, FORMAT_TSH
+    if not target:
+        raise ValueError(f"source spec {spec!r} has an empty target")
+    if scheme == SCHEME_TCP:
+        host, separator, port = target.rpartition(":")
+        if not separator or not host:
+            raise ValueError(
+                f"tcp source {spec!r} must name host:port"
+            )
+        try:
+            port_number = int(port)
+        except ValueError:
+            raise ValueError(f"tcp source {spec!r} has a non-numeric port") from None
+        if not 0 <= port_number <= 65535:
+            raise ValueError(f"tcp source {spec!r} port out of range")
+    return SourceSpec(scheme=scheme, target=target, format=format)

@@ -1,0 +1,312 @@
+"""Incremental (sans-IO) frame decoders for capture byte streams.
+
+Every reader in the library used to own its buffering: the chunked TSH
+reader carried partial-record tails between ``read`` calls, the pcap
+reader assumed a seekable stream it could ``read`` exactly-n bytes from.
+A live tap has neither luxury — bytes arrive in whatever slices the
+kernel hands a socket or a growing file, and the decoder must accept
+them *all*, emit the packets that are complete, and hold the remainder.
+
+This module is that buffering, factored out once and shared:
+
+:class:`RecordChunker`
+    Fixed-size record framing (TSH's 44-byte records): bytes in, blocks
+    of whole records out, partial tail carried.  The chunked TSH file
+    reader (:mod:`repro.trace.reader`) and the TSH stream decoder are
+    both built on it.
+
+:class:`LengthFramer`
+    The socket transport framing of ``repro serve``: each frame is a
+    4-byte big-endian payload length followed by the payload; a
+    zero-length frame marks a clean end of stream.  Payloads are
+    *transport* chunking only — consecutive payloads concatenate into
+    one continuous TSH or pcap byte stream.
+
+:class:`TshStreamDecoder` / :class:`PcapStreamDecoder`
+    Format decoders: feed arbitrary byte slices, get fully decoded
+    :class:`~repro.net.packet.PacketRecord` lists back.  The TSH
+    decoder rides the vectorized block decoder
+    (:func:`~repro.trace.tsh.decode_columns`) so a socket feed keeps
+    the columnar hot path; the pcap decoder is the incremental core
+    :func:`~repro.trace.pcaplite.read_pcap` now wraps.
+
+All four are sans-IO: no sockets, no files, no event loop — any driver
+(asyncio today, a selectors loop tomorrow) can pump them.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.packet import HEADER_BYTES, PacketRecord
+from repro.trace.pcaplite import LINKTYPE_RAW, PCAP_MAGIC
+from repro.trace.tsh import TSH_RECORD_BYTES, decode_columns
+
+FRAME_HEADER = struct.Struct(">I")
+"""Socket frame header: one big-endian u32 payload length."""
+
+DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
+"""Reject frames above this payload size (a corrupt or hostile peer)."""
+
+FORMAT_TSH = "tsh"
+FORMAT_PCAP = "pcap"
+STREAM_FORMATS = (FORMAT_TSH, FORMAT_PCAP)
+
+_PCAP_GLOBAL = struct.Struct("<IHHiIII")
+_PCAP_RECORD = struct.Struct("<IIII")
+_PCAP_IP = struct.Struct(">BBHHHBBHII")
+_PCAP_TCP = struct.Struct(">HHIIBBHHH")
+_MICROSECOND = 1_000_000
+
+
+class FrameDecodeError(ValueError):
+    """A byte stream violates its declared framing or format."""
+
+
+class RecordChunker:
+    """Re-block an arbitrary byte feed into whole fixed-size records.
+
+    ``feed`` returns the largest prefix of buffered bytes that is a
+    whole number of records (possibly ``b""``); the sub-record tail is
+    carried into the next call.  ``finish`` raises
+    :class:`FrameDecodeError` if a partial record is left over — the
+    shared truncation check of the file readers and the live decoders.
+    """
+
+    __slots__ = ("record_bytes", "label", "_pending")
+
+    def __init__(self, record_bytes: int, *, label: str = "record") -> None:
+        if record_bytes < 1:
+            raise ValueError(f"record_bytes must be >= 1: {record_bytes}")
+        self.record_bytes = record_bytes
+        self.label = label
+        self._pending = b""
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes not yet forming a whole record."""
+        return len(self._pending)
+
+    def feed(self, data: bytes) -> bytes:
+        buffer = self._pending + data if self._pending else bytes(data)
+        usable = len(buffer) - len(buffer) % self.record_bytes
+        self._pending = buffer[usable:]
+        return buffer[:usable]
+
+    def finish(self) -> None:
+        if self._pending:
+            raise FrameDecodeError(
+                f"truncated {self.label}: expected {self.record_bytes} "
+                f"bytes, got {len(self._pending)}"
+            )
+
+
+class LengthFramer:
+    """Decode the length-prefixed socket transport of ``repro serve``.
+
+    ``feed`` returns the payload byte strings of every frame completed
+    by the new data, in order.  A zero-length frame is the clean
+    end-of-stream marker: :attr:`eof` becomes true and any bytes after
+    it are a protocol error.  ``finish`` validates that the stream
+    ended on a frame boundary (a peer that closed mid-frame raises).
+    """
+
+    __slots__ = ("max_frame_bytes", "_buffer", "_eof")
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError(f"max_frame_bytes must be >= 1: {max_frame_bytes}")
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = b""
+        self._eof = False
+
+    @property
+    def eof(self) -> bool:
+        """True once the zero-length end-of-stream frame was seen."""
+        return self._eof
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        if self._eof and data:
+            raise FrameDecodeError("bytes after the end-of-stream frame")
+        self._buffer += data
+        payloads: list[bytes] = []
+        while len(self._buffer) >= FRAME_HEADER.size:
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise FrameDecodeError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            if length == 0:
+                self._eof = True
+                if len(self._buffer) > FRAME_HEADER.size:
+                    raise FrameDecodeError("bytes after the end-of-stream frame")
+                self._buffer = b""
+                break
+            end = FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payloads.append(self._buffer[FRAME_HEADER.size : end])
+            self._buffer = self._buffer[end:]
+        return payloads
+
+    def finish(self) -> None:
+        if self._buffer:
+            raise FrameDecodeError(
+                f"stream ended inside a frame ({len(self._buffer)} "
+                "buffered byte(s))"
+            )
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap one payload in the serve socket framing (client-side helper)."""
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+END_OF_STREAM = FRAME_HEADER.pack(0)
+"""The clean end-of-stream frame a well-behaved client sends last."""
+
+
+class TshStreamDecoder:
+    """Incremental TSH decoder: arbitrary byte slices in, packets out.
+
+    Thin composition of :class:`RecordChunker` and the block decoder —
+    each ``feed`` decodes every completed 44-byte record in one
+    vectorized pass (numpy when available, the stdlib fallback
+    otherwise), exactly the bytes-to-packets path of the chunked file
+    reader.
+    """
+
+    format = FORMAT_TSH
+    __slots__ = ("_chunker",)
+
+    def __init__(self) -> None:
+        self._chunker = RecordChunker(TSH_RECORD_BYTES, label="TSH record")
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._chunker.pending_bytes
+
+    def feed(self, data: bytes) -> list[PacketRecord]:
+        block = self._chunker.feed(data)
+        if not block:
+            return []
+        return decode_columns(block).to_records()
+
+    def finish(self) -> None:
+        self._chunker.finish()
+
+
+class PcapStreamDecoder:
+    """Incremental pcap decoder for the subset this library writes.
+
+    Consumes the 24-byte global header, then per-record headers and
+    bodies, from arbitrarily sliced input.  Only little-endian classic
+    pcap with the raw-IP link type and whole TCP/IP headers is accepted
+    (what :func:`repro.trace.pcaplite.write_pcap` emits); anything else
+    raises :class:`FrameDecodeError` — on a live socket a wrong-format
+    peer must fail fast, not feed garbage packets into an archive.
+    """
+
+    format = FORMAT_PCAP
+    __slots__ = ("_buffer", "_header_done")
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self._header_done = False
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[PacketRecord]:
+        self._buffer += data
+        packets: list[PacketRecord] = []
+        if not self._header_done:
+            if len(self._buffer) < _PCAP_GLOBAL.size:
+                return packets
+            magic, _major, _minor, _zone, _sigfigs, _snaplen, linktype = (
+                _PCAP_GLOBAL.unpack_from(self._buffer)
+            )
+            if magic != PCAP_MAGIC:
+                raise FrameDecodeError(f"unsupported pcap magic: {magic:#x}")
+            if linktype != LINKTYPE_RAW:
+                raise FrameDecodeError(f"unsupported link type: {linktype}")
+            self._buffer = self._buffer[_PCAP_GLOBAL.size :]
+            self._header_done = True
+        while len(self._buffer) >= _PCAP_RECORD.size:
+            seconds, micros, captured, original = _PCAP_RECORD.unpack_from(
+                self._buffer
+            )
+            if captured < HEADER_BYTES:
+                raise FrameDecodeError(
+                    f"record too short for TCP/IP headers: {captured}"
+                )
+            end = _PCAP_RECORD.size + captured
+            if len(self._buffer) < end:
+                break
+            body = self._buffer[_PCAP_RECORD.size : end]
+            self._buffer = self._buffer[end:]
+            packets.append(
+                _decode_pcap_body(seconds, micros, original, body)
+            )
+        return packets
+
+    def finish(self) -> None:
+        if self._buffer or not self._header_done:
+            what = "global header" if not self._header_done else "record"
+            raise FrameDecodeError(
+                f"truncated pcap {what} ({len(self._buffer)} buffered byte(s))"
+            )
+
+
+def _decode_pcap_body(
+    seconds: int, micros: int, original: int, body: bytes
+) -> PacketRecord:
+    """Decode one captured 40-byte header snapshot into a record."""
+    (
+        _ver_ihl,
+        _tos,
+        _total_length,
+        ip_id,
+        _frag,
+        ttl,
+        protocol,
+        _checksum,
+        src_ip,
+        dst_ip,
+    ) = _PCAP_IP.unpack_from(body)
+    (src_port, dst_port, seq, ack, _off, flags, window, _ck, _urg) = (
+        _PCAP_TCP.unpack_from(body, 20)
+    )
+    return PacketRecord(
+        timestamp=seconds + micros / _MICROSECOND,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+        flags=flags,
+        payload_len=max(0, original - HEADER_BYTES),
+        seq=seq,
+        ack=ack,
+        ttl=ttl,
+        ip_id=ip_id,
+        window=window,
+    )
+
+
+def stream_decoder(format: str):
+    """Build the decoder for a serve source format name."""
+    if format == FORMAT_TSH:
+        return TshStreamDecoder()
+    if format == FORMAT_PCAP:
+        return PcapStreamDecoder()
+    raise ValueError(
+        f"unknown stream format {format!r} (expected one of "
+        f"{'/'.join(STREAM_FORMATS)})"
+    )

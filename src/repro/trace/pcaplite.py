@@ -85,61 +85,24 @@ def write_pcap(packets: Iterable[PacketRecord], stream: BinaryIO) -> int:
     return count
 
 
+_READ_CHUNK_BYTES = 1 << 16
+
+
 def read_pcap(stream: BinaryIO) -> Iterator[PacketRecord]:
     """Yield packets from a pcap file written by :func:`write_pcap`.
 
     Only the subset this library writes is supported (little-endian,
-    raw-IP link type, TCP/UDP headers present).
+    raw-IP link type, TCP/UDP headers present).  A thin file pump over
+    the incremental :class:`~repro.trace.framing.PcapStreamDecoder` —
+    the same decoder a ``repro serve`` socket source runs — so the file
+    and live paths can never diverge on what they accept.
     """
-    header = stream.read(_GLOBAL_HEADER.size)
-    if len(header) != _GLOBAL_HEADER.size:
-        raise ValueError("truncated pcap global header")
-    magic, _major, _minor, _zone, _sigfigs, _snaplen, linktype = _GLOBAL_HEADER.unpack(
-        header
-    )
-    if magic != PCAP_MAGIC:
-        raise ValueError(f"unsupported pcap magic: {magic:#x}")
-    if linktype != LINKTYPE_RAW:
-        raise ValueError(f"unsupported link type: {linktype}")
+    from repro.trace.framing import PcapStreamDecoder
+
+    decoder = PcapStreamDecoder()
     while True:
-        record_header = stream.read(_RECORD_HEADER.size)
-        if not record_header:
+        data = stream.read(_READ_CHUNK_BYTES)
+        if not data:
+            decoder.finish()
             return
-        if len(record_header) != _RECORD_HEADER.size:
-            raise ValueError("truncated pcap record header")
-        seconds, micros, captured, original = _RECORD_HEADER.unpack(record_header)
-        data = stream.read(captured)
-        if len(data) != captured:
-            raise ValueError("truncated pcap record body")
-        if captured < HEADER_BYTES:
-            raise ValueError(f"record too short for TCP/IP headers: {captured}")
-        (
-            _ver_ihl,
-            _tos,
-            _total_length,
-            ip_id,
-            _frag,
-            ttl,
-            protocol,
-            _checksum,
-            src_ip,
-            dst_ip,
-        ) = _IP_HEADER.unpack(data[:20])
-        (src_port, dst_port, seq, ack, _off, flags, window, _ck, _urg) = (
-            _TCP_HEADER.unpack(data[20:40])
-        )
-        yield PacketRecord(
-            timestamp=seconds + micros / _MICROSECOND,
-            src_ip=src_ip,
-            dst_ip=dst_ip,
-            src_port=src_port,
-            dst_port=dst_port,
-            protocol=protocol,
-            flags=flags,
-            payload_len=max(0, original - HEADER_BYTES),
-            seq=seq,
-            ack=ack,
-            ttl=ttl,
-            ip_id=ip_id,
-            window=window,
-        )
+        yield from decoder.feed(data)

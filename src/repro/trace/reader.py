@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.net.packet import PacketRecord
 from repro.obs import current as obs_current
+from repro.trace.framing import RecordChunker
 from repro.trace.tsh import TSH_RECORD_BYTES, decode_columns, decode_record_from
 
 DEFAULT_CHUNK_PACKETS = 8192
@@ -46,28 +47,26 @@ def _iter_record_blocks(path: str | Path, chunk_size: int) -> Iterator[bytes]:
     records_read = registry.counter(
         "trace.read.records", "whole 44-byte TSH records decoded"
     )
+    # The re-blocking itself is the shared incremental chunker the live
+    # decoders use (repro.trace.framing) — one buffering implementation
+    # for files and sockets, one truncation check.
+    chunker = RecordChunker(TSH_RECORD_BYTES, label="TSH record")
     with open(path, "rb") as stream:
-        pending = b""
         while True:
             data = stream.read(read_bytes)
             if not data:
-                if pending:
+                if chunker.pending_bytes:
                     registry.counter(
                         "trace.read.truncated_records",
                         "reads ending in a partial TSH record",
                     ).inc()
-                    raise ValueError(
-                        f"truncated TSH record: expected {TSH_RECORD_BYTES} "
-                        f"bytes, got {len(pending)}"
-                    )
+                chunker.finish()
                 return
             bytes_read.inc(len(data))
-            buffer = pending + data
-            usable = len(buffer) - len(buffer) % TSH_RECORD_BYTES
-            pending = buffer[usable:]
-            if usable:
-                records_read.inc(usable // TSH_RECORD_BYTES)
-                yield buffer[:usable]
+            block = chunker.feed(data)
+            if block:
+                records_read.inc(len(block) // TSH_RECORD_BYTES)
+                yield block
 
 
 def iter_tsh_records(

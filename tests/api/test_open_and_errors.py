@@ -59,6 +59,19 @@ class TestTypedErrors:
         with pytest.raises(errors.EmptyTraceError):
             api.open(empty)
 
+    @pytest.mark.parametrize(
+        "name", ["empty-no-suffix", "empty.pcap", "empty.fctc", "empty.fctca"]
+    )
+    def test_empty_file_is_empty_not_unknown(self, workdir, name):
+        """Zero bytes is a typed EmptyTraceError under *any* name —
+        never misreported as an unrecognized format."""
+        empty = workdir / name
+        empty.write_bytes(b"")
+        with pytest.raises(errors.EmptyTraceError) as excinfo:
+            api.open(empty)
+        assert not isinstance(excinfo.value, errors.UnknownFormatError)
+        assert name in str(excinfo.value)
+
     def test_empty_pcap_no_packets(self, workdir, trace):
         header_only = workdir / "hdr.pcap"
         full = workdir / "full-tmp.pcap"

@@ -1,0 +1,110 @@
+"""Source-spec grammar and ServeOptions validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import OptionsError
+from repro.api.options import (
+    DEFAULT_DRAIN_TIMEOUT,
+    DEFAULT_QUEUE_CHUNKS,
+    DEFAULT_TAIL_POLL_SECONDS,
+    Options,
+    ServeOptions,
+)
+from repro.serve import SourceSpec, parse_source
+from repro.trace.framing import DEFAULT_MAX_FRAME_BYTES
+
+
+class TestParseSource:
+    def test_unix(self):
+        spec = parse_source("unix:/tmp/ingest.sock")
+        assert spec == SourceSpec("unix", "/tmp/ingest.sock", "tsh")
+        assert spec.is_socket
+
+    def test_tcp_with_port(self):
+        spec = parse_source("tcp:127.0.0.1:9400")
+        assert spec.scheme == "tcp"
+        assert spec.tcp_address() == ("127.0.0.1", 9400)
+        assert spec.is_socket
+
+    def test_tail(self):
+        spec = parse_source("tail:/var/log/capture.tsh")
+        assert spec.scheme == "tail"
+        assert spec.target == "/var/log/capture.tsh"
+        assert not spec.is_socket
+
+    def test_pcap_suffix(self):
+        assert parse_source("unix:/tmp/a.sock+pcap").format == "pcap"
+        assert parse_source("tail:/caps/live.pcap+pcap").format == "pcap"
+        assert parse_source("tcp:localhost:9000+tsh").format == "tsh"
+
+    def test_plus_in_path_without_known_format_is_literal(self):
+        # "+extra" is not a stream format, so it stays part of the path.
+        assert parse_source("tail:/caps/a+extra").target == "/caps/a+extra"
+
+    def test_str_roundtrips(self):
+        for text in ("unix:/x.sock", "tcp:h:1+pcap", "tail:/f"):
+            assert str(parse_source(text)) == text
+        assert str(parse_source("unix:/x.sock+tsh")) == "unix:/x.sock"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "unix",  # no colon
+            "http:/x",  # unknown scheme
+            "unix:",  # empty target
+            "tcp:9400",  # missing host
+            "tcp:host:",  # missing port
+            "tcp:host:http",  # non-numeric port
+            "tcp:host:70000",  # port out of range
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_source(bad)
+
+
+class TestServeOptions:
+    def test_defaults(self):
+        options = ServeOptions()
+        assert options.sources == ()
+        assert options.queue_chunks == DEFAULT_QUEUE_CHUNKS
+        assert options.max_frame_bytes == DEFAULT_MAX_FRAME_BYTES
+        assert options.drain_timeout == DEFAULT_DRAIN_TIMEOUT
+        assert options.tail_poll_seconds == DEFAULT_TAIL_POLL_SECONDS
+        assert options.rotate_seconds is None
+        assert options.stop_after_packets is None
+        assert options.prometheus_port is None
+
+    def test_sources_coerced_to_tuple(self):
+        options = ServeOptions(sources=["unix:/a.sock", "tail:/b"])
+        assert options.sources == ("unix:/a.sock", "tail:/b")
+
+    def test_bad_source_is_options_error(self):
+        with pytest.raises(OptionsError, match="unix/tcp/tail"):
+            ServeOptions(sources=("ftp:/x",))
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("rotate_seconds", 0),
+            ("rotate_seconds", -1.0),
+            ("queue_chunks", 0),
+            ("max_frame_bytes", 43),
+            ("drain_timeout", 0),
+            ("stop_after_packets", 0),
+            ("prometheus_port", -1),
+            ("prometheus_port", 65536),
+            ("tail_poll_seconds", 0),
+        ],
+    )
+    def test_numeric_bounds(self, field, value):
+        with pytest.raises(OptionsError, match=field.replace("_", "[_ ]")):
+            ServeOptions(**{field: value})
+
+    def test_nested_in_options(self):
+        options = Options(serve=ServeOptions(sources=("tail:/t",)))
+        assert options.serve.sources == ("tail:/t",)
+        assert Options().serve == ServeOptions()

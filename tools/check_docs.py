@@ -16,8 +16,9 @@ Three passes, pure stdlib, run as the CI ``docs`` job:
    this check.  Blocks fenced as ```` ```text ```` (or any other
    language) are illustrative and not executed.
 3. **API example smoke-run** — every fenced ```` ```python ```` block
-   in ``docs/API.md`` and ``docs/OBSERVABILITY.md`` runs the same way
-   (document order, one shared directory per document), with
+   in ``docs/API.md``, ``docs/OBSERVABILITY.md`` and ``docs/SERVE.md``
+   runs the same way (document order, one shared directory per
+   document), with
    ``DeprecationWarning`` promoted to an error so the reference docs
    can never drift onto a deprecated entry point.
 
@@ -171,6 +172,8 @@ def main() -> int:
         errors += run_python_examples("API.md")
     if not errors:
         errors += run_python_examples("OBSERVABILITY.md")
+    if not errors:
+        errors += run_python_examples("SERVE.md")
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0
