@@ -1,0 +1,87 @@
+"""Benchmarks: per-scenario compression and fidelity floors.
+
+The scenario zoo exists to keep the compressor honest on traffic it was
+not tuned for.  This module runs the differential fidelity harness
+(:mod:`repro.analysis.fidelity`) over every registered scenario and
+asserts the conservative per-scenario bounds in
+``BENCH_scenarios.json``:
+
+* **ratio** — compressed container bytes / TSH bytes must stay under a
+  ceiling ~2x the authoring-time measurement, so a dataset silently
+  growing (or a section losing its encoding) fails CI on the workload
+  that exposes it, not just on ``web``;
+* **complexity drift** — the roundtrip's interarrival-entropy and
+  temporal-complexity drift must stay under ceilings ~2x the measured
+  drift (the reconstruction is a statistical twin, not a copy, so the
+  bound is a leash rather than zero);
+* **flow populations** — the KS distance between original and
+  reconstructed per-flow packet-count distributions must be exactly
+  the pinned value (0.0): flow sizes are part of what the codec stores
+  losslessly.
+
+A scenario added to the registry without floors here fails the
+coverage test below — pinning its numbers is part of landing it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fidelity import evaluate_scenario
+from repro.synth.scenarios import scenario_names
+
+BASELINE = json.loads(
+    (Path(__file__).resolve().parent / "BENCH_scenarios.json").read_text()
+)
+DURATION = BASELINE["workload"]["duration"]
+FLOW_RATE = BASELINE["workload"]["flow_rate"]
+
+
+@pytest.fixture(scope="module")
+def scores():
+    return {
+        name: evaluate_scenario(
+            name, duration=DURATION, flow_rate=FLOW_RATE
+        )
+        for name in scenario_names()
+    }
+
+
+def test_every_registered_scenario_has_pinned_floors():
+    for table in ("max_ratio", "max_entropy_delta", "max_temporal_delta"):
+        assert set(BASELINE[table]) == set(scenario_names()), table
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_compression_ratio_floor(scores, name):
+    score = scores[name]
+    assert score.packets > 0
+    assert score.ratio <= BASELINE["max_ratio"][name], (
+        f"{name}: ratio {score.ratio:.4f} above pinned "
+        f"{BASELINE['max_ratio'][name]} — the container grew"
+    )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_complexity_drift_ceilings(scores, name):
+    score = scores[name]
+    assert score.entropy_delta <= BASELINE["max_entropy_delta"][name], (
+        f"{name}: interarrival-entropy drift {score.entropy_delta:.3f} "
+        f"above pinned {BASELINE['max_entropy_delta'][name]}"
+    )
+    assert score.temporal_delta <= BASELINE["max_temporal_delta"][name], (
+        f"{name}: temporal-complexity drift {score.temporal_delta:.3f} "
+        f"above pinned {BASELINE['max_temporal_delta'][name]}"
+    )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_flow_populations_preserved_exactly(scores, name):
+    assert scores[name].flow_size_ks == BASELINE["max_flow_size_ks"], (
+        f"{name}: flow-size KS {scores[name].flow_size_ks} != "
+        f"{BASELINE['max_flow_size_ks']} — per-flow packet counts "
+        "are stored losslessly; this is a correctness bug"
+    )

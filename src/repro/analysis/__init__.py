@@ -20,6 +20,15 @@ from repro.analysis.flagseq import (
     flow_flag_sequence,
     ngram_distribution,
 )
+from repro.analysis.fidelity import (
+    FidelityReport,
+    ScenarioFidelity,
+    evaluate_scenario,
+    evaluate_scenarios,
+    flow_size_distance,
+    interarrival_entropy,
+    temporal_complexity,
+)
 
 __all__ = [
     "archive_overview_lines",
@@ -40,4 +49,11 @@ __all__ = [
     "flag_ngrams",
     "flow_flag_sequence",
     "ngram_distribution",
+    "FidelityReport",
+    "ScenarioFidelity",
+    "evaluate_scenario",
+    "evaluate_scenarios",
+    "flow_size_distance",
+    "interarrival_entropy",
+    "temporal_complexity",
 ]

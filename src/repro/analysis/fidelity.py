@@ -1,0 +1,362 @@
+"""The differential fidelity harness — score every scenario's roundtrip.
+
+"Measuring the Complexity of Packet Traces" frames a trace by two
+numbers: its *non-temporal* complexity (the entropy of its marginal
+behaviour) and its *temporal* complexity (how much knowing the present
+tells you about the next step).  The harness applies that vocabulary to
+the compressor's central claim: for each registered scenario
+(:mod:`repro.synth.scenarios`), compress → reconstruct, then score
+
+* **compression ratio** — container bytes over the TSH bytes of the
+  input (smaller is better);
+* **interarrival entropy** — Shannon entropy of log2-binned packet
+  interarrival times, original vs. reconstructed (the non-temporal
+  complexity axis);
+* **temporal complexity** — first-order conditional entropy
+  ``H(X_t | X_{t-1})`` of the same binned sequence (how much structure
+  the timing has beyond its marginal);
+* **flow-size distance** — two-sample Kolmogorov–Smirnov statistic
+  between per-flow packet-count distributions
+  (:func:`repro.analysis.compare.kolmogorov_smirnov`).
+
+The result is a :class:`FidelityReport` — a stable JSON document in the
+:mod:`repro.obs` RunReport mould (``SCHEMA`` string, ``to_dict`` /
+``to_json`` / ``write`` / ``from_dict`` / ``summary_lines``) — so every
+scenario is simultaneously a workload and a regression probe: CI pins
+each scenario's ratio and complexity deltas as floors.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.analysis.compare import kolmogorov_smirnov
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.options import Options
+    from repro.net.packet import PacketRecord
+    from repro.trace.trace import Trace
+
+SCHEMA = "repro.analysis/fidelity-report/v1"
+
+MIN_INTERARRIVAL = 1e-6
+"""Interarrivals below one microsecond share the lowest log2 bin."""
+
+
+# -- complexity metrics ------------------------------------------------------
+
+
+def interarrival_bins(packets: Sequence["PacketRecord"]) -> list[int]:
+    """Log2 bin indices of consecutive packet interarrival times.
+
+    The binning quantizes timing into octaves (1 µs floor), which is the
+    scale the complexity paper's entropy estimates work at: fine enough
+    to separate back-to-back bursts from think time, coarse enough that
+    the entropy converges on real trace lengths.
+    """
+    bins = []
+    for previous, current in zip(packets, packets[1:]):
+        delta = max(current.timestamp - previous.timestamp, MIN_INTERARRIVAL)
+        bins.append(int(math.floor(math.log2(delta))))
+    return bins
+
+
+def _entropy(counts: Iterable[int], total: int) -> float:
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts:
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def interarrival_entropy(packets: Sequence["PacketRecord"]) -> float:
+    """Shannon entropy (bits) of the log2-binned interarrival marginal.
+
+    The non-temporal complexity axis: how unpredictable one interarrival
+    is in isolation.
+    """
+    bins = interarrival_bins(packets)
+    counts = Counter(bins)
+    return _entropy(counts.values(), len(bins))
+
+
+def temporal_complexity(packets: Sequence["PacketRecord"]) -> float:
+    """First-order conditional entropy ``H(X_t | X_{t-1})`` in bits.
+
+    Computed as ``H(pairs) - H(singles)`` over the binned interarrival
+    sequence.  Low values mean the next gap is predictable from the
+    current one (strong temporal structure — bursts, pacing); values
+    near the marginal entropy mean the timing is memoryless.
+    """
+    bins = interarrival_bins(packets)
+    if len(bins) < 2:
+        return 0.0
+    pair_counts = Counter(zip(bins, bins[1:]))
+    single_counts = Counter(bins[:-1])
+    joint = _entropy(pair_counts.values(), len(bins) - 1)
+    marginal = _entropy(single_counts.values(), len(bins) - 1)
+    return max(0.0, joint - marginal)
+
+
+def flow_sizes(packets: Sequence["PacketRecord"]) -> list[int]:
+    """Packets per flow, under the canonical direction-free flow key."""
+    counts: Counter = Counter()
+    for p in packets:
+        endpoints = tuple(
+            sorted([(p.src_ip, p.src_port), (p.dst_ip, p.dst_port)])
+        )
+        counts[endpoints + (p.protocol,)] += 1
+    return sorted(counts.values())
+
+
+def flow_size_distance(
+    a: Sequence["PacketRecord"], b: Sequence["PacketRecord"]
+) -> float:
+    """KS statistic between the two traces' flow-size distributions.
+
+    Empty traces score 0 against each other (nothing was lost) and 1
+    against anything non-empty (everything was), so a zero-packet
+    scenario at a tiny duration degrades to a score instead of a crash.
+    """
+    sizes_a = [float(s) for s in flow_sizes(a)]
+    sizes_b = [float(s) for s in flow_sizes(b)]
+    if not sizes_a and not sizes_b:
+        return 0.0
+    if not sizes_a or not sizes_b:
+        return 1.0
+    return kolmogorov_smirnov(sizes_a, sizes_b)
+
+
+# -- per-scenario scoring ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioFidelity:
+    """One scenario's roundtrip scorecard."""
+
+    scenario: str
+    seed: int
+    packets: int
+    flows: int
+    tsh_bytes: int
+    compressed_bytes: int
+    ratio: float
+    original_entropy: float
+    reconstructed_entropy: float
+    original_temporal: float
+    reconstructed_temporal: float
+    flow_size_ks: float
+
+    @property
+    def entropy_delta(self) -> float:
+        """Absolute interarrival-entropy drift through the roundtrip."""
+        return abs(self.original_entropy - self.reconstructed_entropy)
+
+    @property
+    def temporal_delta(self) -> float:
+        """Absolute temporal-complexity drift through the roundtrip."""
+        return abs(self.original_temporal - self.reconstructed_temporal)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "packets": self.packets,
+            "flows": self.flows,
+            "tsh_bytes": self.tsh_bytes,
+            "compressed_bytes": self.compressed_bytes,
+            "ratio": self.ratio,
+            "original_entropy": self.original_entropy,
+            "reconstructed_entropy": self.reconstructed_entropy,
+            "entropy_delta": self.entropy_delta,
+            "original_temporal": self.original_temporal,
+            "reconstructed_temporal": self.reconstructed_temporal,
+            "temporal_delta": self.temporal_delta,
+            "flow_size_ks": self.flow_size_ks,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ScenarioFidelity":
+        return cls(
+            scenario=document["scenario"],
+            seed=document["seed"],
+            packets=document["packets"],
+            flows=document["flows"],
+            tsh_bytes=document["tsh_bytes"],
+            compressed_bytes=document["compressed_bytes"],
+            ratio=document["ratio"],
+            original_entropy=document["original_entropy"],
+            reconstructed_entropy=document["reconstructed_entropy"],
+            original_temporal=document["original_temporal"],
+            reconstructed_temporal=document["reconstructed_temporal"],
+            flow_size_ks=document["flow_size_ks"],
+        )
+
+
+def score_roundtrip(
+    scenario: str,
+    seed: int,
+    original: "Trace",
+    reconstructed: "Trace",
+    compressed_bytes: int,
+) -> ScenarioFidelity:
+    """Score one already-performed roundtrip (the harness's pure core)."""
+    from repro.trace.tsh import tsh_file_size
+
+    original_packets = list(original)
+    reconstructed_packets = list(reconstructed)
+    tsh_bytes = tsh_file_size(len(original_packets))
+    return ScenarioFidelity(
+        scenario=scenario,
+        seed=seed,
+        packets=len(original_packets),
+        flows=len(flow_sizes(original_packets)),
+        tsh_bytes=tsh_bytes,
+        compressed_bytes=compressed_bytes,
+        ratio=compressed_bytes / tsh_bytes if tsh_bytes else 0.0,
+        original_entropy=interarrival_entropy(original_packets),
+        reconstructed_entropy=interarrival_entropy(reconstructed_packets),
+        original_temporal=temporal_complexity(original_packets),
+        reconstructed_temporal=temporal_complexity(reconstructed_packets),
+        flow_size_ks=flow_size_distance(
+            original_packets, reconstructed_packets
+        ),
+    )
+
+
+def evaluate_scenario(
+    name: str,
+    *,
+    duration: float = 10.0,
+    flow_rate: float = 40.0,
+    seed: int | None = None,
+    options: "Options | None" = None,
+) -> ScenarioFidelity:
+    """Generate, compress, reconstruct and score one scenario."""
+    from repro.api.options import Options
+    from repro.core.codec import deserialize_compressed, serialize_compressed
+    from repro.core.compressor import compress_trace
+    from repro.core.decompressor import decompress_trace
+    from repro.synth.scenarios import get_scenario
+
+    scenario = get_scenario(name)
+    options = options or Options()
+    actual_seed = scenario.default_seed if seed is None else seed
+    original = scenario.build(
+        duration=duration, flow_rate=flow_rate, seed=actual_seed
+    )
+    compressed = compress_trace(original, options.compressor)
+    data = serialize_compressed(
+        compressed, backend=options.codec.backend, level=options.codec.level
+    )
+    # Reconstruct from the serialized bytes, not the in-memory object —
+    # the score must reflect what a reader of the file would get.
+    reconstructed = decompress_trace(
+        deserialize_compressed(data), options.decompressor
+    )
+    return score_roundtrip(name, actual_seed, original, reconstructed, len(data))
+
+
+# -- the report --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """One fidelity sweep over a set of scenarios, ready to serialize."""
+
+    duration: float
+    flow_rate: float
+    backend: str
+    scenarios: tuple[ScenarioFidelity, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "duration": self.duration,
+            "flow_rate": self.flow_rate,
+            "backend": self.backend,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FidelityReport":
+        if document.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a fidelity report (schema={document.get('schema')!r}, "
+                f"expected {SCHEMA!r})"
+            )
+        return cls(
+            duration=document["duration"],
+            flow_rate=document["flow_rate"],
+            backend=document.get("backend", "default"),
+            scenarios=tuple(
+                ScenarioFidelity.from_dict(entry)
+                for entry in document.get("scenarios", [])
+            ),
+        )
+
+    def by_scenario(self) -> dict[str, ScenarioFidelity]:
+        return {s.scenario: s for s in self.scenarios}
+
+    def summary_lines(self) -> list[str]:
+        """The stdout table behind ``repro fidelity``."""
+        header = (
+            f"{'scenario':<15s} {'packets':>8s} {'ratio':>8s} "
+            f"{'dH(iat)':>8s} {'dH(tmp)':>8s} {'KS(flow)':>9s}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.scenarios:
+            lines.append(
+                f"{s.scenario:<15s} {s.packets:>8d} {s.ratio:>8.4f} "
+                f"{s.entropy_delta:>8.3f} {s.temporal_delta:>8.3f} "
+                f"{s.flow_size_ks:>9.3f}"
+            )
+        return lines
+
+
+def evaluate_scenarios(
+    names: Sequence[str] | None = None,
+    *,
+    duration: float = 10.0,
+    flow_rate: float = 40.0,
+    seed: int | None = None,
+    options: "Options | None" = None,
+) -> FidelityReport:
+    """Run the harness over ``names`` (default: every registered scenario)."""
+    from repro.api.options import Options
+    from repro.synth.scenarios import scenario_names
+
+    options = options or Options()
+    if names is None:
+        names = scenario_names()
+    scored = tuple(
+        evaluate_scenario(
+            name,
+            duration=duration,
+            flow_rate=flow_rate,
+            seed=seed,
+            options=options,
+        )
+        for name in names
+    )
+    return FidelityReport(
+        duration=duration,
+        flow_rate=flow_rate,
+        backend=options.codec.backend or "default",
+        scenarios=scored,
+    )

@@ -52,6 +52,7 @@ _LAZY_EXPORTS = {
     "ServeReport": ("repro.serve.daemon", "ServeReport"),
     # one-shot operations
     "container_sections": ("repro.api.ops", "container_sections"),
+    "fidelity": ("repro.api.ops", "fidelity"),
     "generate": ("repro.api.ops", "generate"),
     "roundtrip": ("repro.api.ops", "roundtrip"),
     "model_for": ("repro.api.ops", "model_for"),
@@ -81,6 +82,13 @@ _LAZY_EXPORTS = {
     "CompressionReport": ("repro.core.pipeline", "CompressionReport"),
     "ExportResult": ("repro.trace.export", "ExportResult"),
     "TraceModel": ("repro.core.generator", "TraceModel"),
+    "FidelityReport": ("repro.analysis.fidelity", "FidelityReport"),
+    "ScenarioFidelity": ("repro.analysis.fidelity", "ScenarioFidelity"),
+    # the traffic-scenario registry
+    "Scenario": ("repro.synth.scenarios", "Scenario"),
+    "get_scenario": ("repro.synth.scenarios", "get_scenario"),
+    "iter_scenarios": ("repro.synth.scenarios", "iter_scenarios"),
+    "scenario_names": ("repro.synth.scenarios", "scenario_names"),
     # backend registry names (the CLI's --backend choices)
     "backend_names": ("repro.core.backends", "backend_names"),
     "AUTO": ("repro.core.backends", "AUTO"),

@@ -29,6 +29,7 @@ __all__ = [
     "anonymize",
     "compare",
     "container_sections",
+    "fidelity",
     "generate",
     "model_for",
     "roundtrip",
@@ -61,29 +62,59 @@ def generate(
     duration: float = 100.0,
     flow_rate: float = 40.0,
     seed: int = 1,
-    kind: str = "web",
+    kind: str | None = None,
+    scenario: str | None = None,
 ) -> ExportResult:
     """Write a calibrated synthetic capture to ``dest``.
 
-    ``kind`` selects the generator (``"web"`` — the RedIRIS-like Web
-    workload — or ``"p2p"``); the output format follows the suffix
-    (``.pcap`` → pcap-lite, anything else → TSH).
+    ``scenario`` names a registered workload from the scenario registry
+    (:mod:`repro.synth.scenarios` — ``web``, ``p2p``, ``web-search``,
+    ``data-mining``, ``mixed-protocol``, ``flood``, ``mptcp``, …);
+    ``web`` is the default, byte-identical to what this function always
+    produced.  ``kind`` is the historical spelling of the same knob and
+    keeps working.  The output format follows the suffix (``.pcap`` →
+    pcap-lite, anything else → TSH).
     """
-    if kind == "web":
-        from repro.synth import generate_web_trace
+    from repro.synth.scenarios import get_scenario
 
-        trace = generate_web_trace(
-            duration=duration, flow_rate=flow_rate, seed=seed
+    if kind is not None and scenario is not None and kind != scenario:
+        raise CapabilityError(
+            f"kind={kind!r} and scenario={scenario!r} disagree; "
+            "pass one of them (kind is the legacy alias)"
         )
-    elif kind == "p2p":
-        from repro.synth import generate_p2p_trace
-
-        trace = generate_p2p_trace(
-            duration=duration, session_rate=flow_rate, seed=seed
-        )
-    else:
-        raise CapabilityError(f"unknown generator kind: {kind!r} (web, p2p)")
+    name = scenario if scenario is not None else (kind or "web")
+    try:
+        selected = get_scenario(name)
+    except ValueError as exc:
+        raise CapabilityError(str(exc)) from exc
+    trace = selected.build(duration=duration, flow_rate=flow_rate, seed=seed)
     return export_packet_stream(iter(trace), dest)
+
+
+def fidelity(
+    scenarios=None,
+    *,
+    duration: float = 10.0,
+    flow_rate: float = 40.0,
+    seed: int | None = None,
+    options: Options | None = None,
+):
+    """Run the differential fidelity harness; returns a ``FidelityReport``.
+
+    Each named scenario (default: every registered one) is generated,
+    compressed under ``options``, reconstructed from the serialized
+    bytes, and scored on compression ratio plus the trace-complexity
+    metrics — see :mod:`repro.analysis.fidelity`.
+    """
+    from repro.analysis.fidelity import evaluate_scenarios
+
+    return evaluate_scenarios(
+        scenarios,
+        duration=duration,
+        flow_rate=flow_rate,
+        seed=seed,
+        options=options,
+    )
 
 
 def roundtrip(

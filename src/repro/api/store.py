@@ -259,6 +259,9 @@ class TraceStore:
     def stats(self) -> TraceStatistics:
         raise self._unsupported("stats", "tsh, pcap")
 
+    def fidelity(self, *, options: Options | None = None):
+        raise self._unsupported("fidelity", "tsh, pcap")
+
     def model(self) -> TraceModel:
         raise self._unsupported("model", "tsh, pcap, container")
 
@@ -388,6 +391,35 @@ class TraceFileStore(TraceStore):
 
     def stats(self) -> TraceStatistics:
         return compute_statistics(self.load_trace())
+
+    def fidelity(self, *, options: Options | None = None):
+        """Score this capture's compress→reconstruct roundtrip.
+
+        Returns a :class:`~repro.analysis.fidelity.ScenarioFidelity`
+        labelled with the store's name (``seed`` is 0 — captures have
+        no generator seed): compression ratio against the TSH size plus
+        the interarrival-entropy / temporal-complexity / flow-size-KS
+        drift between this file and its reconstruction.
+        """
+        from repro.analysis.fidelity import score_roundtrip
+        from repro.core.codec import (
+            deserialize_compressed,
+            serialize_compressed,
+        )
+        from repro.core.decompressor import decompress_trace
+
+        options = options or self.options
+        original = self.load_trace()
+        compressed = self._compress_in_memory(options)
+        data = serialize_compressed(
+            compressed, backend=options.codec.backend, level=options.codec.level
+        )
+        reconstructed = decompress_trace(
+            deserialize_compressed(data), options.decompressor
+        )
+        return score_roundtrip(
+            self._name(options), 0, original, reconstructed, len(data)
+        )
 
     def model(self) -> TraceModel:
         return TraceModel.fit(self._compress_in_memory(self.options))

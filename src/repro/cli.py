@@ -6,6 +6,8 @@ library behavior cannot diverge.  Subcommands (full reference in
 ``docs/CLI.md``)::
 
     repro-trace generate out.tsh --duration 100 --rate 40 --seed 1
+    repro-trace generate out.tsh --scenario flood     (--list-scenarios for names)
+    repro-trace fidelity [--scenario NAME ...] [--duration 10] [--out report.json]
     repro-trace compress in.tsh out.fctc [--stream] [--workers N] [--backend auto]
     repro-trace decompress in.fctc out.tsh
     repro-trace replay day.fctca out.tsh [--workers N] [--since 10 --dst a.b.c.d ...]
@@ -53,12 +55,40 @@ _log = logging.getLogger(__name__)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        for scenario in api.iter_scenarios():
+            print(f"{scenario.name:<15s} {scenario.summary}")
+        return 0
+    if args.output is None:
+        _log.error("error: output path required (or pass --list-scenarios)")
+        return 2
     result = api.generate(
-        args.output, duration=args.duration, flow_rate=args.rate, seed=args.seed
+        args.output,
+        duration=args.duration,
+        flow_rate=args.rate,
+        seed=args.seed,
+        scenario=args.scenario,
     )
     print(
         f"wrote {result.packets} packets ({result.size_bytes} B) to {args.output}"
     )
+    return 0
+
+
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    options = api.Options.make(backend=args.backend, level=args.level)
+    report = api.fidelity(
+        args.scenario,
+        duration=args.duration,
+        flow_rate=args.rate,
+        seed=args.seed,
+        options=options,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.out is not None:
+        report.write(args.out)
+        print(f"wrote fidelity report to {args.out}")
     return 0
 
 
@@ -457,13 +487,54 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser(
-        "generate", help="synthesize a Web trace", parents=[common]
+        "generate", help="synthesize a registered traffic scenario", parents=[common]
     )
-    generate.add_argument("output", help="output .tsh path")
+    generate.add_argument(
+        "output", nargs="?", default=None, help="output .tsh path"
+    )
     generate.add_argument("--duration", type=float, default=100.0)
     generate.add_argument("--rate", type=float, default=40.0, help="flows/second")
     generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="named traffic scenario from the registry "
+        "(default: web, the historical workload; see --list-scenarios)",
+    )
+    generate.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered scenario names and exit",
+    )
     generate.set_defaults(handler=_cmd_generate)
+
+    fidelity = subparsers.add_parser(
+        "fidelity",
+        help="score scenario compress→reconstruct roundtrips",
+        parents=[common],
+    )
+    fidelity.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario to score (repeatable; default: all registered)",
+    )
+    fidelity.add_argument(
+        "--duration", type=float, default=10.0, help="seconds of traffic per scenario"
+    )
+    fidelity.add_argument("--rate", type=float, default=40.0, help="flows/second")
+    fidelity.add_argument(
+        "--seed", type=int, default=None,
+        help="generator seed (default: each scenario's own)",
+    )
+    fidelity.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the FidelityReport JSON to FILE",
+    )
+    _add_backend_flags(fidelity, default_note="raw", what="the scored containers")
+    fidelity.set_defaults(handler=_cmd_fidelity)
 
     compress = subparsers.add_parser(
         "compress", help="compress a TSH trace", parents=[common]

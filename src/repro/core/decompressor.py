@@ -220,12 +220,40 @@ def flow_specs(
 def synthesize_flow(
     spec: FlowSpec, config: DecompressorConfig
 ) -> Iterator[PacketRecord]:
-    """Re-synthesize one flow's packets lazily, in timestamp order.
+    """Re-synthesize one flow's packets lazily, in global merge order.
 
     Per-flow timestamps are nondecreasing (every step adds a
     non-negative gap), which is what lets the streaming merge treat each
-    flow as a sorted run.
+    flow as a sorted run.  Nondecreasing is not strict: a long flow
+    whose stored gap quantizes to zero puts several packets on one
+    timestamp, and a direction flip inside such a tie makes the rest of
+    :func:`merge_sort_key` *decrease* mid-flow.  The batch path's global
+    sort reorders those ties; a bounded-memory heap merge cannot (it
+    holds one packet per flow).  So ties are reconciled here, at the
+    source: packets sharing a timestamp are buffered and yielded in
+    stable :func:`merge_sort_key` order, making every flow a genuinely
+    sorted run.  The batch output is unchanged (its stable sort already
+    ordered ties this way); the streaming merge becomes byte-identical
+    to it for tied flows too.  Memory cost is the largest same-timestamp
+    group, not the flow.
     """
+    group: list[PacketRecord] = []
+    for packet in _synthesize_flow_packets(spec, config):
+        if group and packet.timestamp != group[-1].timestamp:
+            if len(group) > 1:
+                group.sort(key=merge_sort_key)
+            yield from group
+            group.clear()
+        group.append(packet)
+    if len(group) > 1:
+        group.sort(key=merge_sort_key)
+    yield from group
+
+
+def _synthesize_flow_packets(
+    spec: FlowSpec, config: DecompressorConfig
+) -> Iterator[PacketRecord]:
+    """The raw per-packet synthesis, in template (generation) order."""
     rng = random.Random(spec.seed)
     client_ip = random_class_b_or_c(rng)
     client_port = rng.randint(CLIENT_PORT_MIN, CLIENT_PORT_MAX)

@@ -10,7 +10,13 @@ available; this subpackage generates calibrated substitutes:
   temporal distribution" control trace of section 6.1;
 * :mod:`repro.synth.fractal` + :mod:`repro.synth.lrustack` — the
   "fracexp" control trace (multiplicative-process addresses launched
-  with an LRU stack model and exponential inter-packet times).
+  with an LRU stack model and exponential inter-packet times);
+* :mod:`repro.synth.scenarios` — the named-workload registry over all of
+  the above plus the zoo additions: partition/aggregate incast mixes
+  (:mod:`repro.synth.cdfgen`), multi-protocol blends
+  (:mod:`repro.synth.mixedgen`), SYN/UDP floods
+  (:mod:`repro.synth.floodgen`) and multipath striping
+  (:mod:`repro.synth.mptcpgen`).
 """
 
 from repro.synth.distributions import (
@@ -26,6 +32,35 @@ from repro.synth.addresses import AddressPool, AddressPoolConfig
 from repro.synth.randomize import randomize_destinations
 from repro.synth.fractal import MultiplicativeCascade
 from repro.synth.lrustack import LruStackModel, generate_fracexp_trace
+from repro.synth.cdfgen import (
+    DATA_MINING_FLOW_SIZES,
+    WEB_SEARCH_FLOW_SIZES,
+    CdfSizeDistribution,
+    CdfTrafficConfig,
+    CdfTrafficGenerator,
+    generate_cdf_trace,
+)
+from repro.synth.mixedgen import (
+    MixedTrafficConfig,
+    MixedTrafficGenerator,
+    generate_mixed_trace,
+)
+from repro.synth.floodgen import (
+    FloodTrafficConfig,
+    FloodTrafficGenerator,
+    generate_flood_trace,
+)
+from repro.synth.mptcpgen import (
+    MptcpTrafficConfig,
+    MptcpTrafficGenerator,
+    generate_mptcp_trace,
+)
+from repro.synth.scenarios import (
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    scenario_names,
+)
 
 __all__ = [
     "BoundedPareto",
@@ -45,4 +80,23 @@ __all__ = [
     "MultiplicativeCascade",
     "LruStackModel",
     "generate_fracexp_trace",
+    "CdfSizeDistribution",
+    "CdfTrafficConfig",
+    "CdfTrafficGenerator",
+    "WEB_SEARCH_FLOW_SIZES",
+    "DATA_MINING_FLOW_SIZES",
+    "generate_cdf_trace",
+    "MixedTrafficConfig",
+    "MixedTrafficGenerator",
+    "generate_mixed_trace",
+    "FloodTrafficConfig",
+    "FloodTrafficGenerator",
+    "generate_flood_trace",
+    "MptcpTrafficConfig",
+    "MptcpTrafficGenerator",
+    "generate_mptcp_trace",
+    "Scenario",
+    "get_scenario",
+    "iter_scenarios",
+    "scenario_names",
 ]

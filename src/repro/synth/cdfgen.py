@@ -1,0 +1,274 @@
+"""CDF-sampled partition/aggregate traffic — web-search and data-mining.
+
+The datacenter-workload literature publishes measured flow-size CDFs for
+two canonical applications: the *web-search* mix (query responses from a
+few KB to tens of MB, heavy middle) and the *data-mining* mix (half of
+the flows a single KB, a tail six orders of magnitude longer).  The
+generator reproduces the partition/aggregate traffic shape those numbers
+come from: queries arrive at an aggregator, fan out to ``fanin`` workers,
+and the workers' responses arrive back *simultaneously* — the incast
+pattern that makes these mixes a stress test for any per-flow machinery.
+
+Flow sizes are drawn by inverse-CDF over the published sample points
+(:class:`CdfSizeDistribution` — a step function, exactly how the
+reference generators replay them), split evenly over the fan-in, and
+streamed back as MSS segments in slow-start bursts with delayed ACKs.
+Everything draws from one seeded :class:`random.Random`, so a scenario
+is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.net.hostprops import plausible_ttl, plausible_window
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.synth.addresses import AddressPool, AddressPoolConfig
+from repro.synth.distributions import LogNormal
+from repro.trace.trace import Trace
+
+MSS = 1460
+"""Maximum segment size of worker response data."""
+
+QUERY_BYTES = 160
+"""Aggregator request payload (the partition step's query)."""
+
+
+@dataclass(frozen=True)
+class CdfSizeDistribution:
+    """A flow-size distribution given as ``(cdf, size_kb)`` sample points.
+
+    Sampling is the step-function inverse CDF over the published points
+    (the smallest size whose cumulative probability covers the draw) —
+    the same replay the reference datacenter generators use, so the
+    produced mix matches the published numbers bucket for bucket.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("need at least one CDF sample point")
+        previous = 0.0
+        for cdf, size_kb in self.points:
+            if not previous < cdf <= 1.0:
+                raise ValueError(
+                    f"CDF values must ascend within (0, 1]: {self.points}"
+                )
+            if size_kb <= 0:
+                raise ValueError(f"flow sizes must be positive: {size_kb}")
+            previous = cdf
+        if self.points[-1][0] != 1.0:
+            raise ValueError("the last CDF point must close at 1.0")
+
+    def sample_bytes(self, rng: random.Random) -> int:
+        """One flow-size draw in bytes."""
+        u = rng.random()
+        for cdf, size_kb in self.points:
+            if u <= cdf:
+                return int(size_kb * 1024)
+        return int(self.points[-1][1] * 1024)
+
+    def mean_bytes(self) -> float:
+        """Analytic mean of the step distribution, in bytes."""
+        total = 0.0
+        previous = 0.0
+        for cdf, size_kb in self.points:
+            total += (cdf - previous) * size_kb * 1024
+            previous = cdf
+        return total
+
+
+WEB_SEARCH_FLOW_SIZES = CdfSizeDistribution(
+    points=(
+        (0.15, 6.0), (0.2, 13.0), (0.3, 19.0), (0.4, 33.0), (0.53, 53.0),
+        (0.6, 133.0), (0.7, 667.0), (0.8, 1333.0), (0.9, 3333.0),
+        (0.97, 6667.0), (1.0, 20000.0),
+    )
+)
+"""The published web-search flow-size CDF (KB)."""
+
+DATA_MINING_FLOW_SIZES = CdfSizeDistribution(
+    points=(
+        (0.5, 1.0), (0.6, 2.0), (0.7, 3.0), (0.8, 7.0), (0.9, 267.0),
+        (0.95, 2107.0), (0.99, 66667.0), (1.0, 666667.0),
+    )
+)
+"""The published data-mining flow-size CDF (KB) — half mice, a huge tail."""
+
+
+@dataclass(frozen=True)
+class CdfTrafficConfig:
+    """Knobs of the partition/aggregate generator.
+
+    ``flow_rate`` counts *worker flows* per second (queries arrive at
+    ``flow_rate / fanin``), so packet volume stays comparable across
+    scenarios for the same rate.  ``max_segments_per_flow`` truncates the
+    data-mining tail — the published maximum is hundreds of MB, which no
+    bounded test workload should literally replay.
+    """
+
+    duration: float = 100.0
+    flow_rate: float = 40.0
+    seed: int = 11
+    sizes: CdfSizeDistribution = WEB_SEARCH_FLOW_SIZES
+    fanin: int = 8
+    start_jitter: float = 0.002
+    max_segments_per_flow: int = 1024
+    rtt: LogNormal = LogNormal.from_median_sigma(0.004, 0.4)
+    back_to_back_gap: float = 0.00002
+    ack_every: int = 2
+    pool: AddressPoolConfig = field(default_factory=AddressPoolConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.flow_rate <= 0:
+            raise ValueError(f"flow_rate must be positive: {self.flow_rate}")
+        if self.fanin < 1:
+            raise ValueError(f"fanin must be >= 1: {self.fanin}")
+        if self.start_jitter < 0:
+            raise ValueError(f"start_jitter cannot be negative: {self.start_jitter}")
+        if self.max_segments_per_flow < 1:
+            raise ValueError(
+                f"max_segments_per_flow must be >= 1: {self.max_segments_per_flow}"
+            )
+        if self.ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1: {self.ack_every}")
+
+
+class CdfTrafficGenerator:
+    """Deterministic (seeded) partition/aggregate traffic source."""
+
+    initial_cwnd = 4
+    max_cwnd = 32
+
+    def __init__(self, config: CdfTrafficConfig | None = None) -> None:
+        self.config = config or CdfTrafficConfig()
+        self._rng = random.Random(self.config.seed)
+        self._pool = AddressPool(self.config.pool, seed=self.config.seed ^ 0xCDF)
+        self._next_port = 1024
+
+    def generate(self) -> Trace:
+        """Generate the whole trace (time-sorted)."""
+        config = self.config
+        rng = self._rng
+        query_rate = config.flow_rate / config.fanin
+        packets: list[PacketRecord] = []
+        arrival = 0.0
+        while True:
+            arrival += rng.expovariate(query_rate)
+            if arrival >= config.duration:
+                break
+            packets.extend(self._play_query(arrival))
+        packets.sort(key=lambda p: p.timestamp)
+        return Trace(packets, name=f"cdf-{config.seed}")
+
+    def _play_query(self, arrival: float) -> list[PacketRecord]:
+        """One partition/aggregate round: ``fanin`` simultaneous responses."""
+        config = self.config
+        rng = self._rng
+        aggregator = self._pool.pick_client(rng)
+        total_segments = max(
+            1, math.ceil(config.sizes.sample_bytes(rng) / MSS)
+        )
+        per_worker = min(
+            config.max_segments_per_flow,
+            max(1, math.ceil(total_segments / config.fanin)),
+        )
+        out: list[PacketRecord] = []
+        for _ in range(config.fanin):
+            worker = self._pool.pick_server(rng)
+            start = arrival + rng.uniform(0.0, config.start_jitter)
+            out.extend(self._play_flow(aggregator, worker, start, per_worker))
+        return out
+
+    def _play_flow(
+        self, aggregator: int, worker: int, start: float, segments: int
+    ) -> list[PacketRecord]:
+        """One aggregator→worker request and its bursted response."""
+        config = self.config
+        rng = self._rng
+        gap = config.back_to_back_gap
+        rtt = max(0.0005, config.rtt.sample(rng))
+        self._next_port += 1
+        if self._next_port > 64000:
+            self._next_port = 1024
+        port = self._next_port
+        state = {"cseq": rng.getrandbits(32), "sseq": rng.getrandbits(32)}
+        out: list[PacketRecord] = []
+
+        def emit(
+            timestamp: float, client_to_server: bool, flags: int, payload: int
+        ) -> None:
+            if client_to_server:
+                src_ip, dst_ip = aggregator, worker
+                src_port, dst_port = port, 80
+                seq, ack = state["cseq"], state["sseq"]
+                state["cseq"] = (state["cseq"] + max(payload, 1)) & 0xFFFFFFFF
+            else:
+                src_ip, dst_ip = worker, aggregator
+                src_port, dst_port = 80, port
+                seq, ack = state["sseq"], state["cseq"]
+                state["sseq"] = (state["sseq"] + max(payload, 1)) & 0xFFFFFFFF
+            out.append(
+                PacketRecord(
+                    timestamp=timestamp,
+                    src_ip=src_ip,
+                    dst_ip=dst_ip,
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    flags=flags,
+                    payload_len=payload,
+                    seq=seq,
+                    ack=ack,
+                    ip_id=rng.getrandbits(16),
+                    ttl=plausible_ttl(src_ip),
+                    window=plausible_window(src_ip),
+                )
+            )
+
+        now = start
+        emit(now, True, TCP_SYN, 0)
+        now += rtt
+        emit(now, False, TCP_SYN | TCP_ACK, 0)
+        now += rtt
+        emit(now, True, TCP_ACK, 0)
+        now += gap
+        emit(now, True, TCP_ACK, QUERY_BYTES)
+
+        cwnd = self.initial_cwnd
+        remaining = segments
+        burst_start = now + rtt
+        while remaining > 0:
+            burst = min(cwnd, remaining)
+            for index in range(burst):
+                emit(burst_start + index * gap, False, TCP_ACK, MSS)
+            remaining -= burst
+            ack_count = math.ceil(burst / config.ack_every)
+            ack_time = burst_start + rtt
+            for index in range(ack_count):
+                emit(ack_time + index * gap, True, TCP_ACK, 0)
+            burst_start = ack_time + ack_count * gap
+            cwnd = min(cwnd * 2, self.max_cwnd)
+
+        emit(burst_start, True, TCP_FIN | TCP_ACK, 0)
+        return out
+
+
+def generate_cdf_trace(
+    duration: float = 100.0,
+    flow_rate: float = 40.0,
+    seed: int = 11,
+    sizes: CdfSizeDistribution = WEB_SEARCH_FLOW_SIZES,
+    config: CdfTrafficConfig | None = None,
+) -> Trace:
+    """Convenience wrapper: one call, one partition/aggregate trace."""
+    if config is None:
+        config = CdfTrafficConfig(
+            duration=duration, flow_rate=flow_rate, seed=seed, sizes=sizes
+        )
+    return CdfTrafficGenerator(config).generate()

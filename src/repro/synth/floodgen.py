@@ -1,0 +1,212 @@
+"""Flood traffic — SYN and UDP burst patterns against locality-driven victims.
+
+Floods are the adversarial corner of the workload space: millions of
+half-open "flows" that never complete a handshake, spoofed sources drawn
+fresh per packet from the whole address space, and victim selection with
+strong temporal locality (an attack dwells on a target, then moves on).
+Per-flow machinery that amortizes state over long conversations gets no
+amortization here — which is exactly why a flood belongs in the zoo.
+
+Victims come from the paper's own :class:`~repro.synth.lrustack.LruStackModel`
+(hot targets stay hot), spoofed sources from the fractal
+:class:`~repro.synth.fractal.MultiplicativeCascade`.  Burst arrivals are
+Poisson; every draw comes from one seeded :class:`random.Random`, so the
+trace is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.hostprops import plausible_ttl, plausible_window
+from repro.net.packet import PROTO_TCP, PROTO_UDP, PacketRecord
+from repro.net.tcp import TCP_SYN
+from repro.synth.fractal import MultiplicativeCascade
+from repro.synth.lrustack import LruStackModel
+from repro.trace.trace import Trace
+
+SYN_PORTS = (80, 443, 22, 25)
+"""Services a SYN flood aims at."""
+
+UDP_PORTS = (53, 123, 1900, 11211)
+"""Reflection/amplification targets of a UDP flood."""
+
+UDP_PAYLOADS = (64, 512, 1024, 1472)
+"""Datagram sizes a UDP flood cycles through (up to near-MTU)."""
+
+
+@dataclass(frozen=True)
+class FloodTrafficConfig:
+    """Knobs of the flood generator.
+
+    ``flow_rate`` is repurposed as intensity: bursts arrive at
+    ``flow_rate / burst_rate_divisor`` (about one burst per eight flow
+    arrivals at the defaults), keeping packet volume in the same league
+    as the benign scenarios at the same rate.  ``syn_prob``
+    splits bursts between SYN floods (TCP, 40-byte packets, random
+    spoofed sources per packet) and UDP floods (large datagrams, a small
+    rotating source set per burst).
+    """
+
+    duration: float = 100.0
+    flow_rate: float = 40.0
+    seed: int = 37
+    syn_prob: float = 0.7
+    packets_per_burst_min: int = 40
+    packets_per_burst_max: int = 400
+    burst_pps: float = 4000.0
+    burst_rate_divisor: float = 8.0
+    victims: LruStackModel = field(default_factory=LruStackModel)
+    sources: MultiplicativeCascade = field(default_factory=MultiplicativeCascade)
+    udp_source_count: int = 8
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.flow_rate <= 0:
+            raise ValueError(f"flow_rate must be positive: {self.flow_rate}")
+        if not 0.0 <= self.syn_prob <= 1.0:
+            raise ValueError(f"syn_prob must be in [0,1]: {self.syn_prob}")
+        if not 1 <= self.packets_per_burst_min <= self.packets_per_burst_max:
+            raise ValueError(
+                "need 1 <= packets_per_burst_min <= packets_per_burst_max"
+            )
+        if self.burst_pps <= 0:
+            raise ValueError(f"burst_pps must be positive: {self.burst_pps}")
+        if self.burst_rate_divisor <= 0:
+            raise ValueError(
+                f"burst_rate_divisor must be positive: {self.burst_rate_divisor}"
+            )
+        if self.udp_source_count < 1:
+            raise ValueError(
+                f"udp_source_count must be >= 1: {self.udp_source_count}"
+            )
+
+
+class FloodTrafficGenerator:
+    """Deterministic (seeded) SYN/UDP burst traffic source."""
+
+    def __init__(self, config: FloodTrafficConfig | None = None) -> None:
+        self.config = config or FloodTrafficConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def generate(self) -> Trace:
+        """Generate the whole trace (time-sorted).
+
+        Burst arrival times are drawn first and the victim list second
+        (one batched :meth:`LruStackModel.address_stream` call), so the
+        locality model sees the same draw sequence regardless of how the
+        individual bursts later unfold.  If the Poisson draw leaves a
+        short window empty, one burst is forced inside it — a flood
+        trace is never packetless.
+        """
+        config = self.config
+        rng = self._rng
+        burst_rate = config.flow_rate / config.burst_rate_divisor
+        arrivals: list[float] = []
+        arrival = 0.0
+        while True:
+            arrival += rng.expovariate(burst_rate)
+            if arrival >= config.duration:
+                break
+            arrivals.append(arrival)
+        if not arrivals:
+            arrivals.append(rng.uniform(0.0, config.duration / 2.0))
+        victims = config.victims.address_stream(rng, len(arrivals))
+        packets: list[PacketRecord] = []
+        for start, victim in zip(arrivals, victims):
+            if rng.random() < config.syn_prob:
+                packets.extend(self._play_syn_burst(start, victim))
+            else:
+                packets.extend(self._play_udp_burst(start, victim))
+        packets.sort(key=lambda p: p.timestamp)
+        return Trace(packets, name=f"flood-{config.seed}")
+
+    def _burst_times(self, start: float, count: int) -> list[float]:
+        rng = self._rng
+        times = []
+        now = start
+        for _ in range(count):
+            times.append(now)
+            now += rng.expovariate(self.config.burst_pps)
+        return times
+
+    def _play_syn_burst(self, start: float, victim: int) -> list[PacketRecord]:
+        """Half-open connection attempts: a fresh spoofed source per SYN."""
+        config = self.config
+        rng = self._rng
+        count = rng.randint(
+            config.packets_per_burst_min, config.packets_per_burst_max
+        )
+        service = SYN_PORTS[rng.randrange(len(SYN_PORTS))]
+        out = []
+        for timestamp in self._burst_times(start, count):
+            source = config.sources.sample(rng)
+            out.append(
+                PacketRecord(
+                    timestamp=timestamp,
+                    src_ip=source,
+                    dst_ip=victim,
+                    src_port=rng.randint(1024, 65000),
+                    dst_port=service,
+                    protocol=PROTO_TCP,
+                    flags=TCP_SYN,
+                    payload_len=0,
+                    seq=rng.getrandbits(32),
+                    ack=0,
+                    ip_id=rng.getrandbits(16),
+                    ttl=plausible_ttl(source),
+                    window=plausible_window(source),
+                )
+            )
+        return out
+
+    def _play_udp_burst(self, start: float, victim: int) -> list[PacketRecord]:
+        """Volumetric datagrams from a small rotating spoofed-source set."""
+        config = self.config
+        rng = self._rng
+        count = rng.randint(
+            config.packets_per_burst_min, config.packets_per_burst_max
+        )
+        service = UDP_PORTS[rng.randrange(len(UDP_PORTS))]
+        sources = [
+            (config.sources.sample(rng), rng.randint(1024, 65000))
+            for _ in range(config.udp_source_count)
+        ]
+        payload = UDP_PAYLOADS[rng.randrange(len(UDP_PAYLOADS))]
+        out = []
+        for index, timestamp in enumerate(self._burst_times(start, count)):
+            source, port = sources[index % len(sources)]
+            out.append(
+                PacketRecord(
+                    timestamp=timestamp,
+                    src_ip=source,
+                    dst_ip=victim,
+                    src_port=port,
+                    dst_port=service,
+                    protocol=PROTO_UDP,
+                    flags=0,
+                    payload_len=payload,
+                    seq=0,
+                    ack=0,
+                    ip_id=rng.getrandbits(16),
+                    ttl=plausible_ttl(source),
+                    window=plausible_window(source),
+                )
+            )
+        return out
+
+
+def generate_flood_trace(
+    duration: float = 100.0,
+    flow_rate: float = 40.0,
+    seed: int = 37,
+    config: FloodTrafficConfig | None = None,
+) -> Trace:
+    """Convenience wrapper: one call, one flood trace."""
+    if config is None:
+        config = FloodTrafficConfig(
+            duration=duration, flow_rate=flow_rate, seed=seed
+        )
+    return FloodTrafficGenerator(config).generate()

@@ -1,0 +1,319 @@
+"""Mixed-protocol traffic — HTTP, DNS, SSH and background datagrams.
+
+The Web generator exercises one protocol's session grammar.  Production
+captures are a *mix*: short TCP request/response flows, two-packet UDP
+DNS lookups, long sparse interactive SSH sessions, and one-way
+datagram background (NTP/syslog-style).  Each class stresses a
+different compressor assumption — UDP flows have no handshake or flag
+grammar, SSH flows are packet-many but byte-light with human think-time
+gaps, background streams never turn around.
+
+Flow classes are drawn per arrival from configured probabilities; every
+draw comes from one seeded :class:`random.Random`, so the trace is a
+pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.hostprops import plausible_ttl, plausible_window
+from repro.net.packet import PROTO_TCP, PROTO_UDP, PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.synth.addresses import AddressPool, AddressPoolConfig
+from repro.synth.distributions import BoundedPareto, Exponential, LogNormal
+from repro.trace.trace import Trace
+
+MSS = 1460
+HTTP_REQUEST_BYTES = 280
+SSH_SEGMENT = 48
+"""Encrypted keystroke/echo payload of an interactive SSH round."""
+
+BACKGROUND_PORTS = (123, 514, 1812, 4500)
+"""Well-known one-way datagram services (NTP, syslog, RADIUS, IPsec-NAT)."""
+
+
+@dataclass(frozen=True)
+class MixedTrafficConfig:
+    """Knobs of the protocol mix.
+
+    The class probabilities (``http``/``dns``/``ssh``; the remainder is
+    background datagrams) shape the flow population; the per-class knobs
+    shape each session.  ``flow_rate`` is total flows per second across
+    all classes.
+    """
+
+    duration: float = 100.0
+    flow_rate: float = 40.0
+    seed: int = 23
+    http_prob: float = 0.55
+    dns_prob: float = 0.25
+    ssh_prob: float = 0.05
+    response_bytes: BoundedPareto = BoundedPareto(
+        alpha=1.3, xmin=1500.0, xmax=60000.0
+    )
+    ssh_rounds_min: int = 4
+    ssh_rounds_max: int = 48
+    ssh_think: Exponential = Exponential(rate=4.0)
+    background_packets_min: int = 8
+    background_packets_max: int = 64
+    background_interval: float = 0.012
+    rtt: LogNormal = LogNormal.from_median_sigma(0.050, 0.5)
+    back_to_back_gap: float = 0.0002
+    ack_every: int = 2
+    pool: AddressPoolConfig = field(default_factory=AddressPoolConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.flow_rate <= 0:
+            raise ValueError(f"flow_rate must be positive: {self.flow_rate}")
+        for label, value in (
+            ("http_prob", self.http_prob),
+            ("dns_prob", self.dns_prob),
+            ("ssh_prob", self.ssh_prob),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0,1]: {value}")
+        if self.http_prob + self.dns_prob + self.ssh_prob > 1.0:
+            raise ValueError("class probabilities must sum to at most 1")
+        if not 1 <= self.ssh_rounds_min <= self.ssh_rounds_max:
+            raise ValueError("need 1 <= ssh_rounds_min <= ssh_rounds_max")
+        if not 1 <= self.background_packets_min <= self.background_packets_max:
+            raise ValueError(
+                "need 1 <= background_packets_min <= background_packets_max"
+            )
+        if self.background_interval <= 0:
+            raise ValueError(
+                f"background_interval must be positive: {self.background_interval}"
+            )
+        if self.ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1: {self.ack_every}")
+
+
+class MixedTrafficGenerator:
+    """Deterministic (seeded) multi-protocol traffic source."""
+
+    initial_cwnd = 2
+    max_cwnd = 16
+
+    def __init__(self, config: MixedTrafficConfig | None = None) -> None:
+        self.config = config or MixedTrafficConfig()
+        self._rng = random.Random(self.config.seed)
+        self._pool = AddressPool(self.config.pool, seed=self.config.seed ^ 0x31ED)
+        self._next_port = 1024
+
+    def generate(self) -> Trace:
+        """Generate the whole trace (time-sorted)."""
+        config = self.config
+        rng = self._rng
+        packets: list[PacketRecord] = []
+        arrival = 0.0
+        while True:
+            arrival += rng.expovariate(config.flow_rate)
+            if arrival >= config.duration:
+                break
+            draw = rng.random()
+            if draw < config.http_prob:
+                packets.extend(self._play_http(arrival))
+            elif draw < config.http_prob + config.dns_prob:
+                packets.extend(self._play_dns(arrival))
+            elif draw < config.http_prob + config.dns_prob + config.ssh_prob:
+                packets.extend(self._play_ssh(arrival))
+            else:
+                packets.extend(self._play_background(arrival))
+        packets.sort(key=lambda p: p.timestamp)
+        return Trace(packets, name=f"mixed-{config.seed}")
+
+    # -- shared plumbing ----------------------------------------------------
+
+    def _endpoints(self) -> tuple[int, int, int]:
+        """(client, server, ephemeral client port) for one new flow."""
+        rng = self._rng
+        self._next_port += 1
+        if self._next_port > 64000:
+            self._next_port = 1024
+        return (
+            self._pool.pick_client(rng),
+            self._pool.pick_server(rng),
+            self._next_port,
+        )
+
+    def _packet(
+        self,
+        timestamp: float,
+        src_ip: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        *,
+        protocol: int = PROTO_TCP,
+        flags: int = 0,
+        payload: int = 0,
+        seq: int = 0,
+        ack: int = 0,
+    ) -> PacketRecord:
+        return PacketRecord(
+            timestamp=timestamp,
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=protocol,
+            flags=flags,
+            payload_len=payload,
+            seq=seq,
+            ack=ack,
+            ip_id=self._rng.getrandbits(16),
+            ttl=plausible_ttl(src_ip),
+            window=plausible_window(src_ip),
+        )
+
+    def _play_tcp_session(
+        self,
+        start: float,
+        server_port: int,
+        rounds: list[tuple[int, int, float]],
+    ) -> list[PacketRecord]:
+        """Handshake, then (client_bytes, server_bytes, pre_gap) rounds, FIN.
+
+        Each round waits ``pre_gap`` after the previous exchange, sends
+        the client payload, and answers one RTT later with the server
+        payload as MSS segments (client ACKs every ``ack_every``).
+        """
+        config = self.config
+        rng = self._rng
+        gap = config.back_to_back_gap
+        rtt = max(0.002, config.rtt.sample(rng))
+        client, server, port = self._endpoints()
+        state = {"cseq": rng.getrandbits(32), "sseq": rng.getrandbits(32)}
+        out: list[PacketRecord] = []
+
+        def emit(
+            timestamp: float, client_to_server: bool, flags: int, payload: int
+        ) -> None:
+            if client_to_server:
+                seq, ack = state["cseq"], state["sseq"]
+                state["cseq"] = (state["cseq"] + max(payload, 1)) & 0xFFFFFFFF
+                out.append(
+                    self._packet(
+                        timestamp, client, server, port, server_port,
+                        flags=flags, payload=payload, seq=seq, ack=ack,
+                    )
+                )
+            else:
+                seq, ack = state["sseq"], state["cseq"]
+                state["sseq"] = (state["sseq"] + max(payload, 1)) & 0xFFFFFFFF
+                out.append(
+                    self._packet(
+                        timestamp, server, client, server_port, port,
+                        flags=flags, payload=payload, seq=seq, ack=ack,
+                    )
+                )
+
+        now = start
+        emit(now, True, TCP_SYN, 0)
+        now += rtt
+        emit(now, False, TCP_SYN | TCP_ACK, 0)
+        now += rtt
+        emit(now, True, TCP_ACK, 0)
+
+        for client_bytes, server_bytes, pre_gap in rounds:
+            now += pre_gap
+            if client_bytes:
+                emit(now, True, TCP_ACK, client_bytes)
+                now += rtt
+            segments, last = divmod(server_bytes, MSS)
+            sizes = [MSS] * segments + ([last] if last else [])
+            for index, size in enumerate(sizes):
+                emit(now + index * gap, False, TCP_ACK, size)
+                if (index + 1) % config.ack_every == 0:
+                    emit(now + index * gap + rtt, True, TCP_ACK, 0)
+            if sizes:
+                now += (len(sizes) - 1) * gap + rtt
+        now += gap
+        emit(now, True, TCP_FIN | TCP_ACK, 0)
+        return out
+
+    # -- the flow classes ---------------------------------------------------
+
+    def _play_http(self, start: float) -> list[PacketRecord]:
+        """One request/response HTTP flow (port 80)."""
+        response = int(self.config.response_bytes.sample(self._rng))
+        gap = self.config.back_to_back_gap
+        return self._play_tcp_session(
+            start, 80, [(HTTP_REQUEST_BYTES, response, gap)]
+        )
+
+    def _play_dns(self, start: float) -> list[PacketRecord]:
+        """A two-packet UDP lookup: query out, answer one RTT later."""
+        rng = self._rng
+        client, server, port = self._endpoints()
+        rtt = max(0.002, self.config.rtt.sample(rng))
+        query = rng.randint(28, 90)
+        answer = rng.randint(60, 480)
+        return [
+            self._packet(
+                start, client, server, port, 53,
+                protocol=PROTO_UDP, payload=query,
+            ),
+            self._packet(
+                start + rtt, server, client, 53, port,
+                protocol=PROTO_UDP, payload=answer,
+            ),
+        ]
+
+    def _play_ssh(self, start: float) -> list[PacketRecord]:
+        """Interactive SSH (port 22): sparse keystroke/echo rounds.
+
+        Human think time separates the rounds (exponential), which gives
+        the flow a duration far longer than its byte count suggests —
+        the opposite corner of the timing model from HTTP bursts.
+        """
+        config = self.config
+        rng = self._rng
+        rounds: list[tuple[int, int, float]] = [
+            # Banner + key exchange: server talks first, big payloads.
+            (0, 784, config.back_to_back_gap),
+            (520, 720, config.back_to_back_gap),
+        ]
+        for _ in range(rng.randint(config.ssh_rounds_min, config.ssh_rounds_max)):
+            rounds.append((SSH_SEGMENT, SSH_SEGMENT, config.ssh_think.sample(rng)))
+        return self._play_tcp_session(start, 22, rounds)
+
+    def _play_background(self, start: float) -> list[PacketRecord]:
+        """One-way datagram stream: no handshake, no turnaround."""
+        config = self.config
+        rng = self._rng
+        client, server, port = self._endpoints()
+        service = BACKGROUND_PORTS[rng.randrange(len(BACKGROUND_PORTS))]
+        count = rng.randint(
+            config.background_packets_min, config.background_packets_max
+        )
+        payload = rng.choice((180, 360, 760, 1180))
+        out: list[PacketRecord] = []
+        now = start
+        for _ in range(count):
+            out.append(
+                self._packet(
+                    now, client, server, port, service,
+                    protocol=PROTO_UDP, payload=payload,
+                )
+            )
+            now += rng.expovariate(1.0 / config.background_interval)
+        return out
+
+
+def generate_mixed_trace(
+    duration: float = 100.0,
+    flow_rate: float = 40.0,
+    seed: int = 23,
+    config: MixedTrafficConfig | None = None,
+) -> Trace:
+    """Convenience wrapper: one call, one mixed-protocol trace."""
+    if config is None:
+        config = MixedTrafficConfig(
+            duration=duration, flow_rate=flow_rate, seed=seed
+        )
+    return MixedTrafficGenerator(config).generate()

@@ -1,0 +1,257 @@
+"""Multipath TCP traffic — one logical connection striped over subflows.
+
+An MPTCP connection opens 2–4 TCP subflows (different client addresses
+and ports — think WiFi plus cellular — toward one server) and stripes
+one response body across them.  To a per-flow compressor each subflow is
+an independent five-tuple, yet their payload progressions are slices of
+one stream, their clocks are coupled, and *reinjection* (a segment
+resent on a second subflow after the scheduler gives up on the first)
+duplicates payload across flows.  That correlated-but-distinct structure
+is what this scenario probes.
+
+The subflow/aggregation/reinjection vocabulary follows the
+mptcp-analysis literature.  Every draw comes from one seeded
+:class:`random.Random`, so the trace is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.hostprops import plausible_ttl, plausible_window
+from repro.net.packet import PacketRecord
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.synth.addresses import AddressPool, AddressPoolConfig
+from repro.synth.distributions import BoundedPareto, LogNormal
+from repro.trace.trace import Trace
+
+MSS = 1460
+REQUEST_BYTES = 220
+"""Client request on the primary subflow."""
+
+
+@dataclass(frozen=True)
+class MptcpTrafficConfig:
+    """Knobs of the multipath generator.
+
+    ``flow_rate`` counts *subflows* per second (connections arrive at
+    ``flow_rate / mean subflow count``), keeping flow-table pressure
+    comparable to single-path scenarios at the same rate.  Secondary
+    subflows join ``join_delay`` apart and run over slower paths
+    (``secondary_rtt_factor`` spreads their RTTs), so the stripes
+    interleave rather than march in lockstep.
+    """
+
+    duration: float = 100.0
+    flow_rate: float = 40.0
+    seed: int = 53
+    subflows_min: int = 2
+    subflows_max: int = 4
+    response_bytes: BoundedPareto = BoundedPareto(
+        alpha=1.2, xmin=8000.0, xmax=400000.0
+    )
+    reinject_prob: float = 0.06
+    join_delay: float = 0.030
+    rtt: LogNormal = LogNormal.from_median_sigma(0.030, 0.4)
+    secondary_rtt_factor: tuple[float, float] = (1.3, 3.0)
+    back_to_back_gap: float = 0.0002
+    ack_every: int = 2
+    pool: AddressPoolConfig = field(default_factory=AddressPoolConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.flow_rate <= 0:
+            raise ValueError(f"flow_rate must be positive: {self.flow_rate}")
+        if not 1 <= self.subflows_min <= self.subflows_max:
+            raise ValueError("need 1 <= subflows_min <= subflows_max")
+        if not 0.0 <= self.reinject_prob <= 1.0:
+            raise ValueError(
+                f"reinject_prob must be in [0,1]: {self.reinject_prob}"
+            )
+        if self.join_delay < 0:
+            raise ValueError(f"join_delay cannot be negative: {self.join_delay}")
+        low, high = self.secondary_rtt_factor
+        if not 1.0 <= low <= high:
+            raise ValueError(
+                f"need 1 <= low <= high in secondary_rtt_factor: "
+                f"{self.secondary_rtt_factor}"
+            )
+        if self.ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1: {self.ack_every}")
+
+    @property
+    def mean_subflows(self) -> float:
+        return (self.subflows_min + self.subflows_max) / 2.0
+
+
+class _Subflow:
+    """Mutable per-subflow state: endpoints, RTT, clocks, sequence space."""
+
+    __slots__ = (
+        "client", "server", "port", "rtt", "clock",
+        "cseq", "sseq", "unacked",
+    )
+
+    def __init__(
+        self,
+        client: int,
+        server: int,
+        port: int,
+        rtt: float,
+        start: float,
+        rng: random.Random,
+    ) -> None:
+        self.client = client
+        self.server = server
+        self.port = port
+        self.rtt = rtt
+        self.clock = start
+        self.cseq = rng.getrandbits(32)
+        self.sseq = rng.getrandbits(32)
+        self.unacked = 0
+
+
+class MptcpTrafficGenerator:
+    """Deterministic (seeded) multipath traffic source."""
+
+    def __init__(self, config: MptcpTrafficConfig | None = None) -> None:
+        self.config = config or MptcpTrafficConfig()
+        self._rng = random.Random(self.config.seed)
+        self._pool = AddressPool(self.config.pool, seed=self.config.seed ^ 0x6B7C)
+        self._next_port = 1024
+
+    def generate(self) -> Trace:
+        """Generate the whole trace (time-sorted)."""
+        config = self.config
+        rng = self._rng
+        connection_rate = config.flow_rate / config.mean_subflows
+        packets: list[PacketRecord] = []
+        arrival = 0.0
+        while True:
+            arrival += rng.expovariate(connection_rate)
+            if arrival >= config.duration:
+                break
+            packets.extend(self._play_connection(arrival))
+        packets.sort(key=lambda p: p.timestamp)
+        return Trace(packets, name=f"mptcp-{config.seed}")
+
+    def _emit(
+        self,
+        out: list[PacketRecord],
+        subflow: _Subflow,
+        timestamp: float,
+        client_to_server: bool,
+        flags: int,
+        payload: int,
+    ) -> None:
+        rng = self._rng
+        if client_to_server:
+            src_ip, dst_ip = subflow.client, subflow.server
+            src_port, dst_port = subflow.port, 443
+            seq, ack = subflow.cseq, subflow.sseq
+            subflow.cseq = (subflow.cseq + max(payload, 1)) & 0xFFFFFFFF
+        else:
+            src_ip, dst_ip = subflow.server, subflow.client
+            src_port, dst_port = 443, subflow.port
+            seq, ack = subflow.sseq, subflow.cseq
+            subflow.sseq = (subflow.sseq + max(payload, 1)) & 0xFFFFFFFF
+        out.append(
+            PacketRecord(
+                timestamp=timestamp,
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                flags=flags,
+                payload_len=payload,
+                seq=seq,
+                ack=ack,
+                ip_id=rng.getrandbits(16),
+                ttl=plausible_ttl(src_ip),
+                window=plausible_window(src_ip),
+            )
+        )
+
+    def _play_connection(self, start: float) -> list[PacketRecord]:
+        """One MPTCP connection: joined subflows, striped + reinjected data."""
+        config = self.config
+        rng = self._rng
+        server = self._pool.pick_server(rng)
+        # Two physical paths (addresses); subflows alternate between them.
+        paths = (self._pool.pick_client(rng), self._pool.pick_client(rng))
+        count = rng.randint(config.subflows_min, config.subflows_max)
+        out: list[PacketRecord] = []
+
+        subflows: list[_Subflow] = []
+        base_rtt = max(0.002, config.rtt.sample(rng))
+        low, high = config.secondary_rtt_factor
+        for index in range(count):
+            self._next_port += 1
+            if self._next_port > 64000:
+                self._next_port = 1024
+            rtt = base_rtt if index == 0 else base_rtt * rng.uniform(low, high)
+            subflow = _Subflow(
+                paths[index % 2], server, self._next_port, rtt,
+                start + index * config.join_delay, rng,
+            )
+            subflows.append(subflow)
+            # SYN / SYN-ACK / ACK (the MP_CAPABLE / MP_JOIN exchange).
+            self._emit(out, subflow, subflow.clock, True, TCP_SYN, 0)
+            subflow.clock += rtt
+            self._emit(out, subflow, subflow.clock, False, TCP_SYN | TCP_ACK, 0)
+            subflow.clock += rtt
+            self._emit(out, subflow, subflow.clock, True, TCP_ACK, 0)
+            subflow.clock += config.back_to_back_gap
+
+        primary = subflows[0]
+        self._emit(out, primary, primary.clock, True, TCP_ACK, REQUEST_BYTES)
+        primary.clock += primary.rtt
+
+        # Stripe the response: each segment goes to the earliest-ready
+        # subflow (the default MPTCP scheduler's lowest-RTT-first shape
+        # emerges because fast subflows re-arm sooner).
+        gap = config.back_to_back_gap
+        total = int(config.response_bytes.sample(rng))
+        segments = max(1, (total + MSS - 1) // MSS)
+        for _ in range(segments):
+            subflow = min(subflows, key=lambda s: s.clock)
+            self._emit(out, subflow, subflow.clock, False, TCP_ACK, MSS)
+            subflow.clock += gap
+            subflow.unacked += 1
+            if subflow.unacked >= config.ack_every:
+                self._emit(
+                    out, subflow, subflow.clock + subflow.rtt, True, TCP_ACK, 0
+                )
+                subflow.clock += subflow.rtt / 2.0
+                subflow.unacked = 0
+            if count > 1 and rng.random() < config.reinject_prob:
+                # Reinjection: the same payload resent on another subflow.
+                other = subflows[
+                    (subflows.index(subflow) + 1 + rng.randrange(count - 1))
+                    % count
+                ]
+                self._emit(out, other, other.clock, False, TCP_ACK, MSS)
+                other.clock += gap
+
+        for subflow in subflows:
+            self._emit(
+                out, subflow, subflow.clock + subflow.rtt, True,
+                TCP_FIN | TCP_ACK, 0,
+            )
+        return out
+
+
+def generate_mptcp_trace(
+    duration: float = 100.0,
+    flow_rate: float = 40.0,
+    seed: int = 53,
+    config: MptcpTrafficConfig | None = None,
+) -> Trace:
+    """Convenience wrapper: one call, one multipath trace."""
+    if config is None:
+        config = MptcpTrafficConfig(
+            duration=duration, flow_rate=flow_rate, seed=seed
+        )
+    return MptcpTrafficGenerator(config).generate()

@@ -1,0 +1,193 @@
+"""The traffic-scenario registry — named, uniform, deterministic workloads.
+
+Every synthetic workload the project knows is registered here under a
+stable name with one uniform builder signature::
+
+    build(duration: float, flow_rate: float, seed: int) -> Trace
+
+``web`` is the historical default (``repro generate`` without
+``--scenario`` produces exactly what it always did); the rest widen the
+input distribution the compressor is tested against — partition/
+aggregate incast mixes, protocol blends, floods, multipath striping.
+Each scenario doubles as a differential correctness probe: the fidelity
+harness (:mod:`repro.analysis.fidelity`) compresses and reconstructs
+every registered scenario and scores the roundtrip.
+
+Generator modules are imported lazily inside each builder so importing
+the registry (e.g. for ``--list-scenarios``) stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.trace.trace import Trace
+
+Builder = Callable[[float, float, int], Trace]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload: a name, a one-line summary, a builder."""
+
+    name: str
+    summary: str
+    default_seed: int
+    _builder: Builder
+
+    def build(
+        self,
+        duration: float = 100.0,
+        flow_rate: float = 40.0,
+        seed: int | None = None,
+    ) -> Trace:
+        """Generate this scenario's trace (deterministic per seed)."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        if flow_rate <= 0:
+            raise ValueError(f"flow_rate must be positive: {flow_rate}")
+        actual_seed = self.default_seed if seed is None else seed
+        return self._builder(duration, flow_rate, actual_seed)
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str, summary: str, default_seed: int
+) -> Callable[[Builder], Builder]:
+    """Decorator: register ``builder`` under ``name``.
+
+    Registration order is presentation order (``scenario_names`` and
+    ``--list-scenarios`` follow it), so keep the classics first.
+    """
+
+    def decorate(builder: Builder) -> Builder:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario already registered: {name!r}")
+        _REGISTRY[name] = Scenario(
+            name=name,
+            summary=summary,
+            default_seed=default_seed,
+            _builder=builder,
+        )
+        return builder
+
+    return decorate
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario; unknown names list the valid ones."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(_REGISTRY)
+        raise ValueError(
+            f"unknown scenario: {name!r} (valid: {valid})"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered names, in registration (presentation) order."""
+    return tuple(_REGISTRY)
+
+
+def iter_scenarios() -> tuple[Scenario, ...]:
+    """All registered scenarios, in registration (presentation) order."""
+    return tuple(_REGISTRY.values())
+
+
+@register_scenario(
+    "web",
+    "HTTP sessions with slow-start bursts (the paper's Web workload)",
+    default_seed=1,
+)
+def _build_web(duration: float, flow_rate: float, seed: int) -> Trace:
+    from repro.synth.webgen import generate_web_trace
+
+    return generate_web_trace(duration=duration, flow_rate=flow_rate, seed=seed)
+
+
+@register_scenario(
+    "p2p",
+    "Peer-to-peer swarms: chunk exchange among transient peers",
+    default_seed=1,
+)
+def _build_p2p(duration: float, flow_rate: float, seed: int) -> Trace:
+    from repro.synth.p2pgen import generate_p2p_trace
+
+    return generate_p2p_trace(
+        duration=duration, session_rate=flow_rate, seed=seed
+    )
+
+
+@register_scenario(
+    "web-search",
+    "Partition/aggregate incast with the published web-search flow-size CDF",
+    default_seed=11,
+)
+def _build_web_search(duration: float, flow_rate: float, seed: int) -> Trace:
+    from repro.synth.cdfgen import WEB_SEARCH_FLOW_SIZES, generate_cdf_trace
+
+    return generate_cdf_trace(
+        duration=duration,
+        flow_rate=flow_rate,
+        seed=seed,
+        sizes=WEB_SEARCH_FLOW_SIZES,
+    )
+
+
+@register_scenario(
+    "data-mining",
+    "Partition/aggregate incast with the heavy-tailed data-mining CDF",
+    default_seed=19,
+)
+def _build_data_mining(duration: float, flow_rate: float, seed: int) -> Trace:
+    from repro.synth.cdfgen import DATA_MINING_FLOW_SIZES, generate_cdf_trace
+
+    return generate_cdf_trace(
+        duration=duration,
+        flow_rate=flow_rate,
+        seed=seed,
+        sizes=DATA_MINING_FLOW_SIZES,
+    )
+
+
+@register_scenario(
+    "mixed-protocol",
+    "HTTP, DNS, interactive SSH and one-way datagram background",
+    default_seed=23,
+)
+def _build_mixed(duration: float, flow_rate: float, seed: int) -> Trace:
+    from repro.synth.mixedgen import generate_mixed_trace
+
+    return generate_mixed_trace(
+        duration=duration, flow_rate=flow_rate, seed=seed
+    )
+
+
+@register_scenario(
+    "flood",
+    "SYN/UDP bursts: spoofed fractal sources, LRU-stack victim locality",
+    default_seed=37,
+)
+def _build_flood(duration: float, flow_rate: float, seed: int) -> Trace:
+    from repro.synth.floodgen import generate_flood_trace
+
+    return generate_flood_trace(
+        duration=duration, flow_rate=flow_rate, seed=seed
+    )
+
+
+@register_scenario(
+    "mptcp",
+    "Multipath TCP: one connection striped over joined subflows",
+    default_seed=53,
+)
+def _build_mptcp(duration: float, flow_rate: float, seed: int) -> Trace:
+    from repro.synth.mptcpgen import generate_mptcp_trace
+
+    return generate_mptcp_trace(
+        duration=duration, flow_rate=flow_rate, seed=seed
+    )

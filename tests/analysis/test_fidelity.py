@@ -1,0 +1,194 @@
+"""Unit: the differential fidelity harness (metrics, scoring, report)."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.fidelity import (
+    MIN_INTERARRIVAL,
+    SCHEMA,
+    FidelityReport,
+    ScenarioFidelity,
+    evaluate_scenario,
+    evaluate_scenarios,
+    flow_size_distance,
+    flow_sizes,
+    interarrival_bins,
+    interarrival_entropy,
+    score_roundtrip,
+    temporal_complexity,
+)
+from repro.net.packet import PacketRecord
+from repro.trace.trace import Trace
+
+
+def packet_at(timestamp, src_port=1024, dst_port=80, src_ip=1, dst_ip=2):
+    return PacketRecord(
+        timestamp=timestamp,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+    )
+
+
+def packets_at(*timestamps):
+    return [packet_at(t) for t in timestamps]
+
+
+class TestInterarrivalBins:
+    def test_octave_binning(self):
+        # Gaps of 1 s, 2 s, 0.5 s land in octaves 0, 1, -1.
+        bins = interarrival_bins(packets_at(0.0, 1.0, 3.0, 3.5))
+        assert bins == [0, 1, -1]
+
+    def test_sub_microsecond_gaps_share_the_floor_bin(self):
+        bins = interarrival_bins(packets_at(0.0, 0.0, 1e-9))
+        assert bins == [int(math.floor(math.log2(MIN_INTERARRIVAL)))] * 2
+
+    def test_fewer_than_two_packets(self):
+        assert interarrival_bins([]) == []
+        assert interarrival_bins(packets_at(0.0)) == []
+
+
+class TestEntropyMetrics:
+    def test_constant_gaps_have_zero_entropy(self):
+        packets = packets_at(*[i * 0.5 for i in range(50)])
+        assert interarrival_entropy(packets) == 0.0
+        assert temporal_complexity(packets) == 0.0
+
+    def test_two_equally_likely_octaves_give_one_bit(self):
+        # Alternating 1 s / 2 s gaps: marginal entropy is exactly 1 bit.
+        times, clock = [0.0], 0.0
+        for i in range(100):
+            clock += 1.0 if i % 2 == 0 else 2.0
+            times.append(clock)
+        assert interarrival_entropy(packets_at(*times)) == pytest.approx(1.0, abs=0.01)
+        # ...and the alternation makes the next gap fully predictable.
+        assert temporal_complexity(packets_at(*times)) == pytest.approx(0.0, abs=0.01)
+
+    def test_empty_sequence_scores_zero(self):
+        assert interarrival_entropy([]) == 0.0
+        assert temporal_complexity([]) == 0.0
+        assert temporal_complexity(packets_at(0.0, 1.0)) == 0.0
+
+    def test_temporal_complexity_nonnegative_and_bounded(self):
+        packets = packets_at(0.0, 0.1, 0.9, 1.0, 4.2, 4.3, 9.0)
+        h = interarrival_entropy(packets)
+        t = temporal_complexity(packets)
+        assert 0.0 <= t <= h + 1e-9
+
+
+class TestFlowSizes:
+    def test_direction_free_flow_key(self):
+        # Both directions of one conversation count as one flow.
+        packets = [
+            packet_at(0.0, src_ip=1, dst_ip=2, src_port=1024, dst_port=80),
+            packet_at(0.1, src_ip=2, dst_ip=1, src_port=80, dst_port=1024),
+            packet_at(0.2, src_ip=1, dst_ip=2, src_port=1024, dst_port=80),
+        ]
+        assert flow_sizes(packets) == [3]
+
+    def test_distinct_flows_counted_separately(self):
+        packets = [
+            packet_at(0.0, src_port=1024),
+            packet_at(0.1, src_port=1025),
+            packet_at(0.2, src_port=1025),
+        ]
+        assert flow_sizes(packets) == [1, 2]
+
+    def test_identical_traces_have_zero_distance(self):
+        packets = packets_at(0.0, 0.5, 1.0)
+        assert flow_size_distance(packets, packets) == 0.0
+
+    def test_disjoint_size_distributions_have_distance_one(self):
+        a = [packet_at(0.0, src_port=1024)]  # one flow of size 1
+        b = [packet_at(t, src_port=1024) for t in (0.0, 0.1, 0.2)]  # size 3
+        assert flow_size_distance(a, b) == 1.0
+
+    def test_empty_traces_score_instead_of_crash(self):
+        assert flow_size_distance([], []) == 0.0
+        assert flow_size_distance([], [packet_at(0.0)]) == 1.0
+        assert flow_size_distance([packet_at(0.0)], []) == 1.0
+
+
+class TestScoreRoundtrip:
+    def test_perfect_roundtrip_scores_zero_deltas(self):
+        trace = Trace(packets_at(0.0, 0.5, 1.0, 1.5), name="t")
+        score = score_roundtrip("web", 7, trace, trace, compressed_bytes=44)
+        assert score.scenario == "web"
+        assert score.seed == 7
+        assert score.packets == 4
+        assert score.flows == 1
+        assert score.entropy_delta == 0.0
+        assert score.temporal_delta == 0.0
+        assert score.flow_size_ks == 0.0
+        assert score.ratio == pytest.approx(44 / score.tsh_bytes)
+
+    def test_dict_roundtrip(self):
+        trace = Trace(packets_at(0.0, 1.0), name="t")
+        score = score_roundtrip("p2p", 3, trace, trace, compressed_bytes=10)
+        assert ScenarioFidelity.from_dict(score.to_dict()) == score
+
+
+class TestEvaluateScenario:
+    def test_scores_a_real_roundtrip(self):
+        score = evaluate_scenario("web", duration=1.0, flow_rate=16.0, seed=5)
+        assert score.scenario == "web"
+        assert score.seed == 5
+        assert score.packets > 0
+        assert 0.0 < score.ratio < 1.0
+        assert score.compressed_bytes < score.tsh_bytes
+        # The codec preserves flow populations exactly.
+        assert score.flow_size_ks == 0.0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            evaluate_scenario("bogus", duration=1.0)
+
+    def test_default_seed_is_the_scenario_default(self):
+        from repro.synth.scenarios import get_scenario
+
+        score = evaluate_scenario("flood", duration=0.8, flow_rate=16.0)
+        assert score.seed == get_scenario("flood").default_seed
+
+
+class TestFidelityReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return evaluate_scenarios(
+            ["web", "flood"], duration=0.8, flow_rate=16.0, seed=3
+        )
+
+    def test_covers_requested_scenarios_in_order(self, report):
+        assert [s.scenario for s in report.scenarios] == ["web", "flood"]
+        assert set(report.by_scenario()) == {"web", "flood"}
+
+    def test_default_sweep_covers_every_registered_scenario(self):
+        from repro.synth.scenarios import scenario_names
+
+        report = evaluate_scenarios(duration=0.4, flow_rate=8.0, seed=2)
+        assert tuple(s.scenario for s in report.scenarios) == scenario_names()
+
+    def test_json_roundtrip(self, report):
+        document = json.loads(report.to_json())
+        assert document["schema"] == SCHEMA
+        assert FidelityReport.from_dict(document) == report
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="not a fidelity report"):
+            FidelityReport.from_dict({"schema": "something/else"})
+
+    def test_write_emits_stable_json(self, report, tmp_path):
+        path = report.write(tmp_path / "fidelity.json")
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert FidelityReport.from_dict(document) == report
+
+    def test_summary_table_shape(self, report):
+        lines = report.summary_lines()
+        assert lines[0].startswith("scenario")
+        assert lines[1].startswith("-")
+        assert len(lines) == 2 + len(report.scenarios)
+        for scored, line in zip(report.scenarios, lines[2:]):
+            assert line.startswith(scored.scenario)

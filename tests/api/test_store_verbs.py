@@ -222,6 +222,10 @@ class TestCapabilities:
             with pytest.raises(errors.CapabilityError):
                 store.model()
 
+    def test_fidelity_on_container(self, fctc_path):
+        with pytest.raises(errors.CapabilityError):
+            api.open(fctc_path).fidelity()
+
     def test_parallel_replay_only_on_archives(self, fctc_path):
         with pytest.raises(errors.CapabilityError):
             api.open(fctc_path).packets(workers=2)
@@ -248,6 +252,26 @@ class TestCapabilities:
     def test_stats_rejected_on_raw_traces(self, tsh_path):
         with pytest.raises(errors.CapabilityError):
             api.open(tsh_path).packets(stats=api.QueryStats())
+
+
+class TestFidelity:
+    def test_trace_file_scores_its_own_roundtrip(self, tsh_path, trace):
+        with api.open(tsh_path) as store:
+            score = store.fidelity()
+        assert score.packets == len(trace)
+        assert score.seed == 0  # captures have no generator seed
+        assert 0.0 < score.ratio < 1.0
+        assert score.flow_size_ks == 0.0
+
+    def test_options_reach_the_scored_container(self, tsh_path):
+        with api.open(tsh_path) as store:
+            raw = store.fidelity()
+            coded = store.fidelity(
+                options=api.Options.make(backend="zlib")
+            )
+        # Same trace either way; only the container size may move.
+        assert coded.packets == raw.packets
+        assert coded.compressed_bytes < raw.compressed_bytes
 
 
 class TestInfo:

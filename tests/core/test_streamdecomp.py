@@ -63,6 +63,31 @@ class TestByteIdentity:
         streamed = list(iter_decompressed(compressed))
         assert write_tsh_bytes(streamed) == write_tsh_bytes(batch.packets)
 
+    def test_same_timestamp_direction_flips_match_batch(self):
+        """Zero-quantized gaps + dependent packets: the tie-reorder bug.
+
+        A long flow whose stored gaps quantize to zero puts a dependent
+        (direction-flipping) run of packets on a single timestamp.  The
+        batch path's global sort reorders that tie by ``merge_sort_key``
+        (direction flips change ``src_ip``/``src_port`` mid-tie), while
+        a heap merge holding one packet per flow cannot.  Regression for
+        the divergence the incast scenarios exposed: ``synthesize_flow``
+        now reconciles ties at the source, so both paths agree.
+        """
+        compressed = CompressedTrace(name="t")
+        values = tuple([32] * 8)  # g2=0 each: every packet flips direction
+        gaps = tuple([0.0] * 8)
+        compressed.long_templates.append(LongFlowTemplate(values, gaps))
+        compressed.addresses.intern(0xC0A80050)
+        compressed.time_seq.append(TimeSeqRecord(0.0, DatasetId.LONG, 0, 0))
+        batch = decompress_trace(compressed)
+        # The scenario really is one big timestamp tie with both
+        # directions in it — the case the heap merge alone cannot order.
+        assert len({p.timestamp for p in batch.packets}) == 1
+        assert len({p.src_ip for p in batch.packets}) == 2
+        streamed = list(StreamingDecompressor(compressed))
+        assert streamed == batch.packets
+
 
 class TestBoundedness:
     def test_peak_open_flows_tracks_fan_out_not_trace_length(self):

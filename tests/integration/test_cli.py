@@ -19,6 +19,99 @@ class TestGenerate:
         trace = Trace.load_tsh(trace_file)
         assert len(trace) > 100
 
+    def test_default_is_the_web_scenario(self, tmp_path, trace_file):
+        """Routing generate through the registry must not move a byte."""
+        explicit = tmp_path / "web.tsh"
+        assert (
+            main(
+                [
+                    "generate",
+                    str(explicit),
+                    "--scenario",
+                    "web",
+                    "--duration",
+                    "3",
+                    "--seed",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        assert explicit.read_bytes() == trace_file.read_bytes()
+
+    def test_scenario_flag_selects_the_generator(self, tmp_path):
+        path = tmp_path / "flood.tsh"
+        args = ["generate", str(path), "--duration", "2", "--seed", "5"]
+        assert main(args + ["--scenario", "flood"]) == 0
+        assert len(Trace.load_tsh(path)) > 100
+
+    def test_unknown_scenario_exits_2_listing_names(self, tmp_path, caplog):
+        path = tmp_path / "x.tsh"
+        args = ["generate", str(path), "--scenario", "bogus"]
+        assert main(args) == 2
+        assert not path.exists()
+        message = "\n".join(r.getMessage() for r in caplog.records)
+        assert "unknown scenario: 'bogus'" in message
+        for name in ("web", "p2p", "flood", "mptcp"):
+            assert name in message
+
+    def test_list_scenarios(self, capsys):
+        assert main(["generate", "--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        lines = [line for line in output.splitlines() if line.strip()]
+        names = [line.split()[0] for line in lines]
+        assert names == [
+            "web",
+            "p2p",
+            "web-search",
+            "data-mining",
+            "mixed-protocol",
+            "flood",
+            "mptcp",
+        ]
+        # Every row carries a summary after the name column.
+        assert all(len(line.split(None, 1)) == 2 for line in lines)
+
+    def test_missing_output_without_list_is_an_error(self, caplog):
+        assert main(["generate"]) == 2
+        message = "\n".join(r.getMessage() for r in caplog.records)
+        assert "output path required" in message
+
+
+class TestFidelity:
+    def test_prints_summary_table(self, capsys):
+        args = ["fidelity", "--scenario", "web", "--duration", "1", "--rate", "16"]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "scenario" in output
+        assert "ratio" in output
+        assert "web" in output
+
+    def test_writes_report_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "fidelity.json"
+        args = [
+            "fidelity",
+            "--scenario",
+            "flood",
+            "--duration",
+            "1",
+            "--rate",
+            "16",
+            "--out",
+            str(out),
+        ]
+        assert main(args) == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["schema"] == "repro.analysis/fidelity-report/v1"
+        assert [s["scenario"] for s in document["scenarios"]] == ["flood"]
+
+    def test_unknown_scenario_exits_2(self, caplog):
+        assert main(["fidelity", "--scenario", "bogus"]) == 2
+        message = "\n".join(r.getMessage() for r in caplog.records)
+        assert "unknown scenario" in message
+
 
 class TestCompressDecompress:
     def test_full_cycle(self, tmp_path, trace_file, capsys):

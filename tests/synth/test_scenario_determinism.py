@@ -1,0 +1,61 @@
+"""Seed-determinism regression: golden digests for every scenario.
+
+Each registered scenario must generate the exact same packet sequence
+for a given ``(duration, flow_rate, seed)`` forever.  The digests below
+were computed when the scenario landed; a mismatch means a generator's
+draw sequence changed — which silently invalidates every archived
+trace, benchmark floor, and fidelity report keyed to that scenario.
+If a change is *deliberate* (a generator bug fix), re-pin the digest in
+the same commit and say so in the message.
+
+The parameters are chosen so every scenario's digest is distinct: at
+tiny durations the two CDF scenarios can sample only short flows and
+collapse onto identical traces, which would let a dispatch mix-up pass.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.synth.scenarios import get_scenario, scenario_names
+from repro.trace.tsh import write_tsh_bytes
+
+DURATION = 2.5
+FLOW_RATE = 32.0
+SEED = 1234
+
+# scenario -> (blake2b-128 of the TSH serialization, packet count)
+GOLDEN = {
+    "web": ("a01c06bd1bb1a3ebb7710090745d79b3", 944),
+    "p2p": ("513439a76efcac8f78238dd636b7d6b7", 6248),
+    "web-search": ("78ad4e594dab8caf52e4c166d9add16c", 1936),
+    "data-mining": ("83810b6ad608f56a044fb006469bd08a", 12992),
+    "mixed-protocol": ("42503225e3056a90a4fd729d025ff672", 1570),
+    "flood": ("45a7be5188bfd16526ebbe3cc0ad9547", 1208),
+    "mptcp": ("cc66603a3157bc307223e88927a7db04", 1260),
+}
+
+
+def trace_digest(packets) -> str:
+    return hashlib.blake2b(
+        write_tsh_bytes(packets), digest_size=16
+    ).hexdigest()
+
+
+def test_golden_table_covers_every_registered_scenario():
+    assert set(GOLDEN) == set(scenario_names())
+
+
+def test_golden_digests_are_distinct():
+    digests = [digest for digest, _ in GOLDEN.values()]
+    assert len(set(digests)) == len(digests)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_scenario_matches_golden(name):
+    trace = get_scenario(name).build(
+        duration=DURATION, flow_rate=FLOW_RATE, seed=SEED
+    )
+    expected_digest, expected_packets = GOLDEN[name]
+    assert len(trace.packets) == expected_packets
+    assert trace_digest(trace.packets) == expected_digest

@@ -1,0 +1,194 @@
+"""Tests for the traffic-scenario registry and its registered workloads."""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.net.packet import PROTO_TCP, PROTO_UDP, validate_packet
+from repro.net.tcp import TCP_ACK, TCP_SYN
+from repro.synth.scenarios import (
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.synth.webgen import generate_web_trace
+from repro.trace.tsh import write_tsh_bytes
+
+DURATION = 1.5
+FLOW_RATE = 24.0
+SEED = 41
+
+
+@lru_cache(maxsize=None)
+def built(name):
+    return get_scenario(name).build(
+        duration=DURATION, flow_rate=FLOW_RATE, seed=SEED
+    )
+
+
+class TestRegistry:
+    def test_names_in_registration_order(self):
+        assert scenario_names() == (
+            "web",
+            "p2p",
+            "web-search",
+            "data-mining",
+            "mixed-protocol",
+            "flood",
+            "mptcp",
+        )
+
+    def test_iter_matches_names(self):
+        assert tuple(s.name for s in iter_scenarios()) == scenario_names()
+
+    def test_every_scenario_has_a_summary(self):
+        for scenario in iter_scenarios():
+            assert isinstance(scenario, Scenario)
+            assert scenario.summary
+            assert scenario.default_seed > 0
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="unknown scenario: 'bogus'"):
+            get_scenario("bogus")
+        with pytest.raises(ValueError, match="web, p2p"):
+            get_scenario("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("web", "dupe", default_seed=1)(
+                lambda d, r, s: None
+            )
+
+
+class TestBuildContract:
+    @pytest.mark.parametrize("kwargs", [dict(duration=0.0), dict(flow_rate=-1.0)])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            get_scenario("web").build(**{"duration": 1.0, "flow_rate": 10.0, **kwargs})
+
+    def test_seed_none_uses_default_seed(self):
+        scenario = get_scenario("flood")
+        implicit = scenario.build(duration=0.8, flow_rate=16.0)
+        explicit = scenario.build(
+            duration=0.8, flow_rate=16.0, seed=scenario.default_seed
+        )
+        assert write_tsh_bytes(implicit.packets) == write_tsh_bytes(
+            explicit.packets
+        )
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_builds_valid_time_ordered_trace(self, name):
+        trace = built(name)
+        assert trace.packets
+        assert trace.is_time_ordered()
+        for packet in trace.packets:
+            validate_packet(packet)
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_deterministic_per_seed(self, name):
+        again = get_scenario(name).build(
+            duration=DURATION, flow_rate=FLOW_RATE, seed=SEED
+        )
+        assert write_tsh_bytes(again.packets) == write_tsh_bytes(
+            built(name).packets
+        )
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_seed_changes_the_trace(self, name):
+        other = get_scenario(name).build(
+            duration=DURATION, flow_rate=FLOW_RATE, seed=SEED + 1
+        )
+        assert write_tsh_bytes(other.packets) != write_tsh_bytes(
+            built(name).packets
+        )
+
+
+class TestWebIsTheHistoricalDefault:
+    def test_web_builder_matches_generate_web_trace(self):
+        """`repro generate` without --scenario must stay byte-compatible."""
+        via_registry = get_scenario("web").build(
+            duration=2.0, flow_rate=20.0, seed=1
+        )
+        direct = generate_web_trace(duration=2.0, flow_rate=20.0, seed=1)
+        assert write_tsh_bytes(via_registry.packets) == write_tsh_bytes(
+            direct.packets
+        )
+
+
+class TestScenarioCharacter:
+    """Each scenario exhibits the traffic shape its summary promises."""
+
+    def test_incast_scenarios_fan_in_to_aggregators(self):
+        from collections import Counter
+
+        from repro.synth.cdfgen import CdfTrafficConfig
+
+        fanin = CdfTrafficConfig().fanin
+        for name in ("web-search", "data-mining"):
+            trace = built(name)
+            # Each query is one aggregator opening exactly ``fanin``
+            # worker flows, so per-aggregator SYN counts come in
+            # multiples of the fan-in.
+            syns = Counter(
+                p.src_ip
+                for p in trace.packets
+                if p.dst_port == 80 and p.flags & TCP_SYN
+            )
+            assert syns
+            assert all(count % fanin == 0 for count in syns.values())
+            # And the responses genuinely converge: each aggregator
+            # hears from multiple distinct workers.
+            workers = {p.src_ip for p in trace.packets if p.src_port == 80}
+            assert len(workers) >= 2
+
+    def test_data_mining_tail_is_heavier(self):
+        # The data-mining CDF's tail reaches ~667 MB vs ~20 MB: at equal
+        # flow rates it must move more bytes per flow on average.
+        from repro.synth.cdfgen import (
+            DATA_MINING_FLOW_SIZES,
+            WEB_SEARCH_FLOW_SIZES,
+        )
+
+        assert (
+            DATA_MINING_FLOW_SIZES.mean_bytes()
+            > WEB_SEARCH_FLOW_SIZES.mean_bytes()
+        )
+
+    def test_mixed_protocol_blends_tcp_and_udp(self):
+        trace = built("mixed-protocol")
+        protocols = {p.protocol for p in trace.packets}
+        assert protocols == {PROTO_TCP, PROTO_UDP}
+        assert any(p.dst_port == 53 for p in trace.packets)  # DNS
+        assert any(p.dst_port == 22 for p in trace.packets)  # SSH
+
+    def test_flood_is_half_open(self):
+        trace = built("flood")
+        syns = [
+            p
+            for p in trace.packets
+            if p.protocol == PROTO_TCP and p.flags & TCP_SYN
+        ]
+        synacks = [p for p in syns if p.flags & TCP_ACK]
+        # Spoofed SYNs with no handshake completion: no SYN/ACK replies.
+        assert syns and not synacks
+        # Spoofed sources barely repeat.
+        assert len({p.src_ip for p in syns}) > 0.9 * len(syns)
+
+    def test_mptcp_stripes_over_multiple_subflows(self):
+        trace = built("mptcp")
+        assert all(p.protocol == PROTO_TCP for p in trace.packets)
+        # Every packet touches the server port; client ports form the
+        # subflows — strictly more subflows than client addresses.
+        ports = {443}
+        assert all(
+            p.src_port in ports or p.dst_port in ports for p in trace.packets
+        )
+        subflows = {
+            (p.src_ip, p.src_port)
+            for p in trace.packets
+            if p.dst_port == 443 and p.flags & TCP_SYN
+        }
+        client_ips = {ip for ip, _ in subflows}
+        assert len(subflows) > len(client_ips)

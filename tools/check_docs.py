@@ -9,12 +9,13 @@ Three passes, pure stdlib, run as the CI ``docs`` job:
    External ``http(s)`` links are skipped (no network in the check, by
    design — it must give the same verdict offline).
 2. **CLI example smoke-run** — every fenced ```` ```sh ```` block in
-   ``docs/CLI.md`` is executed, in document order, in one shared
-   temporary directory.  The blocks are written as a single coherent
-   pipeline (generate → compress → … → replay), so later examples
-   consume earlier outputs; a doc edit that breaks the pipeline breaks
-   this check.  Blocks fenced as ```` ```text ```` (or any other
-   language) are illustrative and not executed.
+   ``docs/CLI.md`` and ``docs/SCENARIOS.md`` is executed, in document
+   order, in one shared temporary directory per document.  The blocks
+   are written as a single coherent pipeline (generate → compress → …
+   → replay), so later examples consume earlier outputs; a doc edit
+   that breaks the pipeline breaks this check.  Blocks fenced as
+   ```` ```text ```` (or any other language) are illustrative and not
+   executed.
 3. **API example smoke-run** — every fenced ```` ```python ```` block
    in ``docs/API.md``, ``docs/OBSERVABILITY.md`` and ``docs/SERVE.md``
    runs the same way (document order, one shared directory per
@@ -91,8 +92,14 @@ def _shim_dir(tmp: Path) -> Path:
     return bin_dir
 
 
-def run_cli_examples() -> list[str]:
-    cli_md = REPO / "docs" / "CLI.md"
+def run_cli_examples(doc_name: str) -> list[str]:
+    """Execute every ```sh block of one document, in order.
+
+    One shared working directory per document (later blocks consume
+    earlier outputs) with a ``repro-trace`` shim on PATH, so the doc's
+    pipeline runs exactly as written against the bare source tree.
+    """
+    cli_md = REPO / "docs" / doc_name
     blocks = _SH_BLOCK.findall(cli_md.read_text("utf-8"))
     if not blocks:
         return [f"{cli_md.relative_to(REPO)}: no ```sh blocks found"]
@@ -115,12 +122,12 @@ def run_cli_examples() -> list[str]:
             )
             if proc.returncode != 0:
                 errors.append(
-                    f"docs/CLI.md example block {index} exited "
+                    f"docs/{doc_name} example block {index} exited "
                     f"{proc.returncode}:\n{block}\n--- stderr ---\n"
                     f"{proc.stderr.strip()}"
                 )
                 break  # later blocks depend on this one's outputs
-            print(f"docs/CLI.md block {index}: ok")
+            print(f"docs/{doc_name} block {index}: ok")
     return errors
 
 
@@ -167,13 +174,17 @@ def main() -> int:
     errors = check_links()
     print(f"link check: {len(DOC_FILES)} documents, {len(errors)} errors")
     if not errors:
-        errors += run_cli_examples()
+        errors += run_cli_examples("CLI.md")
+    if not errors:
+        errors += run_cli_examples("SCENARIOS.md")
     if not errors:
         errors += run_python_examples("API.md")
     if not errors:
         errors += run_python_examples("OBSERVABILITY.md")
     if not errors:
         errors += run_python_examples("SERVE.md")
+    if not errors:
+        errors += run_python_examples("SCENARIOS.md")
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0
