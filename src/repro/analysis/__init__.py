@@ -29,6 +29,19 @@ from repro.analysis.fidelity import (
     interarrival_entropy,
     temporal_complexity,
 )
+from repro.analysis.matrices import (
+    AddressAnonymizer,
+    LinkStat,
+    MatrixReport,
+    ScanCandidate,
+    StreamingWindowAggregator,
+    TrafficMatrix,
+    WindowStats,
+    matrix_report_for_archive,
+    matrix_report_for_compressed,
+    publish_window_gauges,
+    window_stats_for_compressed,
+)
 
 __all__ = [
     "archive_overview_lines",
@@ -56,4 +69,15 @@ __all__ = [
     "flow_size_distance",
     "interarrival_entropy",
     "temporal_complexity",
+    "AddressAnonymizer",
+    "LinkStat",
+    "MatrixReport",
+    "ScanCandidate",
+    "StreamingWindowAggregator",
+    "TrafficMatrix",
+    "WindowStats",
+    "matrix_report_for_archive",
+    "matrix_report_for_compressed",
+    "publish_window_gauges",
+    "window_stats_for_compressed",
 ]

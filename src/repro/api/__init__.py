@@ -78,6 +78,26 @@ _LAZY_EXPORTS = {
     "FlowSummary": ("repro.query.engine", "FlowSummary"),
     "QueryResult": ("repro.query.engine", "QueryResult"),
     "QueryStats": ("repro.query.engine", "QueryStats"),
+    "WindowProbe": ("repro.query.engine", "WindowProbe"),
+    # flow metadata + traffic-matrix analytics
+    "FlowRecord": ("repro.core.flowmeta", "FlowRecord"),
+    "flow_records": ("repro.core.flowmeta", "flow_records"),
+    "AddressAnonymizer": ("repro.analysis.matrices", "AddressAnonymizer"),
+    "MatrixReport": ("repro.analysis.matrices", "MatrixReport"),
+    "WindowStats": ("repro.analysis.matrices", "WindowStats"),
+    "TrafficMatrix": ("repro.analysis.matrices", "TrafficMatrix"),
+    "StreamingWindowAggregator": (
+        "repro.analysis.matrices",
+        "StreamingWindowAggregator",
+    ),
+    "matrix_report_for_archive": (
+        "repro.analysis.matrices",
+        "matrix_report_for_archive",
+    ),
+    "matrix_report_for_compressed": (
+        "repro.analysis.matrices",
+        "matrix_report_for_compressed",
+    ),
     # result/report types callers receive back
     "CompressionReport": ("repro.core.pipeline", "CompressionReport"),
     "ExportResult": ("repro.trace.export", "ExportResult"),

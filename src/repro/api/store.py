@@ -14,11 +14,16 @@ verb                      tsh   pcap  container  archive
 ``export(dest)``           ✓     ✓       ✓          ✓
 ``append(source)``         —     —       —          ✓
 ``filter(dest, pred)``     —     —       —          ✓
-``stats()`` / ``model()``  ✓     ✓       model²     —
+``stats()``                ✓     ✓       ✓³         ✓³
+``matrices()``             ✓     ✓       ✓          ✓
+``model()``                ✓     ✓       ✓²         —
 ========================  ====  ====  =========  =======
 
 ¹ re-encode through a different section backend; ² a container *is* a
-fitted traffic model, a trace file is compressed first.
+fitted traffic model, a trace file is compressed first; ³ the windowed
+traffic-matrix report (``repro.analysis/matrix-report/v1``) — a raw
+trace's ``stats()`` without matrix arguments keeps returning the legacy
+packet-level :class:`~repro.trace.stats.TraceStatistics`.
 
 A verb a kind cannot honor raises
 :class:`~repro.api.errors.CapabilityError` naming the kinds that can.
@@ -46,6 +51,18 @@ from repro.api.options import (
     Options,
 )
 from repro.api.sniff import SourceKind, sniff_kind
+from repro.analysis.matrices import (
+    DEFAULT_SCAN_FANOUT,
+    DEFAULT_TOP_K,
+    DEFAULT_WINDOW,
+    AddressAnonymizer,
+    MatrixReport,
+    StreamingWindowAggregator,
+    TrafficMatrix,
+    matrix_report_for_archive,
+    matrix_report_for_compressed,
+)
+from repro.core.flowmeta import flow_records
 from repro.core.codec import (
     container_info,
     dataset_sizes,
@@ -256,8 +273,37 @@ class TraceStore:
     ) -> tuple[int, QueryStats]:
         raise self._unsupported("filter", "archive")
 
-    def stats(self) -> TraceStatistics:
-        raise self._unsupported("stats", "tsh, pcap")
+    def stats(
+        self,
+        *,
+        window: float | None = None,
+        origin: float = 0.0,
+        since: float | None = None,
+        until: float | None = None,
+        top_k: int = DEFAULT_TOP_K,
+        scan_fanout: int = DEFAULT_SCAN_FANOUT,
+        anonymize_key: str | bytes | None = None,
+        method: str = "index",
+    ) -> TraceStatistics | MatrixReport:
+        raise self._unsupported("stats", "tsh, pcap, container, archive")
+
+    def matrices(
+        self,
+        *,
+        window: float | None = DEFAULT_WINDOW,
+        origin: float = 0.0,
+        anonymize_key: str | bytes | None = None,
+    ) -> Iterator[TrafficMatrix]:
+        raise self._unsupported("matrices", "tsh, pcap, container, archive")
+
+    def window_probe(
+        self,
+        windows: int,
+        *,
+        since: float | None = None,
+        until: float | None = None,
+    ):
+        raise self._unsupported("window_probe", "archive")
 
     def fidelity(self, *, options: Options | None = None):
         raise self._unsupported("fidelity", "tsh, pcap")
@@ -389,8 +435,66 @@ class TraceFileStore(TraceStore):
         result.flows = list(self._query_over_rows(rows, predicate, limit, stats))
         return result
 
-    def stats(self) -> TraceStatistics:
-        return compute_statistics(self.load_trace())
+    def stats(
+        self,
+        *,
+        window: float | None = None,
+        origin: float = 0.0,
+        since: float | None = None,
+        until: float | None = None,
+        top_k: int = DEFAULT_TOP_K,
+        scan_fanout: int = DEFAULT_SCAN_FANOUT,
+        anonymize_key: str | bytes | None = None,
+        method: str = "index",
+    ) -> TraceStatistics | MatrixReport:
+        """Packet-level statistics, or the windowed matrix report.
+
+        With no matrix arguments this stays the legacy packet-level
+        :class:`~repro.trace.stats.TraceStatistics`.  Any matrix
+        argument (a ``window`` span, time bounds, an anonymization key,
+        ``method="decode"``) switches to the
+        :class:`~repro.analysis.matrices.MatrixReport` built from this
+        trace's in-memory compression — a raw trace has no flow records
+        on disk, so the compressor is the flow scanner here too.
+        """
+        if (
+            window is None
+            and since is None
+            and until is None
+            and anonymize_key is None
+            and method == "index"
+        ):
+            return compute_statistics(self.load_trace())
+        return matrix_report_for_compressed(
+            self._compress_in_memory(self.options),
+            source=str(self.path),
+            window=window,
+            origin=origin,
+            since=since,
+            until=until,
+            top_k=top_k,
+            scan_fanout=scan_fanout,
+            anonymize_key=anonymize_key,
+            method=method,
+            config=self.options.decompressor,
+        )
+
+    def matrices(
+        self,
+        *,
+        window: float | None = DEFAULT_WINDOW,
+        origin: float = 0.0,
+        anonymize_key: str | bytes | None = None,
+    ) -> Iterator[TrafficMatrix]:
+        return _matrices_over(
+            flow_records(
+                self._compress_in_memory(self.options),
+                self.options.decompressor,
+            ),
+            window=window,
+            origin=origin,
+            anonymize_key=anonymize_key,
+        )
 
     def fidelity(self, *, options: Options | None = None):
         """Score this capture's compress→reconstruct roundtrip.
@@ -696,6 +800,47 @@ class ContainerStore(TraceStore):
     def model(self) -> TraceModel:
         return TraceModel.fit(self.compressed)
 
+    def stats(
+        self,
+        *,
+        window: float | None = DEFAULT_WINDOW,
+        origin: float = 0.0,
+        since: float | None = None,
+        until: float | None = None,
+        top_k: int = DEFAULT_TOP_K,
+        scan_fanout: int = DEFAULT_SCAN_FANOUT,
+        anonymize_key: str | bytes | None = None,
+        method: str = "index",
+    ) -> MatrixReport:
+        """The windowed traffic-matrix report over this container's flows."""
+        return matrix_report_for_compressed(
+            self.compressed,
+            source=str(self.path),
+            window=window,
+            origin=origin,
+            since=since,
+            until=until,
+            top_k=top_k,
+            scan_fanout=scan_fanout,
+            anonymize_key=anonymize_key,
+            method=method,
+            config=self.options.decompressor,
+        )
+
+    def matrices(
+        self,
+        *,
+        window: float | None = DEFAULT_WINDOW,
+        origin: float = 0.0,
+        anonymize_key: str | bytes | None = None,
+    ) -> Iterator[TrafficMatrix]:
+        return _matrices_over(
+            flow_records(self.compressed, self.options.decompressor),
+            window=window,
+            origin=origin,
+            anonymize_key=anonymize_key,
+        )
+
     def info(self) -> StoreInfo:
         """Everything ``repro-trace inspect`` prints, as structured lines."""
         info = self._container_info
@@ -888,6 +1033,72 @@ class ArchiveStore(TraceStore):
             packets=fed,
         )
 
+    def stats(
+        self,
+        *,
+        window: float | None = DEFAULT_WINDOW,
+        origin: float = 0.0,
+        since: float | None = None,
+        until: float | None = None,
+        top_k: int = DEFAULT_TOP_K,
+        scan_fanout: int = DEFAULT_SCAN_FANOUT,
+        anonymize_key: str | bytes | None = None,
+        method: str = "index",
+        query_stats: QueryStats | None = None,
+    ) -> MatrixReport:
+        """Windowed matrix statistics straight off the archive.
+
+        ``method="index"`` (default) rides the flow-metadata fast path —
+        no packet is ever synthesized and the footer index prunes
+        segments outside ``[since, until]``; ``method="decode"`` is the
+        full-decompression baseline producing identical windows.  Pass
+        ``query_stats`` to observe the segment/byte accounting.
+        """
+        return matrix_report_for_archive(
+            self.reader,
+            window=window,
+            origin=origin,
+            since=since,
+            until=until,
+            top_k=top_k,
+            scan_fanout=scan_fanout,
+            anonymize_key=anonymize_key,
+            method=method,
+            config=self.options.decompressor,
+            stats=query_stats,
+        )
+
+    def matrices(
+        self,
+        *,
+        window: float | None = DEFAULT_WINDOW,
+        origin: float = 0.0,
+        anonymize_key: str | bytes | None = None,
+    ) -> Iterator[TrafficMatrix]:
+        return _matrices_over(
+            self._engine().iter_flow_records(
+                None, config=self.options.decompressor
+            ),
+            window=window,
+            origin=origin,
+            anonymize_key=anonymize_key,
+        )
+
+    def window_probe(
+        self,
+        windows: int,
+        *,
+        since: float | None = None,
+        until: float | None = None,
+    ):
+        """Per-window segment-overlap dry run (no payload decoded).
+
+        Returns the :class:`~repro.query.engine.WindowProbe` rows the
+        CLI prints for ``repro archive info --windows N`` — the decode
+        cost estimate to consult before running windowed stats.
+        """
+        return self._engine().window_probe(windows, since=since, until=until)
+
     def info(self) -> StoreInfo:
         from repro.analysis.archive import (
             archive_overview_lines,
@@ -930,6 +1141,25 @@ def open_store(path: str | Path, *, options: Options | None = None) -> TraceStor
     """
     kind = sniff_kind(path)
     return _STORE_CLASSES[kind](path, options)
+
+
+def _matrices_over(
+    records,
+    *,
+    window: float | None,
+    origin: float,
+    anonymize_key: str | bytes | None,
+) -> Iterator[TrafficMatrix]:
+    """Stream per-window matrices off a flow-record iterator."""
+    anonymizer = (
+        AddressAnonymizer(anonymize_key) if anonymize_key is not None else None
+    )
+    aggregator = StreamingWindowAggregator(
+        window, origin=origin, anonymizer=anonymizer
+    )
+    for record in records:
+        yield from aggregator.feed(record)
+    yield from aggregator.finish()
 
 
 # -- multi-source archive construction --------------------------------------

@@ -52,6 +52,7 @@ from repro.core.decompressor import (
     merge_sort_key,
 )
 from repro.core.errors import ArchiveError, CodecError
+from repro.core.flowmeta import FlowRecord, flow_records
 from repro.core.replay import ReplayStats, merge_packet_stream
 from repro.net.packet import PacketRecord
 from repro.obs import current as obs_current
@@ -225,6 +226,47 @@ class ArchiveReader:
 
         feed = ArchiveSpecFeed(self, segment_runs(self.entries, indices), spec_source)
         return merge_packet_stream(feed, config, stats)
+
+    def iter_flow_records(
+        self,
+        config: DecompressorConfig | None = None,
+        *,
+        indices: list[int] | None = None,
+        source: Callable[[int, CompressedTrace], Iterator[FlowRecord]]
+        | None = None,
+    ) -> Iterator[FlowRecord]:
+        """Stream flow metadata in global start order — no packet synthesis.
+
+        The flow-level twin of :meth:`iter_packets`: one
+        :class:`~repro.core.flowmeta.FlowRecord` per flow, start
+        timestamps nondecreasing across the whole archive.  Segments are
+        walked in :func:`segment_runs` order — within a run the
+        per-segment record streams heap-merge, between runs they simply
+        concatenate — so downstream window aggregation never needs more
+        than the current run's datasets in memory.
+
+        ``indices`` restricts the walk (a query planner's surviving
+        segments); ``source(segment, compressed)`` overrides the
+        per-segment record stream — the query engine passes a filtering
+        source, the differential harness the synthesize-everything twin.
+        """
+        config = config or DecompressorConfig()
+        if indices is None:
+            indices = list(range(len(self.entries)))
+        if source is None:
+            source = lambda segment, compressed: flow_records(  # noqa: E731
+                compressed, config, segment=segment
+            )
+        for run in segment_runs(self.entries, indices):
+            streams = [
+                source(segment, self.load_segment(segment)) for segment in run
+            ]
+            if len(streams) == 1:
+                yield from streams[0]
+            else:
+                yield from heapq.merge(
+                    *streams, key=lambda record: record.start
+                )
 
     def _entry(self, index: int) -> SegmentIndexEntry:
         if not 0 <= index < len(self.entries):

@@ -196,10 +196,39 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    kwargs = {}
+    for name, value in (
+        ("window", args.window),
+        ("since", args.since),
+        ("until", args.until),
+        ("top_k", args.top),
+        ("scan_fanout", args.scan_fanout),
+        ("anonymize_key", args.anonymize_key),
+        ("method", args.method),
+    ):
+        if value is not None:
+            kwargs[name] = value
     with api.open(args.input) as store:
-        stats = store.stats()
-    for line in stats.summary_lines():
-        print(line)
+        stats = store.stats(**kwargs)
+    if not isinstance(stats, api.MatrixReport):
+        # A raw trace without matrix arguments keeps the legacy
+        # packet-level statistics; the matrix flags need a window.
+        if args.json or args.out is not None:
+            _log.error(
+                "error: --json/--out write the matrix report; pass "
+                "--window (or a compressed input) to build one"
+            )
+            return 2
+        for line in stats.summary_lines():
+            print(line)
+        return 0
+    if args.out is not None:
+        stats.write(args.out)
+    if args.json:
+        print(stats.to_json())
+    else:
+        for line in stats.summary_lines():
+            print(line)
     return 0
 
 
@@ -293,7 +322,31 @@ def _cmd_archive_info(args: argparse.Namespace) -> int:
     with api.open(args.archive) as store:
         for line in store.info().summary_lines():
             print(line)
+        if args.windows is not None:
+            print()
+            for line in _window_probe_lines(store.window_probe(args.windows)):
+                print(line)
     return 0
+
+
+def _window_probe_lines(probes) -> list[str]:
+    """Render the ``archive info --windows N`` cost-estimate table."""
+    header = (
+        f"{'window':>7s} {'start':>10s} {'end':>10s} {'segments':>8s} "
+        f"{'bytes':>12s} {'flows<=':>8s}"
+    )
+    lines = [
+        "window probe (index only — nothing decoded):",
+        header,
+        "-" * len(header),
+    ]
+    for probe in probes:
+        lines.append(
+            f"{probe.index:>7d} {probe.start:>10.3f} {probe.end:>10.3f} "
+            f"{probe.segments_overlapping:>8d} {probe.bytes_to_decode:>12d} "
+            f"{probe.flows_upper_bound:>8d}"
+        )
+    return lines
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -362,6 +415,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return 2
     predicate = _build_predicate(args)
+    if args.stats:
+        if args.output is not None or args.limit is not None:
+            _log.error(
+                "error: --stats aggregates every matching flow; drop "
+                "--output/--limit"
+            )
+            return 2
+        with api.open(args.archive) as store:
+            _require_kind(store, args.archive, ("archive",), "query --stats")
+            return _print_query_stats(store, predicate)
     with api.open(args.archive) as store:
         if args.output is not None:
             options = api.Options.make(backend=args.backend, level=args.level)
@@ -384,6 +447,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
             stats = result.stats
         for line in stats.summary_lines():
             print(line)
+    return 0
+
+
+def _print_query_stats(store, predicate) -> int:
+    """``repro-trace query --stats``: matched flows as one matrix window.
+
+    Rides the flow-metadata fast path — no packet is synthesized — and
+    folds every matching flow into a single unbounded window, then
+    prints its matrix statistics plus the usual query work accounting.
+    """
+    from repro.analysis.matrices import StreamingWindowAggregator
+    from repro.query.engine import QueryEngine
+
+    query_stats = api.QueryStats()
+    aggregator = StreamingWindowAggregator(None)
+    engine = QueryEngine(store.reader)
+    for record in engine.iter_flow_records(predicate, stats=query_stats):
+        for _ in aggregator.feed(record):
+            pass  # span=None: no window completes before finish()
+    matrices = list(aggregator.finish())
+    if not matrices:
+        print("no matching flows")
+    else:
+        stats = matrices[0].stats()
+        print(f"matched flows   : {stats.flows}")
+        print(f"packets / bytes : {stats.packets} / {stats.bytes}")
+        print(
+            f"sources / dests : {stats.sources} / {stats.destinations} "
+            f"({stats.links} links)"
+        )
+        print(f"max fan-out/in  : {stats.max_fanout} / {stats.max_fanin}")
+        for link in stats.top_links_packets[:3]:
+            print(
+                f"top link        : {format_ipv4(link.src)} -> "
+                f"{format_ipv4(link.dst)} ({link.packets} packets, "
+                f"{link.bytes} B)"
+            )
+    for line in query_stats.summary_lines():
+        print(line)
     return 0
 
 
@@ -606,9 +708,58 @@ def build_parser() -> argparse.ArgumentParser:
     replay.set_defaults(handler=_cmd_replay)
 
     stats = subparsers.add_parser(
-        "stats", help="flow statistics of a trace", parents=[common]
+        "stats",
+        help="packet statistics of a trace, or windowed traffic-matrix "
+        "analytics over compressed inputs",
+        parents=[common],
     )
-    stats.add_argument("input", help="input .tsh path")
+    stats.add_argument("input", help="input .tsh/.pcap/.fctc/.fctca path")
+    stats.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="traffic-matrix window span; compressed inputs default to "
+        "60, raw traces keep the legacy packet statistics unless set",
+    )
+    stats.add_argument(
+        "--since", type=float, default=None,
+        help="earliest flow start, seconds since the epoch",
+    )
+    stats.add_argument(
+        "--until", type=float, default=None,
+        help="latest flow start, seconds since the epoch",
+    )
+    stats.add_argument(
+        "--top", type=int, default=None, metavar="K",
+        help="depth of the top-link / scan-candidate lists (default 10)",
+    )
+    stats.add_argument(
+        "--scan-fanout", type=int, default=None, metavar="N",
+        help="per-window fan-out at which a source counts as a scan "
+        "candidate (default 16)",
+    )
+    stats.add_argument(
+        "--anonymize-key", default=None, metavar="KEY",
+        help="keyed-hash (blake2b) address anonymization; the same key "
+        "maps the same host to the same pseudonym across runs",
+    )
+    stats.add_argument(
+        "--method",
+        choices=("index", "decode"),
+        default=None,
+        help="derive flows from the metadata fast path (index, default) "
+        "or from full packet synthesis (decode); identical statistics",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the repro.analysis/matrix-report/v1 JSON document",
+    )
+    stats.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the matrix report JSON to FILE",
+    )
     stats.set_defaults(handler=_cmd_stats)
 
     inspect = subparsers.add_parser(
@@ -707,6 +858,14 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
     )
     archive_info.add_argument("archive", help=".fctca path")
+    archive_info.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="append an N-window segment-overlap probe — the decode "
+        "cost estimate behind windowed stats (index only, no decode)",
+    )
     archive_info.set_defaults(handler=_cmd_archive_info)
 
     serve = subparsers.add_parser(
@@ -811,6 +970,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write matches as a filtered .fctca instead of printing them",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="aggregate the matching flows into one traffic-matrix "
+        "window and print its statistics instead of the flow list",
     )
     _add_backend_flags(
         query, what="--output segments",

@@ -40,10 +40,15 @@ from repro.core.codec import SECTION_NAMES, validate_backend_request
 from repro.core.datasets import CompressedTrace, DatasetId, TimeSeqRecord
 from repro.core.decompressor import DecompressorConfig, FlowSpec, flow_specs
 from repro.core.errors import warn_deprecated
+from repro.core.flowmeta import (
+    FlowRecord,
+    flow_records,
+    flow_records_by_decode,
+)
 from repro.core.replay import merge_packet_stream
 from repro.net.packet import PacketRecord
 from repro.obs import current as obs_current
-from repro.query.predicates import MatchAll, Predicate
+from repro.query.predicates import MatchAll, Predicate, TimeRange
 
 _log = logging.getLogger(__name__)
 
@@ -105,6 +110,25 @@ class QueryStats:
         registry.counter("query.flows_matched", "flow records matched").inc(
             self.flows_matched
         )
+
+
+@dataclass(frozen=True)
+class WindowProbe:
+    """One time window's cost estimate, from the footer index alone.
+
+    ``segments_overlapping`` index entries could hold flows starting in
+    ``[start, end]`` — a real windowed scan would decode at most those;
+    ``bytes_to_decode`` is their serialized total and
+    ``flows_upper_bound`` the sum of their flow counts (an upper bound:
+    a segment usually straddles more than one window).
+    """
+
+    index: int
+    start: float
+    end: float
+    segments_overlapping: int
+    bytes_to_decode: int
+    flows_upper_bound: int
 
 
 @dataclass
@@ -211,6 +235,126 @@ class QueryEngine:
                 stats.segments_matched += 1
                 stats.bytes_decoded += entry.length
         return stats
+
+    def window_probe(
+        self,
+        windows: int,
+        *,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[WindowProbe]:
+        """Cost-estimate a windowed scan: per-window segment overlap.
+
+        Splits ``[since, until]`` (default: the archive's index time
+        bounds) into ``windows`` equal windows and dry-runs a
+        :class:`~repro.query.predicates.TimeRange` for each against the
+        footer index alone — the per-window extension of
+        :meth:`index_probe`.  Nothing is decoded and nothing is
+        published; this is what lets an operator see whether a window
+        span prunes before paying for the scan.
+        """
+        if windows < 1:
+            raise ValueError(f"windows must be >= 1: {windows}")
+        bounds = self.reader.time_bounds()
+        if bounds is None:
+            return []
+        low = since if since is not None else bounds[0]
+        high = until if until is not None else bounds[1]
+        if high < low:
+            raise ValueError(f"empty probe range: [{low}, {high}]")
+        span = (high - low) / windows
+        probes = []
+        for index in range(windows):
+            start = low + index * span
+            end = high if index == windows - 1 else low + (index + 1) * span
+            window = TimeRange(start, end)
+            overlapping = bytes_to_decode = flows = 0
+            for entry in self.reader.entries:
+                if window.match_segment(entry):
+                    overlapping += 1
+                    bytes_to_decode += entry.length
+                    flows += entry.flow_count
+            probes.append(
+                WindowProbe(
+                    index=index,
+                    start=start,
+                    end=end,
+                    segments_overlapping=overlapping,
+                    bytes_to_decode=bytes_to_decode,
+                    flows_upper_bound=flows,
+                )
+            )
+        return probes
+
+    def iter_flow_records(
+        self,
+        predicate: Predicate | None = None,
+        *,
+        config: DecompressorConfig | None = None,
+        stats: QueryStats | None = None,
+        method: str = "index",
+    ) -> Iterator[FlowRecord]:
+        """Stream matching flows' metadata — the analytics fast path.
+
+        ``method="index"`` prunes segments on the footer index and
+        derives each surviving flow's record without synthesizing a
+        packet (:func:`~repro.core.flowmeta.flow_records`);
+        ``method="decode"`` synthesizes every segment's packets and
+        folds them back down (:func:`flow_records_by_decode`) — the
+        differential baseline, which by construction cannot prune.
+        Both orders are globally nondecreasing by start and the records
+        are bit-identical; ``stats`` fills in as the stream drains and
+        publishes when it ends.
+        """
+        if method not in ("index", "decode"):
+            raise ValueError(f"method must be 'index' or 'decode': {method!r}")
+        predicate = predicate or MatchAll()
+        config = config or DecompressorConfig()
+        if stats is None:
+            stats = QueryStats()
+        stats.segments_total = self.reader.segment_count
+        stats.bytes_total = sum(entry.length for entry in self.reader.entries)
+        if method == "index":
+            indices = [
+                index
+                for index, entry in enumerate(self.reader.entries)
+                if predicate.match_segment(entry)
+            ]
+        else:
+            indices = list(range(self.reader.segment_count))
+        stats.segments_matched = len(indices)
+        records = flow_records if method == "index" else flow_records_by_decode
+
+        match_all = type(predicate) is MatchAll
+
+        def source(segment: int, compressed: CompressedTrace):
+            stats.segments_decoded += 1
+            stats.bytes_decoded += self.reader.entries[segment].length
+
+            def keep(record: TimeSeqRecord) -> bool:
+                stats.flows_scanned += 1
+                # MatchAll accepts every flow by definition — skip
+                # building a FlowSummary per record just to learn that.
+                if match_all or predicate.match_flow(
+                    summarize_record(segment, compressed, record)
+                ):
+                    stats.flows_matched += 1
+                    return True
+                return False
+
+            return records(
+                compressed, config, segment=segment, record_filter=keep
+            )
+
+        def stream() -> Iterator[FlowRecord]:
+            try:
+                yield from self.reader.iter_flow_records(
+                    config, indices=indices, source=source
+                )
+            finally:
+                stats.publish()
+
+        return stream()
 
     def stream_packets(
         self,

@@ -328,6 +328,19 @@ class _Daemon:
             source = next(s for s in self._sources if s.label == label)
             source.report.segments += 1
             source.segments_counter.inc()
+            if self._serve.prometheus_port is not None:
+                # Live window snapshot: fold the sealed segment's flows
+                # into one matrix and mirror its statistics onto the
+                # /metrics gauges.  The fast path walks time-seq only —
+                # no packet synthesis on the ingest thread.
+                from repro.analysis.matrices import (
+                    publish_window_gauges,
+                    window_stats_for_compressed,
+                )
+
+                stats = window_stats_for_compressed(compressed)
+                if stats is not None:
+                    publish_window_gauges(stats, registry)
 
         return sink
 

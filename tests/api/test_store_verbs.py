@@ -213,9 +213,11 @@ class TestCapabilities:
             api.open(tsh_path).append([tsh_path])
         assert "archive" in str(excinfo.value)
 
-    def test_stats_on_container(self, fctc_path):
+    def test_window_probe_on_container(self, fctc_path):
+        # stats()/matrices() reach containers now; the index-backed
+        # window probe still needs an archive footer.
         with pytest.raises(errors.CapabilityError):
-            api.open(fctc_path).stats()
+            api.open(fctc_path).window_probe(4)
 
     def test_model_on_archive(self, fctca_path):
         with api.open(fctca_path) as store:

@@ -1,0 +1,84 @@
+"""AddressSummary Bloom semantics: false positives only, never negatives.
+
+The footer index prunes segments whose summary says an address cannot
+occur — a false negative would silently drop flows from query results,
+so ``may_contain`` must return True for every inserted address, before
+and after the ``SUMMARY_BLOOM`` payload's serialization roundtrip.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.archive.format import (
+    EXACT_SUMMARY_MAX,
+    SUMMARY_BLOOM,
+    SUMMARY_EXACT,
+    AddressSummary,
+)
+
+
+def _addresses(seed: int, count: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(32) for _ in range(count)]
+
+
+class TestBloomNeverFalseNegative:
+    @pytest.mark.parametrize("seed", [1, 7, 1234])
+    def test_every_member_reports_maybe(self, seed):
+        members = _addresses(seed, EXACT_SUMMARY_MAX * 3)
+        summary = AddressSummary.build(members)
+        assert summary.mode == SUMMARY_BLOOM
+        assert all(summary.may_contain(address) for address in members)
+
+    @pytest.mark.parametrize("seed", [1, 7, 1234])
+    def test_roundtrip_preserves_membership(self, seed):
+        """Serialize → parse must not flip a single member to False."""
+        members = _addresses(seed, EXACT_SUMMARY_MAX * 3)
+        summary = AddressSummary.build(members)
+        restored = AddressSummary.from_payload(summary.mode, summary.payload())
+        assert restored.mode == SUMMARY_BLOOM
+        assert restored.bloom == summary.bloom
+        assert all(restored.may_contain(address) for address in members)
+
+    def test_single_address_ranges_use_membership(self):
+        members = _addresses(99, EXACT_SUMMARY_MAX * 3)
+        restored = AddressSummary.from_payload(
+            SUMMARY_BLOOM, AddressSummary.build(members).payload()
+        )
+        for address in members[:256]:
+            assert restored.may_contain_range(address, address)
+
+    def test_wide_ranges_degrade_to_maybe(self):
+        summary = AddressSummary.build(_addresses(5, EXACT_SUMMARY_MAX + 1))
+        assert summary.may_contain_range(0, 2**32 - 1)
+        assert summary.may_contain_range(1, 2)
+
+    def test_false_positive_rate_stays_small(self):
+        """~10 bits/address, 4 hashes → well under a 5% FP rate."""
+        members = set(_addresses(42, EXACT_SUMMARY_MAX * 4))
+        summary = AddressSummary.build(members)
+        rng = random.Random(4242)
+        probes = [
+            address
+            for address in (rng.getrandbits(32) for _ in range(4000))
+            if address not in members
+        ]
+        positives = sum(1 for address in probes if summary.may_contain(address))
+        assert positives / len(probes) < 0.05
+
+    def test_empty_bloom_payload_contains_nothing(self):
+        restored = AddressSummary.from_payload(SUMMARY_BLOOM, b"")
+        assert not restored.may_contain(1)
+
+    def test_exact_summaries_stay_exact_under_the_cap(self):
+        members = _addresses(3, EXACT_SUMMARY_MAX)
+        summary = AddressSummary.build(members)
+        assert summary.mode == SUMMARY_EXACT
+        restored = AddressSummary.from_payload(summary.mode, summary.payload())
+        assert all(restored.may_contain(address) for address in members)
+        assert not restored.may_contain(
+            next(a for a in range(2**32) if a not in set(members))
+        )

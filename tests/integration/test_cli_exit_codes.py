@@ -94,11 +94,12 @@ class TestMissingInputSweep:
 
 class TestDataErrors:
     def test_wrong_kind_input_exits_2(self, trace_file, tmp_path, capsys):
-        # stats over a container is a capability error → usage bucket.
+        # A window probe over a container is a capability error (only
+        # archives carry the footer index) → usage bucket.
         compressed = tmp_path / "t.fctc"
         assert main(["compress", str(trace_file), str(compressed)]) == 0
         capsys.readouterr()
-        assert main(["stats", str(compressed)]) == 2
+        assert main(["archive", "info", str(compressed), "--windows", "4"]) == 2
         assert "error:" in capsys.readouterr().err
 
     def test_bad_backend_level_exits_2(self, trace_file, tmp_path, capsys):

@@ -9,7 +9,8 @@ Three passes, pure stdlib, run as the CI ``docs`` job:
    External ``http(s)`` links are skipped (no network in the check, by
    design — it must give the same verdict offline).
 2. **CLI example smoke-run** — every fenced ```` ```sh ```` block in
-   ``docs/CLI.md`` and ``docs/SCENARIOS.md`` is executed, in document
+   ``docs/CLI.md``, ``docs/SCENARIOS.md`` and ``docs/ANALYTICS.md``
+   is executed, in document
    order, in one shared temporary directory per document.  The blocks
    are written as a single coherent pipeline (generate → compress → …
    → replay), so later examples consume earlier outputs; a doc edit
@@ -17,7 +18,8 @@ Three passes, pure stdlib, run as the CI ``docs`` job:
    ```` ```text ```` (or any other language) are illustrative and not
    executed.
 3. **API example smoke-run** — every fenced ```` ```python ```` block
-   in ``docs/API.md``, ``docs/OBSERVABILITY.md`` and ``docs/SERVE.md``
+   in ``docs/API.md``, ``docs/OBSERVABILITY.md``, ``docs/SERVE.md``,
+   ``docs/SCENARIOS.md`` and ``docs/ANALYTICS.md``
    runs the same way (document order, one shared directory per
    document), with
    ``DeprecationWarning`` promoted to an error so the reference docs
@@ -178,6 +180,8 @@ def main() -> int:
     if not errors:
         errors += run_cli_examples("SCENARIOS.md")
     if not errors:
+        errors += run_cli_examples("ANALYTICS.md")
+    if not errors:
         errors += run_python_examples("API.md")
     if not errors:
         errors += run_python_examples("OBSERVABILITY.md")
@@ -185,6 +189,8 @@ def main() -> int:
         errors += run_python_examples("SERVE.md")
     if not errors:
         errors += run_python_examples("SCENARIOS.md")
+    if not errors:
+        errors += run_python_examples("ANALYTICS.md")
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0
